@@ -1,0 +1,101 @@
+// Command ptldb-bench regenerates the tables and figures of the PTLDB
+// paper's evaluation (Section 4) on synthetic datasets.
+//
+// Usage:
+//
+//	ptldb-bench [-scale 0.05] [-queries 200] [-cities Austin,Berlin]
+//	            [-exp table7,fig2|all] [-cache DIR] [-seed N] [-o FILE]
+//
+// At -scale 1.0 the datasets match the paper's published sizes; smaller
+// scales preserve average degree and temporal structure. Built databases are
+// cached in -cache and reused across runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ptldb/internal/bench"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.05, "dataset scale relative to the paper (0 < scale <= 1)")
+		queries = flag.Int("queries", 200, "queries per experiment (paper: 1000)")
+		cities  = flag.String("cities", "", "comma-separated dataset names (default: all 11)")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids or 'all': "+strings.Join(bench.ExperimentIDs, ","))
+		cache   = flag.String("cache", "", "database cache directory (default: $TMPDIR/ptldb-bench-cache)")
+		seed    = flag.Int64("seed", 1, "workload and generator seed")
+		out     = flag.String("o", "", "write the report to a file instead of stdout")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:    *scale,
+		Queries:  *queries,
+		Seed:     *seed,
+		CacheDir: *cache,
+	}
+	if *cities != "" {
+		for _, c := range strings.Split(*cities, ",") {
+			cfg.Cities = append(cfg.Cities, strings.TrimSpace(c))
+		}
+	}
+	w, err := bench.NewWorkspace(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		w.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	ids := bench.ExperimentIDs
+	if *exps != "all" {
+		ids = nil
+		for _, e := range strings.Split(*exps, ",") {
+			ids = append(ids, strings.TrimSpace(e))
+		}
+	}
+
+	var sink io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	fmt.Fprintf(sink, "# PTLDB evaluation — scale %.3g, %d queries/experiment, seed %d\n\n",
+		w.Config().Scale, w.Config().Queries, w.Config().Seed)
+	start := time.Now()
+	for _, id := range ids {
+		t0 := time.Now()
+		tbl, err := w.Run(id)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		if err := tbl.Render(sink); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "# %s done in %v\n", id, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "# total %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptldb-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,175 @@
+// Command ptldb-query answers route-planning queries against a built PTLDB
+// database.
+//
+// Usage:
+//
+//	ptldb-query -db DIR [-device ssd] ea  SRC DST TIME
+//	ptldb-query -db DIR ld  SRC DST TIME
+//	ptldb-query -db DIR sd  SRC DST FROM TO
+//	ptldb-query -db DIR eaknn SET SRC TIME K
+//	ptldb-query -db DIR ldknn SET SRC TIME K
+//	ptldb-query -db DIR eaotm SET SRC TIME
+//	ptldb-query -db DIR ldotm SET SRC TIME
+//	ptldb-query -db DIR sql 'SELECT ...'
+//	ptldb-query -db DIR explain 'SELECT ...'
+//	ptldb-query -db DIR sets
+//
+// TIME accepts either seconds after midnight or HH:MM:SS.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ptldb"
+	"ptldb/internal/gtfs"
+	"ptldb/internal/timetable"
+)
+
+func main() {
+	var (
+		dbDir  = flag.String("db", "", "database directory (required)")
+		device = flag.String("device", "ssd", "simulated device: hdd, ssd, ram")
+	)
+	flag.Parse()
+	if *dbDir == "" || flag.NArg() == 0 {
+		fatal(fmt.Errorf("usage: ptldb-query -db DIR CMD ARGS... (see source header)"))
+	}
+	db, err := ptldb.Open(*dbDir, ptldb.Config{Device: *device})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	args := flag.Args()
+	switch args[0] {
+	case "ea", "ld":
+		need(args, 4)
+		s, g := stop(args[1]), stop(args[2])
+		t := when(args[3])
+		var v ptldb.Time
+		var ok bool
+		if args[0] == "ea" {
+			v, ok, err = db.EarliestArrival(s, g, t)
+		} else {
+			v, ok, err = db.LatestDeparture(s, g, t)
+		}
+		check(err)
+		if !ok {
+			fmt.Println("no journey")
+			return
+		}
+		fmt.Printf("%s (%d)\n", gtfs.FormatTime(v), v)
+	case "sd":
+		need(args, 5)
+		v, ok, err := db.ShortestDuration(stop(args[1]), stop(args[2]), when(args[3]), when(args[4]))
+		check(err)
+		if !ok {
+			fmt.Println("no journey")
+			return
+		}
+		fmt.Printf("%s (%d s)\n", gtfs.FormatTime(v), v)
+	case "eaknn", "ldknn":
+		need(args, 5)
+		k, err := strconv.Atoi(args[4])
+		check(err)
+		var rs []ptldb.Result
+		if args[0] == "eaknn" {
+			rs, err = db.EAKNN(args[1], stop(args[2]), when(args[3]), k)
+		} else {
+			rs, err = db.LDKNN(args[1], stop(args[2]), when(args[3]), k)
+		}
+		check(err)
+		printResults(rs)
+	case "eaotm", "ldotm":
+		need(args, 4)
+		var rs []ptldb.Result
+		if args[0] == "eaotm" {
+			rs, err = db.EAOTM(args[1], stop(args[2]), when(args[3]))
+		} else {
+			rs, err = db.LDOTM(args[1], stop(args[2]), when(args[3]))
+		}
+		check(err)
+		printResults(rs)
+	case "sql":
+		need(args, 2)
+		trimmed := strings.ToUpper(strings.TrimSpace(args[1]))
+		if !strings.HasPrefix(trimmed, "SELECT") && !strings.HasPrefix(trimmed, "WITH") {
+			n, err := db.Store().DB.Exec(args[1])
+			check(err)
+			fmt.Printf("ok (%d rows affected)\n", n)
+			return
+		}
+		rel, err := db.Store().Raw(args[1])
+		check(err)
+		for _, c := range rel.Columns() {
+			fmt.Printf("%s\t", c)
+		}
+		fmt.Println()
+		for _, row := range rel.Rows {
+			for _, v := range row {
+				fmt.Printf("%s\t", v.String())
+			}
+			fmt.Println()
+		}
+		fmt.Printf("(%d rows)\n", len(rel.Rows))
+	case "explain":
+		need(args, 2)
+		rel, trace, err := db.Store().RawTraced(args[1])
+		check(err)
+		for _, line := range trace {
+			fmt.Println("  ->", line)
+		}
+		fmt.Printf("(%d rows)\n", len(rel.Rows))
+	case "sets":
+		for name, ts := range db.TargetSets() {
+			fmt.Printf("%s: %d targets, kmax %d\n", name, len(ts.Targets), ts.KMax)
+		}
+	default:
+		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+}
+
+func printResults(rs []ptldb.Result) {
+	for _, r := range rs {
+		fmt.Printf("stop %-6d %s (%d)\n", r.Stop, gtfs.FormatTime(r.When), r.When)
+	}
+	if len(rs) == 0 {
+		fmt.Println("no results")
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) != n {
+		fatal(fmt.Errorf("%s takes %d arguments", args[0], n-1))
+	}
+}
+
+func stop(s string) ptldb.StopID {
+	v, err := strconv.Atoi(s)
+	check(err)
+	return ptldb.StopID(v)
+}
+
+func when(s string) ptldb.Time {
+	if t, err := gtfs.ParseTime(s); err == nil {
+		return t
+	}
+	v, err := strconv.Atoi(s)
+	check(err)
+	return timetable.Time(v)
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptldb-query:", err)
+	os.Exit(1)
+}

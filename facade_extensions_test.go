@@ -1,0 +1,107 @@
+package ptldb
+
+import "testing"
+
+// TestFacadeVersions covers the weekday/weekend multi-version workflow of
+// the paper's Section 3.1 through the public API.
+func TestFacadeVersions(t *testing.T) {
+	weekday, err := GenerateCity("Austin", 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weekend, err := GenerateCity("Austin", 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	db, err := Create(dir, weekday, Config{Device: "ram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddVersion("weekend", weekend); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Versions(); len(got) != 2 {
+		t.Fatalf("Versions = %v", got)
+	}
+	we, err := db.Version("weekend")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Target sets are independent per version.
+	if err := db.AddTargetSet("poi", []StopID{1, 2, 3}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(we.TargetSets()) != 0 {
+		t.Error("weekend version sees the base target set")
+	}
+	if err := we.AddTargetSet("poi", []StopID{1, 2, 3}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := we.EAKNN("poi", 0, weekend.MinTime(), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both versions survive close/reopen.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Config{Device: "ram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	we2, err := db2.Version("weekend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := we2.EAKNN("poi", 0, weekend.MinTime(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Version("holiday"); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+// TestFacadePathTables covers the expanded-path extension through the public
+// API and cross-checks against in-memory reconstruction.
+func TestFacadePathTables(t *testing.T) {
+	tt, err := GenerateCity("Denver", 0.008, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Create(t.TempDir(), tt, Config{Device: "ram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.BuildPathTables(tt); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for s := 0; s < tt.NumStops() && checked < 25; s++ {
+		g := (s*17 + 5) % tt.NumStops()
+		if s == g {
+			continue
+		}
+		dj, ok, err := db.JourneyFromDB(StopID(s), StopID(g), tt.MinTime())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, okMem := EarliestArrivalJourney(tt, StopID(s), StopID(g), tt.MinTime())
+		if ok != okMem {
+			t.Fatalf("db journey ok=%v, memory ok=%v for %d->%d", ok, okMem, s, g)
+		}
+		if !ok {
+			continue
+		}
+		if dj.Arr != mem.Legs[len(mem.Legs)-1].Arr {
+			t.Fatalf("%d->%d: db arrives %v, memory %v", s, g, dj.Arr, mem.Legs[len(mem.Legs)-1].Arr)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d reachable pairs checked", checked)
+	}
+}

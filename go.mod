@@ -1,0 +1,3 @@
+module ptldb
+
+go 1.22

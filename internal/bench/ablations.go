@@ -1,0 +1,348 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ptldb"
+	"ptldb/internal/csa"
+	"ptldb/internal/order"
+	"ptldb/internal/sqldb/sqltypes"
+	"ptldb/internal/sqldb/storage"
+	"ptldb/internal/ttl"
+)
+
+// AblationBucket sweeps the knn/otm bucket width (the paper's Section 3.2.1
+// tuning discussion: smaller buckets mean more rows, larger buckets mean
+// fatter exp columns; one hour was their compromise).
+func (w *Workspace) AblationBucket() (*Table, error) {
+	city := w.cfg.Cities[0]
+	tt, err := ptldb.GenerateCity(city, w.cfg.Scale, w.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-bucket",
+		Title:   fmt.Sprintf("knn table bucket width sweep on %s (EA-kNN, k=4, D=0.01, HDD)", city),
+		Columns: []string{"bucket", "knn_ea rows", "EA-kNN avg", "LD-kNN avg"},
+		Notes:   []string{"The paper argues one-hour buckets balance row count against exp-column width."},
+	}
+	for _, width := range []int32{900, 3600, 10800} {
+		dir := filepath.Join(w.cfg.CacheDir, fmt.Sprintf("%s_bucket%d_s%04d", sanitize(city), width, int(w.cfg.Scale*10000)))
+		if _, err := os.Stat(filepath.Join(dir, "catalog.json")); err != nil {
+			db, err := ptldb.Create(dir, tt, ptldb.Config{Device: "ram", BucketSeconds: width})
+			if err != nil {
+				return nil, err
+			}
+			db.Close()
+		}
+		db, err := ptldb.Open(dir, ptldb.Config{Device: "hdd", PoolPages: w.cfg.PoolPages})
+		if err != nil {
+			return nil, err
+		}
+		ds := &Dataset{TT: tt}
+		set, err := w.EnsureTargetSet(ds, db, 0.01, 4)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		wl := w.NewWorkload(ds, w.cfg.Queries)
+		ea, err := MeasureQueries(db, w.cfg.Queries, func(i int) error {
+			_, err := db.EAKNN(set, wl.Sources[i], wl.Starts[i], 4)
+			return err
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		ld, err := MeasureQueries(db, w.cfg.Queries, func(i int) error {
+			_, err := db.LDKNN(set, wl.Sources[i], wl.Ends[i], 4)
+			return err
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		rows := "-"
+		if rel, err := db.Store().Raw(fmt.Sprintf("SELECT COUNT(*) FROM knn_ea_%s", set)); err == nil && len(rel.Rows) == 1 {
+			rows = rel.Rows[0][0].String()
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%ds", width), rows, ms(ea), ms(ld)})
+		db.Close()
+	}
+	return t, nil
+}
+
+// AblationOrdering compares TTL label size and preprocessing time across
+// vertex-ordering strategies (hub labeling is highly order-sensitive; the
+// TTL authors ship tuned orders, we derive ours from degree statistics).
+func (w *Workspace) AblationOrdering() (*Table, error) {
+	city := w.cfg.Cities[0]
+	tt, err := ptldb.GenerateCity(city, w.cfg.Scale, w.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-ordering",
+		Title:   fmt.Sprintf("vertex-ordering sweep on %s", city),
+		Columns: []string{"ordering", "|HL|/|V|", "label tuples", "build time (s)"},
+	}
+	for _, o := range []struct {
+		name string
+		ord  order.Order
+	}{
+		{"hub-usage", order.ByHubUsage(tt, tt.NumStops()/10+32, w.cfg.Seed)},
+		{"neighbor-degree", order.ByNeighborDegree(tt)},
+		{"degree", order.ByDegree(tt)},
+		{"random", order.Random(tt.NumStops(), w.cfg.Seed)},
+	} {
+		start := time.Now()
+		labels := ttl.Build(tt, o.ord)
+		dt := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			o.name,
+			fmt.Sprintf("%d", labels.TuplesPerStop()),
+			fmt.Sprintf("%d", labels.NumTuples()),
+			fmt.Sprintf("%.2f", dt.Seconds()),
+		})
+	}
+	return t, nil
+}
+
+// AblationLayout justifies the paper's array-per-stop row design (inherited
+// from COLD): it compares fetching one stop's full label from the array
+// layout (one index descent + one wide row) against a normalized
+// tuple-per-row layout (one descent + a leaf range scan + many small rows)
+// at the storage level, on the simulated HDD with a cold cache per batch.
+func (w *Workspace) AblationLayout() (*Table, error) {
+	city := w.cfg.Cities[0]
+	tt, err := ptldb.GenerateCity(city, w.cfg.Scale, w.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	labels := ttl.Build(tt, order.ByNeighborDegree(tt)).Augment()
+
+	dir, err := os.MkdirTemp(w.cfg.CacheDir, "layout")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var clock storage.Clock
+	pool := storage.NewPool(65536)
+	open := func(name string) (*storage.PagedFile, error) {
+		f, err := storage.OpenPagedFile(filepath.Join(dir, name), storage.HDD, &clock)
+		if err != nil {
+			return nil, err
+		}
+		pool.Register(f)
+		return f, nil
+	}
+
+	// Array layout: key = (v, 0), one encoded row with three arrays.
+	arrHeapF, err := open("arr.heap")
+	if err != nil {
+		return nil, err
+	}
+	defer arrHeapF.Close()
+	arrIdxF, err := open("arr.idx")
+	if err != nil {
+		return nil, err
+	}
+	defer arrIdxF.Close()
+	arrHeap, err := storage.OpenRowStore(arrHeapF, pool)
+	if err != nil {
+		return nil, err
+	}
+	arrIdx, err := storage.OpenBTree(arrIdxF, pool)
+	if err != nil {
+		return nil, err
+	}
+
+	// Flat layout: key = (v, seq), one small row per tuple.
+	flatHeapF, err := open("flat.heap")
+	if err != nil {
+		return nil, err
+	}
+	defer flatHeapF.Close()
+	flatIdxF, err := open("flat.idx")
+	if err != nil {
+		return nil, err
+	}
+	defer flatIdxF.Close()
+	flatHeap, err := storage.OpenRowStore(flatHeapF, pool)
+	if err != nil {
+		return nil, err
+	}
+	flatIdx, err := storage.OpenBTree(flatIdxF, pool)
+	if err != nil {
+		return nil, err
+	}
+
+	for v := 0; v < labels.NumStops(); v++ {
+		lab := labels.Out[v]
+		hubs := make([]int64, len(lab))
+		tds := make([]int64, len(lab))
+		tas := make([]int64, len(lab))
+		for i, tup := range lab {
+			hubs[i], tds[i], tas[i] = int64(tup.Hub), int64(tup.Dep), int64(tup.Arr)
+		}
+		row := sqltypes.Row{sqltypes.NewInt(int64(v)),
+			sqltypes.NewIntArray(hubs), sqltypes.NewIntArray(tds), sqltypes.NewIntArray(tas)}
+		loc, err := arrHeap.Append(sqltypes.EncodeRow(nil, row))
+		if err != nil {
+			return nil, err
+		}
+		if err := arrIdx.Insert(storage.Key{int64(v), 0}, loc); err != nil {
+			return nil, err
+		}
+		for i, tup := range lab {
+			small := sqltypes.Row{sqltypes.NewInt(int64(tup.Hub)),
+				sqltypes.NewInt(int64(tup.Dep)), sqltypes.NewInt(int64(tup.Arr))}
+			loc, err := flatHeap.Append(sqltypes.EncodeRow(nil, small))
+			if err != nil {
+				return nil, err
+			}
+			if err := flatIdx.Insert(storage.Key{int64(v), int64(i)}, loc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(w.cfg.Seed))
+	n := w.cfg.Queries
+	stops := make([]int64, n)
+	for i := range stops {
+		stops[i] = int64(rng.Intn(labels.NumStops()))
+	}
+
+	measure := func(fetch func(v int64) error) (time.Duration, error) {
+		if err := pool.DropCaches(); err != nil {
+			return 0, err
+		}
+		clock.Reset()
+		start := time.Now()
+		for _, v := range stops {
+			if err := fetch(v); err != nil {
+				return 0, err
+			}
+		}
+		return (time.Since(start) + clock.Elapsed()) / time.Duration(n), nil
+	}
+
+	arrTime, err := measure(func(v int64) error {
+		loc, ok, err := arrIdx.Get(storage.Key{v, 0})
+		if err != nil || !ok {
+			return fmt.Errorf("array row for %d: %v %v", v, ok, err)
+		}
+		data, err := arrHeap.Read(loc)
+		if err != nil {
+			return err
+		}
+		_, err = sqltypes.DecodeRow(data)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	flatTime, err := measure(func(v int64) error {
+		cur, err := flatIdx.Seek(storage.Key{v, 0})
+		if err != nil {
+			return err
+		}
+		defer cur.Close()
+		for cur.Valid() && cur.Key()[0] == v {
+			data, err := flatHeap.Read(cur.Locator())
+			if err != nil {
+				return err
+			}
+			if _, err := sqltypes.DecodeRow(data); err != nil {
+				return err
+			}
+			if err := cur.Next(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	avgLabel := labels.NumTuples() / (2 * labels.NumStops())
+	return &Table{
+		ID:      "ablation-layout",
+		Title:   fmt.Sprintf("row layout: array-per-stop vs tuple-per-row on %s (fetch one stop's L_out, HDD, cold)", city),
+		Columns: []string{"layout", "avg fetch", "notes"},
+		Rows: [][]string{
+			{"array (PTLDB/COLD)", ms(arrTime), "1 index probe + 1 wide row"},
+			{"tuple-per-row", ms(flatTime), fmt.Sprintf("1 probe + ~%d-entry leaf scan + %d small rows", avgLabel, avgLabel)},
+		},
+		Notes: []string{"Motivates the paper's array columns: per-stop labels are fetched with minimal page reads.",
+			fmt.Sprintf("array layout %s faster on cold HDD.", speedup(flatTime, arrTime))},
+	}, nil
+}
+
+// AblationEngine positions PTLDB between the in-memory alternatives the
+// paper references: the Connection Scan Algorithm (a pre-TTL main-memory
+// baseline), the TTL labels queried in memory (the paper cites < 30 µs), and
+// PTLDB's SQL over the simulated SSD. The gap between the last two is the
+// price of the database layer — the paper's trade for multi-user
+// deployability.
+func (w *Workspace) AblationEngine() (*Table, error) {
+	city := w.cfg.Cities[0]
+	ds, err := w.Dataset(city)
+	if err != nil {
+		return nil, err
+	}
+	tt := ds.TT
+	labels := ttl.Build(tt, order.ByNeighborDegree(tt)).Augment()
+	db, err := w.Open(ds, "ssd")
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	wl := w.NewWorkload(ds, w.cfg.Queries)
+	n := w.cfg.Queries
+	measure := func(fn func(i int)) time.Duration {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return time.Since(start) / time.Duration(n)
+	}
+	csaEA := measure(func(i int) {
+		csa.EarliestArrival(tt, wl.Sources[i], wl.Goals[i], wl.Starts[i])
+	})
+	ttlEA := measure(func(i int) {
+		labels.EarliestArrival(wl.Sources[i], wl.Goals[i], wl.Starts[i])
+	})
+	dbEA, err := MeasureQueries(db, n, func(i int) error {
+		_, _, err := db.EarliestArrival(wl.Sources[i], wl.Goals[i], wl.Starts[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		ID:      "ablation-engine",
+		Title:   fmt.Sprintf("EA engines on %s: main-memory baselines vs PTLDB (SSD)", city),
+		Columns: []string{"engine", "avg EA query", "vs TTL in-memory"},
+		Rows: [][]string{
+			{"Connection Scan (memory)", ms(csaEA), speedup(csaEA, ttlEA)},
+			{"TTL labels (memory)", ms(ttlEA), "1.0x"},
+			{"PTLDB SQL (SSD sim)", ms(dbEA), speedup(dbEA, ttlEA)},
+		},
+		Notes: []string{
+			"The paper cites TTL answering in-memory queries in < 30 us and pre-TTL memory solutions needing a few ms;",
+			"PTLDB accepts a constant-factor slowdown for database deployability (Section 4.1.1).",
+		},
+	}, nil
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyWorkspace(t *testing.T) *Workspace {
+	t.Helper()
+	w, err := NewWorkspace(Config{
+		Scale:    0.005,
+		Cities:   []string{"Austin", "Salt Lake City"},
+		Queries:  5,
+		Seed:     3,
+		CacheDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorkspaceValidation(t *testing.T) {
+	if _, err := NewWorkspace(Config{Scale: 2}); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+	if _, err := NewWorkspace(Config{Cities: []string{"Gotham"}}); err == nil {
+		t.Error("unknown city accepted")
+	}
+	w, err := NewWorkspace(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Config().Cities) != 11 || w.Config().Queries != 200 {
+		t.Errorf("defaults: %+v", w.Config())
+	}
+}
+
+func TestWorkloadProtocol(t *testing.T) {
+	w := tinyWorkspace(t)
+	ds, err := w.Dataset("Austin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := w.NewWorkload(ds, 50)
+	min, span := ds.TT.MinTime(), ds.TT.Span()
+	for i := range wl.Sources {
+		if wl.Sources[i] == wl.Goals[i] {
+			t.Error("source equals goal")
+		}
+		if wl.Starts[i] < min || wl.Starts[i] > min+span/4 {
+			t.Errorf("start %v outside first quarter [%v, %v]", wl.Starts[i], min, min+span/4)
+		}
+		if wl.Ends[i] < min+span*3/4 || wl.Ends[i] > min+span {
+			t.Errorf("end %v outside fourth quarter", wl.Ends[i])
+		}
+	}
+}
+
+func TestDatasetCaching(t *testing.T) {
+	w := tinyWorkspace(t)
+	ds, err := w.Dataset("Austin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.built {
+		t.Fatal("first build not marked built")
+	}
+	// A fresh workspace over the same cache dir must reuse the database.
+	w2, err := NewWorkspace(w.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := w2.Dataset("Austin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.built {
+		t.Error("cached dataset was rebuilt")
+	}
+}
+
+// TestAllExperimentsRun executes every experiment end to end at tiny scale
+// and sanity-checks the rendered tables.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny-scale experiment sweep is still a few seconds")
+	}
+	w := tinyWorkspace(t)
+	for _, id := range ExperimentIDs {
+		tbl, err := w.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 || len(tbl.Columns) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		var sb strings.Builder
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatalf("%s: render: %v", id, err)
+		}
+		if !strings.Contains(sb.String(), tbl.Title) {
+			t.Errorf("%s: render lacks title", id)
+		}
+	}
+	if _, err := w.Run("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestMeasureQueriesChargesIO(t *testing.T) {
+	w := tinyWorkspace(t)
+	ds, err := w.Dataset("Austin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := w.Open(ds, "hdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	wl := w.NewWorkload(ds, 3)
+	avg, err := MeasureQueries(db, 3, func(i int) error {
+		_, _, err := db.EarliestArrival(wl.Sources[i], wl.Goals[i], wl.Starts[i])
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cold HDD query must cost at least one simulated random read (12ms).
+	if avg < 4*time.Millisecond {
+		t.Errorf("avg cold HDD v2v query %v implausibly fast", avg)
+	}
+}

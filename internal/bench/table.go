@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // experiment id, e.g. "fig2"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	// ChartCols lists column indexes holding millisecond values; when set,
+	// Render appends a log-scale bar chart (the paper plots these figures on
+	// logarithmic axes).
+	ChartCols []int
+}
+
+// Render pretty-prints the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		b.WriteString("|")
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, " %-*s |", widths[i], cell)
+		}
+		b.WriteString("\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	var sep []string
+	for _, width := range widths {
+		sep = append(sep, strings.Repeat("-", width))
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	if len(t.ChartCols) > 0 {
+		if err := t.renderChart(w, widths); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// renderChart draws one log-scale bar per (row, chart column), labelled with
+// the non-chart columns.
+func (t *Table) renderChart(w io.Writer, widths []int) error {
+	const barWidth = 34
+	min, max := math.Inf(1), math.Inf(-1)
+	vals := make([][]float64, len(t.Rows))
+	for i, row := range t.Rows {
+		vals[i] = make([]float64, len(t.ChartCols))
+		for j, c := range t.ChartCols {
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil || v <= 0 {
+				vals[i][j] = math.NaN()
+				continue
+			}
+			vals[i][j] = v
+			min, max = math.Min(min, v), math.Max(max, v)
+		}
+	}
+	if math.IsInf(min, 1) || min == max {
+		return nil // nothing chartable
+	}
+	if _, err := fmt.Fprintf(w, "\n```\nlog scale, %.3g ms .. %.3g ms\n", min, max); err != nil {
+		return err
+	}
+	span := math.Log(max) - math.Log(min)
+	chartSet := map[int]bool{}
+	for _, c := range t.ChartCols {
+		chartSet[c] = true
+	}
+	firstChart := t.ChartCols[0]
+	for i, row := range t.Rows {
+		var label strings.Builder
+		for c, cell := range row {
+			if chartSet[c] || c >= firstChart {
+				continue // label columns precede the charted series
+			}
+			fmt.Fprintf(&label, "%-*s ", widths[c], cell)
+		}
+		for j, c := range t.ChartCols {
+			v := vals[i][j]
+			if math.IsNaN(v) {
+				continue
+			}
+			n := 1 + int((math.Log(v)-math.Log(min))/span*float64(barWidth-1))
+			if _, err := fmt.Fprintf(w, "%s%-8s %-*s %s ms\n",
+				label.String(), t.Columns[c], barWidth, strings.Repeat("#", n), row[c]); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "```")
+	return err
+}
+
+// ms renders a duration in milliseconds with adaptive precision.
+func ms(d time.Duration) string {
+	v := float64(d) / float64(time.Millisecond)
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// speedup renders a ratio like "12.3x".
+func speedup(slow, fast time.Duration) string {
+	if fast <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", float64(slow)/float64(fast))
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRenderWithChart(t *testing.T) {
+	tbl := &Table{
+		ID:        "figX",
+		Title:     "test figure",
+		Columns:   []string{"Graph", "EA", "LD"},
+		ChartCols: []int{1, 2},
+		Rows: [][]string{
+			{"CityA", "1.50", "12.0"},
+			{"CityB", "120", "0.90"},
+		},
+		Notes: []string{"a note"},
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## figX", "| CityA", "log scale", "#", "> a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(out, "\n")
+	longest, longestVal := 0, ""
+	for _, l := range lines {
+		if n := strings.Count(l, "#"); n > longest {
+			longest, longestVal = n, l
+		}
+	}
+	if !strings.Contains(longestVal, "120") {
+		t.Errorf("longest bar is not the max value: %q", longestVal)
+	}
+}
+
+func TestTableRenderNoChartForFlatValues(t *testing.T) {
+	tbl := &Table{
+		ID: "flat", Title: "flat", Columns: []string{"a", "v"},
+		ChartCols: []int{1},
+		Rows:      [][]string{{"x", "5.00"}, {"y", "5.00"}},
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "log scale") {
+		t.Error("chart rendered for constant values")
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want string
+	}{
+		{500 * time.Microsecond, "0.500"},
+		{2500 * time.Microsecond, "2.50"},
+		{250 * time.Millisecond, "250"},
+	}
+	for _, c := range cases {
+		if got := ms(c.in); got != c.want {
+			t.Errorf("ms(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSpeedupFormatting(t *testing.T) {
+	if got := speedup(100*time.Millisecond, 10*time.Millisecond); got != "10.0x" {
+		t.Errorf("speedup = %q", got)
+	}
+	if got := speedup(time.Second, 0); got != "-" {
+		t.Errorf("speedup by zero = %q", got)
+	}
+}

@@ -1,0 +1,384 @@
+// Package core implements PTLDB (Public Transportation Labels on the
+// DataBase), the paper's primary contribution: TTL hub labels stored in
+// relational tables and queried with plain SQL.
+//
+// A Store wraps one database directory holding, per timetable version (the
+// base version uses the paper's plain table names; named versions — paper
+// Section 3.1's weekday/weekend sets — carry a __<version> suffix):
+//
+//   - lout, lin — one row per stop with the augmented label arrays (hubs,
+//     tds, tas) sorted by (hub, t_d); primary key v (paper Section 3.1);
+//   - per registered target set S: ea_knn_naive_S / ld_knn_naive_S (paper
+//     Section 3.2.1, Table 4), knn_ea_S / knn_ld_S (Table 5) and otm_ea_S /
+//     otm_ld_S (Table 6);
+//   - optionally stops (stop metadata) and paths_out / paths_in (expanded
+//     journeys, paper Section 3.1's deployment suggestion);
+//   - ptldb_meta — a single-row JSON blob with network metadata, versions
+//     and the registered target sets.
+//
+// Every query method executes one of the paper's SQL Codes 1–4 against the
+// embedded engine.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+
+	"ptldb/internal/sqldb"
+	"ptldb/internal/sqldb/sqltypes"
+	"ptldb/internal/timetable"
+	"ptldb/internal/ttl"
+)
+
+// DefaultBucketSeconds is the paper's grouping granularity for the knn_* and
+// otm_* tables: one hour (Section 3.2.1 discusses the trade-off).
+const DefaultBucketSeconds = 3600
+
+// Meta is the store-level metadata persisted in the ptldb_meta table.
+type Meta struct {
+	Stops         int                     `json:"stops"`
+	BucketSeconds int32                   `json:"bucket_seconds"`
+	Versions      map[string]*VersionMeta `json:"versions"`
+}
+
+// BaseVersion names the timetable version created by Build. Its tables use
+// the paper's plain names (lout, lin, knn_ea_<set>, ...); additional
+// versions — the paper's weekday/weekend/holiday table sets of Section 3.1 —
+// suffix every table with the version name.
+const BaseVersion = "base"
+
+// VersionMeta describes one timetable version (e.g. "base", "weekend").
+type VersionMeta struct {
+	MinTime    timetable.Time           `json:"min_time"`
+	MaxTime    timetable.Time           `json:"max_time"`
+	TargetSets map[string]TargetSetMeta `json:"target_sets"`
+}
+
+// TargetSetMeta describes one registered target set.
+type TargetSetMeta struct {
+	KMax    int     `json:"kmax"`
+	Targets []int32 `json:"targets"`
+}
+
+// Result is one kNN or one-to-many answer: a target stop and the optimal
+// criterion value (arrival time for EA queries, departure time for LD).
+type Result struct {
+	Stop timetable.StopID
+	When timetable.Time
+}
+
+// Store is an open PTLDB database, bound to one timetable version (the base
+// version unless Version was used).
+type Store struct {
+	DB      *sqldb.DB
+	meta    Meta
+	version string
+}
+
+// vm returns the metadata of the bound version.
+func (s *Store) vm() *VersionMeta { return s.meta.Versions[s.version] }
+
+// tableSuffix returns the version suffix of physical table names.
+func (s *Store) tableSuffix() string {
+	if s.version == BaseVersion {
+		return ""
+	}
+	return "__" + s.version
+}
+
+// loutTable and linTable name the label tables of the bound version.
+func (s *Store) loutTable() string { return "lout" + s.tableSuffix() }
+func (s *Store) linTable() string  { return "lin" + s.tableSuffix() }
+
+// setTable names a per-target-set auxiliary table of the bound version.
+func (s *Store) setTable(prefix, set string) string { return prefix + "_" + set + s.tableSuffix() }
+
+// Version returns a view of the store bound to the named timetable version.
+func (s *Store) Version(name string) (*Store, error) {
+	if _, ok := s.meta.Versions[name]; !ok {
+		return nil, fmt.Errorf("core: unknown version %q", name)
+	}
+	v := *s
+	v.version = name
+	return &v, nil
+}
+
+// Versions lists the available timetable versions.
+func (s *Store) Versions() []string {
+	out := make([]string, 0, len(s.meta.Versions))
+	for v := range s.meta.Versions {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddVersion loads a second timetable's labels (e.g. the weekend schedule)
+// as a new version: paper Section 3.1's "different versions of the lout and
+// lin DB tables, for servicing each different period". The labels must
+// cover the same stop set.
+func (s *Store) AddVersion(name string, labels *ttl.Labels) error {
+	if !setNameRE.MatchString(name) || name == BaseVersion {
+		return fmt.Errorf("core: invalid version name %q", name)
+	}
+	if _, dup := s.meta.Versions[name]; dup {
+		return fmt.Errorf("core: version %q already exists", name)
+	}
+	if labels.NumStops() != s.meta.Stops {
+		return fmt.Errorf("core: version has %d stops, store has %d", labels.NumStops(), s.meta.Stops)
+	}
+	if !labels.Augmented {
+		labels = labels.Clone().Augment()
+	}
+	vm := &VersionMeta{MinTime: timetable.Infinity, MaxTime: timetable.NegInfinity,
+		TargetSets: map[string]TargetSetMeta{}}
+	if err := s.loadLabelTable("lout__"+name, labels.Out, vm); err != nil {
+		return err
+	}
+	if err := s.loadLabelTable("lin__"+name, labels.In, vm); err != nil {
+		return err
+	}
+	if vm.MinTime == timetable.Infinity {
+		vm.MinTime, vm.MaxTime = 0, 0
+	}
+	s.meta.Versions[name] = vm
+	return s.saveMeta()
+}
+
+var setNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// BuildOptions configures Build.
+type BuildOptions struct {
+	// BucketSeconds is the knn/otm grouping granularity (default one hour).
+	BucketSeconds int32
+	// Stops, when non-nil, populates a stops(v, name, lat, lon) metadata
+	// table so applications can resolve stop names and coordinates with
+	// SQL.
+	Stops []timetable.Stop
+}
+
+// Build creates the lout and lin tables from TTL labels inside an empty
+// database, plus a stops metadata table when a timetable is supplied via
+// BuildOptions. The labels are augmented with the paper's dummy tuples if
+// they are not already.
+func Build(db *sqldb.DB, labels *ttl.Labels, opts BuildOptions) (*Store, error) {
+	if opts.BucketSeconds == 0 {
+		opts.BucketSeconds = DefaultBucketSeconds
+	}
+	if opts.BucketSeconds < 0 {
+		return nil, fmt.Errorf("core: negative bucket width")
+	}
+	if !labels.Augmented {
+		labels = labels.Clone().Augment()
+	}
+	base := &VersionMeta{MinTime: timetable.Infinity, MaxTime: timetable.NegInfinity,
+		TargetSets: map[string]TargetSetMeta{}}
+	s := &Store{
+		DB: db,
+		meta: Meta{
+			Stops:         labels.NumStops(),
+			BucketSeconds: opts.BucketSeconds,
+			Versions:      map[string]*VersionMeta{BaseVersion: base},
+		},
+		version: BaseVersion,
+	}
+	if err := s.loadLabelTable("lout", labels.Out, base); err != nil {
+		return nil, err
+	}
+	if err := s.loadLabelTable("lin", labels.In, base); err != nil {
+		return nil, err
+	}
+	if base.MinTime == timetable.Infinity {
+		base.MinTime, base.MaxTime = 0, 0
+	}
+
+	if opts.Stops != nil {
+		stopsTbl, err := db.CreateTable(sqldb.TableDef{
+			Name: "stops",
+			PK:   []string{"v"},
+			Columns: []sqldb.ColumnDef{
+				{Name: "v", Type: sqltypes.Int64},
+				{Name: "name", Type: sqltypes.Text},
+				{Name: "lat", Type: sqltypes.Float64},
+				{Name: "lon", Type: sqltypes.Float64},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, stop := range opts.Stops {
+			err := stopsTbl.Insert(sqltypes.Row{
+				sqltypes.NewInt(int64(stop.ID)),
+				sqltypes.NewText(stop.Name),
+				sqltypes.NewFloat(stop.Lat),
+				sqltypes.NewFloat(stop.Lon),
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	metaTbl, err := db.CreateTable(sqldb.TableDef{
+		Name: "ptldb_meta",
+		PK:   []string{"id"},
+		Columns: []sqldb.ColumnDef{
+			{Name: "id", Type: sqltypes.Int64},
+			{Name: "payload", Type: sqltypes.Text},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	blob, err := json.Marshal(s.meta)
+	if err != nil {
+		return nil, err
+	}
+	if err := metaTbl.Insert(sqltypes.Row{sqltypes.NewInt(0), sqltypes.NewText(string(blob))}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadLabelTable bulk-loads one label side into a table, folding the time
+// range into vm.
+func (s *Store) loadLabelTable(name string, side [][]ttl.Tuple, vm *VersionMeta) error {
+	tbl, err := s.DB.CreateTable(sqldb.TableDef{
+		Name: name,
+		PK:   []string{"v"},
+		Columns: []sqldb.ColumnDef{
+			{Name: "v", Type: sqltypes.Int64},
+			{Name: "hubs", Type: sqltypes.IntArray},
+			{Name: "tds", Type: sqltypes.IntArray},
+			{Name: "tas", Type: sqltypes.IntArray},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for v, label := range side {
+		hubs := make([]int64, len(label))
+		tds := make([]int64, len(label))
+		tas := make([]int64, len(label))
+		for i, t := range label {
+			hubs[i], tds[i], tas[i] = int64(t.Hub), int64(t.Dep), int64(t.Arr)
+			if t.Dep < vm.MinTime {
+				vm.MinTime = t.Dep
+			}
+			if t.Arr > vm.MaxTime {
+				vm.MaxTime = t.Arr
+			}
+		}
+		err := tbl.Insert(sqltypes.Row{
+			sqltypes.NewInt(int64(v)),
+			sqltypes.NewIntArray(hubs),
+			sqltypes.NewIntArray(tds),
+			sqltypes.NewIntArray(tas),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open attaches to a previously built PTLDB database.
+func Open(db *sqldb.DB) (*Store, error) {
+	rel, err := db.Query("SELECT payload FROM ptldb_meta WHERE id = 0")
+	if err != nil {
+		return nil, fmt.Errorf("core: not a PTLDB database: %w", err)
+	}
+	if len(rel.Rows) != 1 {
+		return nil, fmt.Errorf("core: ptldb_meta has %d rows, want 1", len(rel.Rows))
+	}
+	var meta Meta
+	if err := json.Unmarshal([]byte(rel.Rows[0][0].S), &meta); err != nil {
+		return nil, fmt.Errorf("core: corrupt meta: %w", err)
+	}
+	if meta.Versions == nil || meta.Versions[BaseVersion] == nil {
+		// Databases written before the multi-version format carried the base
+		// version's fields at the top level; migrate them in place.
+		var legacy struct {
+			MinTime    timetable.Time           `json:"min_time"`
+			MaxTime    timetable.Time           `json:"max_time"`
+			TargetSets map[string]TargetSetMeta `json:"target_sets"`
+		}
+		if err := json.Unmarshal([]byte(rel.Rows[0][0].S), &legacy); err != nil {
+			return nil, fmt.Errorf("core: corrupt legacy meta: %w", err)
+		}
+		if legacy.TargetSets == nil {
+			legacy.TargetSets = map[string]TargetSetMeta{}
+		}
+		meta.Versions = map[string]*VersionMeta{BaseVersion: {
+			MinTime:    legacy.MinTime,
+			MaxTime:    legacy.MaxTime,
+			TargetSets: legacy.TargetSets,
+		}}
+	}
+	return &Store{DB: db, meta: meta, version: BaseVersion}, nil
+}
+
+// Meta returns the store metadata.
+func (s *Store) Meta() Meta { return s.meta }
+
+// TargetSet returns the metadata of a target set registered under the bound
+// version.
+func (s *Store) TargetSet(name string) (TargetSetMeta, bool) {
+	ts, ok := s.vm().TargetSets[name]
+	return ts, ok
+}
+
+// TargetSets returns the target sets of the bound version.
+func (s *Store) TargetSets() map[string]TargetSetMeta { return s.vm().TargetSets }
+
+func (s *Store) saveMeta() error {
+	blob, err := json.Marshal(s.meta)
+	if err != nil {
+		return err
+	}
+	// The meta row is replaced in place via the PK index (the heap is
+	// append-only; the stale payload is simply unreferenced).
+	tbl, ok := s.DB.Table("ptldb_meta")
+	if !ok {
+		return fmt.Errorf("core: ptldb_meta table missing")
+	}
+	return tbl.ReplaceByPK(sqltypes.Row{sqltypes.NewInt(0), sqltypes.NewText(string(blob))})
+}
+
+// Stop returns the stored metadata of one stop (requires the stops table).
+func (s *Store) Stop(v timetable.StopID) (timetable.Stop, bool, error) {
+	tbl, ok := s.DB.Table("stops")
+	if !ok {
+		return timetable.Stop{}, false, fmt.Errorf("core: stops table not built")
+	}
+	row, found, err := tbl.LookupPK([]int64{int64(v)})
+	if err != nil || !found {
+		return timetable.Stop{}, false, err
+	}
+	return timetable.Stop{
+		ID:   timetable.StopID(row[0].I),
+		Name: row[1].S,
+		Lat:  row[2].F,
+		Lon:  row[3].F,
+	}, true, nil
+}
+
+// hour returns the bucket index of t under the store's bucket width.
+func (s *Store) hour(t timetable.Time) int64 {
+	return int64(t) / int64(s.meta.BucketSeconds)
+}
+
+// sortedCopy returns targets sorted ascending with duplicates removed.
+func sortedCopy(targets []timetable.StopID) []timetable.StopID {
+	out := append([]timetable.StopID(nil), targets...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}

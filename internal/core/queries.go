@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+
+	"ptldb/internal/sqldb/exec"
+	"ptldb/internal/sqldb/sqltypes"
+	"ptldb/internal/timetable"
+)
+
+// The SQL below is the paper's Codes 1–4, with positional parameters in
+// place of the inline s, g, t, k values and the table names / bucket width
+// interpolated at statement-build time. Each variant the paper derives by
+// "choosing between lines" is spelled out as its own constant.
+
+// Code 1 — vertex-to-vertex queries. %[1]s = lout table, %[2]s = lin
+// table. $1 = s, $2 = g, then the timestamps.
+const (
+	sqlV2VEA = `
+WITH outp AS
+  (SELECT UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+   FROM %[1]s WHERE v=$1),
+inp AS
+  (SELECT UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+   FROM %[2]s WHERE v=$2)
+SELECT MIN(inp.ta)
+FROM outp, inp
+WHERE outp.hub=inp.hub AND outp.ta<=inp.td
+  AND outp.td>=$3`
+
+	sqlV2VLD = `
+WITH outp AS
+  (SELECT UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+   FROM %[1]s WHERE v=$1),
+inp AS
+  (SELECT UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+   FROM %[2]s WHERE v=$2)
+SELECT MAX(outp.td)
+FROM outp, inp
+WHERE outp.hub=inp.hub AND outp.ta<=inp.td
+  AND inp.ta<=$3`
+
+	sqlV2VSD = `
+WITH outp AS
+  (SELECT UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+   FROM %[1]s WHERE v=$1),
+inp AS
+  (SELECT UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+   FROM %[2]s WHERE v=$2)
+SELECT MIN(inp.ta-outp.td)
+FROM outp, inp
+WHERE outp.hub=inp.hub AND outp.ta<=inp.td
+  AND outp.td>=$3
+  AND inp.ta<=$4`
+)
+
+// Code 2 — naive kNN. %[1]s = naive table, %[2]s = lout table. $1 = q, $2 = t, $3 = k (EA);
+// $1 = q, $2 = t, $3 = k (LD, with t bounding arrivals).
+const (
+	sqlKNNNaiveEA = `
+WITH n1 AS
+  (SELECT v, hub, td, ta
+   FROM
+     (SELECT v AS v, UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+      FROM %[2]s
+      WHERE v=$1) n1a
+   WHERE td >=$2)
+SELECT v2, MIN(n2.ta)
+FROM n1,
+  (SELECT hub, td, UNNEST(vs[1:$3]) AS v2, UNNEST(tas[1:$3]) AS ta
+   FROM %[1]s) n2
+WHERE n1.hub=n2.hub
+  AND n2.td>=n1.ta
+GROUP BY v2
+ORDER BY MIN(n2.ta), v2
+LIMIT $3`
+
+	// The LD analogue the paper benchmarks in Figure 3 but does not print:
+	// the departure from q is maximized subject to arriving by $2.
+	sqlKNNNaiveLD = `
+WITH n1 AS
+  (SELECT v, hub, td, ta
+   FROM
+     (SELECT v AS v, UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+      FROM %[2]s
+      WHERE v=$1) n1a)
+SELECT v2, MAX(n1.td)
+FROM n1,
+  (SELECT hub, td, UNNEST(vs[1:$3]) AS v2, UNNEST(tas[1:$3]) AS ta
+   FROM %[1]s) n2
+WHERE n1.hub=n2.hub
+  AND n2.td>=n1.ta
+  AND n2.ta<=$2
+GROUP BY v2
+ORDER BY MAX(n1.td) DESC, v2
+LIMIT $3`
+)
+
+// Code 3 — optimized EA-kNN and EA-OTM. %[1]s = knn_ea/otm_ea table,
+// %[2]d = bucket width, %[3]s = lout table. $1 = q, $2 = t, $3 = k (kNN only).
+const (
+	sqlKNNEA = `
+WITH n1 AS
+  (SELECT v, hub, td, ta
+   FROM
+     (SELECT v, UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+      FROM %[3]s
+      WHERE v=$1) n1a
+   WHERE td >=$2),
+    n1b AS
+  (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
+   FROM %[1]s n1bb, n1
+   WHERE n1bb.hub=n1.hub
+     AND n1bb.dephour=FLOOR(n1.ta/%[2]d))
+SELECT v2, MIN(ta)
+FROM (
+      (SELECT v2, MIN(n3.ta) AS ta
+       FROM
+          (SELECT UNNEST(tas[1:$3]) AS ta, UNNEST(vs[1:$3]) AS v2
+           FROM n1b) n3
+       GROUP BY v2
+       ORDER BY MIN(n3.ta), v2
+       LIMIT $3)
+   UNION
+      (SELECT n2.v2, MIN(n2.ta) AS ta
+       FROM
+          (SELECT n1_ta, UNNEST(tds_exp) AS td, UNNEST(vs_exp) AS v2, UNNEST(tas_exp) AS ta
+           FROM n1b) n2
+       WHERE n1_ta <= n2.td
+       GROUP BY n2.v2
+       ORDER BY MIN(n2.ta), v2
+       LIMIT $3)) S53
+GROUP BY v2
+ORDER BY MIN(ta), v2
+LIMIT $3`
+
+	sqlOTMEA = `
+WITH n1 AS
+  (SELECT v, hub, td, ta
+   FROM
+     (SELECT v, UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+      FROM %[3]s
+      WHERE v=$1) n1a
+   WHERE td >=$2),
+    n1b AS
+  (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
+   FROM %[1]s n1bb, n1
+   WHERE n1bb.hub=n1.hub
+     AND n1bb.dephour=FLOOR(n1.ta/%[2]d))
+SELECT v2, MIN(ta)
+FROM (
+      (SELECT v2, MIN(n3.ta) AS ta
+       FROM
+          (SELECT UNNEST(tas) AS ta, UNNEST(vs) AS v2
+           FROM n1b) n3
+       GROUP BY v2
+       ORDER BY MIN(n3.ta), v2)
+   UNION
+      (SELECT n2.v2, MIN(n2.ta) AS ta
+       FROM
+          (SELECT n1_ta, UNNEST(tds_exp) AS td, UNNEST(vs_exp) AS v2, UNNEST(tas_exp) AS ta
+           FROM n1b) n2
+       WHERE n1_ta <= n2.td
+       GROUP BY n2.v2
+       ORDER BY MIN(n2.ta), v2)) S53
+GROUP BY v2
+ORDER BY MIN(ta), v2`
+)
+
+// Code 4 — optimized LD-kNN and LD-OTM. %[1]s = knn_ld/otm_ld table,
+// %[2]d = bucket width, %[3]s = lout table. $1 = q, $2 = t, $3 = k (kNN only).
+const (
+	sqlKNNLD = `
+WITH n1 AS
+  (SELECT v, hub, td, ta
+   FROM
+     (SELECT v, UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+      FROM %[3]s
+      WHERE v=$1) n1a),
+    n1b AS
+  (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
+   FROM %[1]s n1bb, n1
+   WHERE n1bb.hub=n1.hub
+     AND n1bb.arrhour=FLOOR($2/%[2]d))
+SELECT v2, MAX(td)
+FROM (
+      (SELECT v2, MAX(n3.n1_td) AS td
+       FROM
+          (SELECT n1_td, n1_ta, UNNEST(tds[1:$3]) AS td, UNNEST(vs[1:$3]) AS v2
+           FROM n1b) n3
+       WHERE n3.td>=n1_ta
+       GROUP BY v2
+       ORDER BY MAX(n3.n1_td) DESC, v2
+       LIMIT $3)
+   UNION
+      (SELECT n2.v2, MAX(n2.n1_td) AS td
+       FROM
+          (SELECT n1_td, n1_ta, UNNEST(tds_exp) AS td, UNNEST(vs_exp) AS v2, UNNEST(tas_exp) AS ta
+           FROM n1b) n2
+       WHERE n2.td>=n1_ta
+         AND n2.ta<=$2
+       GROUP BY n2.v2
+       ORDER BY MAX(n2.n1_td) DESC, v2
+       LIMIT $3)) S53
+GROUP BY v2
+ORDER BY MAX(td) DESC, v2
+LIMIT $3`
+
+	sqlOTMLD = `
+WITH n1 AS
+  (SELECT v, hub, td, ta
+   FROM
+     (SELECT v, UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+      FROM %[3]s
+      WHERE v=$1) n1a),
+    n1b AS
+  (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
+   FROM %[1]s n1bb, n1
+   WHERE n1bb.hub=n1.hub
+     AND n1bb.arrhour=FLOOR($2/%[2]d))
+SELECT v2, MAX(td)
+FROM (
+      (SELECT v2, MAX(n3.n1_td) AS td
+       FROM
+          (SELECT n1_td, n1_ta, UNNEST(tds) AS td, UNNEST(vs) AS v2
+           FROM n1b) n3
+       WHERE n3.td>=n1_ta
+       GROUP BY v2
+       ORDER BY MAX(n3.n1_td) DESC, v2)
+   UNION
+      (SELECT n2.v2, MAX(n2.n1_td) AS td
+       FROM
+          (SELECT n1_td, n1_ta, UNNEST(tds_exp) AS td, UNNEST(vs_exp) AS v2, UNNEST(tas_exp) AS ta
+           FROM n1b) n2
+       WHERE n2.td>=n1_ta
+         AND n2.ta<=$2
+       GROUP BY n2.v2
+       ORDER BY MAX(n2.n1_td) DESC, v2)) S53
+GROUP BY v2
+ORDER BY MAX(td) DESC, v2`
+)
+
+// queryScalar runs a statement whose result is a single one-column row.
+func (s *Store) queryScalar(q string, params ...sqltypes.Value) (timetable.Time, bool, error) {
+	rel, err := s.DB.Query(q, params...)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(rel.Rows) != 1 || len(rel.Rows[0]) != 1 {
+		return 0, false, fmt.Errorf("core: scalar query returned %d rows", len(rel.Rows))
+	}
+	v := rel.Rows[0][0]
+	if v.IsNull() {
+		return 0, false, nil
+	}
+	n, err := v.AsInt()
+	if err != nil {
+		return 0, false, err
+	}
+	return timetable.Time(n), true, nil
+}
+
+// EarliestArrival answers EA(s, g, t) with the paper's Code 1. ok is false
+// when no journey exists.
+func (s *Store) EarliestArrival(src, dst timetable.StopID, t timetable.Time) (arr timetable.Time, ok bool, err error) {
+	return s.queryScalar(fmt.Sprintf(sqlV2VEA, s.loutTable(), s.linTable()),
+		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)), sqltypes.NewInt(int64(t)))
+}
+
+// LatestDeparture answers LD(s, g, t) with Code 1.
+func (s *Store) LatestDeparture(src, dst timetable.StopID, t timetable.Time) (dep timetable.Time, ok bool, err error) {
+	return s.queryScalar(fmt.Sprintf(sqlV2VLD, s.loutTable(), s.linTable()),
+		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)), sqltypes.NewInt(int64(t)))
+}
+
+// ShortestDuration answers SD(s, g, t, tEnd) with Code 1.
+func (s *Store) ShortestDuration(src, dst timetable.StopID, t, tEnd timetable.Time) (dur timetable.Time, ok bool, err error) {
+	return s.queryScalar(fmt.Sprintf(sqlV2VSD, s.loutTable(), s.linTable()),
+		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)),
+		sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(tEnd)))
+}
+
+// queryResults runs a statement returning (stop, time) rows.
+func (s *Store) queryResults(q string, params ...sqltypes.Value) ([]Result, error) {
+	rel, err := s.DB.Query(q, params...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(rel.Rows))
+	for _, row := range rel.Rows {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("core: result query returned %d columns", len(row))
+		}
+		v, err := row[0].AsInt()
+		if err != nil {
+			return nil, err
+		}
+		w, err := row[1].AsInt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Result{Stop: timetable.StopID(v), When: timetable.Time(w)})
+	}
+	return out, nil
+}
+
+// checkK validates k against a registered target set.
+func (s *Store) checkK(set string, k int) error {
+	ts, ok := s.vm().TargetSets[set]
+	if !ok {
+		return fmt.Errorf("core: unknown target set %q", set)
+	}
+	if k < 1 || k > ts.KMax {
+		return fmt.Errorf("core: k=%d outside [1, kmax=%d] of target set %q", k, ts.KMax, set)
+	}
+	return nil
+}
+
+// EAKNNNaive answers EA-kNN(q, T, t, k) with the naive Code 2 query.
+func (s *Store) EAKNNNaive(set string, q timetable.StopID, t timetable.Time, k int) ([]Result, error) {
+	if err := s.checkK(set, k); err != nil {
+		return nil, err
+	}
+	return s.queryResults(fmt.Sprintf(sqlKNNNaiveEA, s.setTable("ea_knn_naive", set), s.loutTable()),
+		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
+}
+
+// LDKNNNaive answers LD-kNN(q, T, t, k) with the naive LD analogue of
+// Code 2.
+func (s *Store) LDKNNNaive(set string, q timetable.StopID, t timetable.Time, k int) ([]Result, error) {
+	if err := s.checkK(set, k); err != nil {
+		return nil, err
+	}
+	return s.queryResults(fmt.Sprintf(sqlKNNNaiveLD, s.setTable("ld_knn_naive", set), s.loutTable()),
+		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
+}
+
+// EAKNN answers EA-kNN(q, T, t, k) with the optimized Code 3 query.
+func (s *Store) EAKNN(set string, q timetable.StopID, t timetable.Time, k int) ([]Result, error) {
+	if err := s.checkK(set, k); err != nil {
+		return nil, err
+	}
+	return s.queryResults(fmt.Sprintf(sqlKNNEA, s.setTable("knn_ea", set), s.meta.BucketSeconds, s.loutTable()),
+		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
+}
+
+// LDKNN answers LD-kNN(q, T, t, k) with the optimized Code 4 query.
+func (s *Store) LDKNN(set string, q timetable.StopID, t timetable.Time, k int) ([]Result, error) {
+	if err := s.checkK(set, k); err != nil {
+		return nil, err
+	}
+	return s.queryResults(fmt.Sprintf(sqlKNNLD, s.setTable("knn_ld", set), s.meta.BucketSeconds, s.loutTable()),
+		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
+}
+
+// EAOTM answers EA-OTM(q, T, t) with the one-to-many variant of Code 3,
+// returning the earliest arrival for every reachable target.
+func (s *Store) EAOTM(set string, q timetable.StopID, t timetable.Time) ([]Result, error) {
+	if _, ok := s.vm().TargetSets[set]; !ok {
+		return nil, fmt.Errorf("core: unknown target set %q", set)
+	}
+	return s.queryResults(fmt.Sprintf(sqlOTMEA, s.setTable("otm_ea", set), s.meta.BucketSeconds, s.loutTable()),
+		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)))
+}
+
+// LDOTM answers LD-OTM(q, T, t) with the one-to-many variant of Code 4.
+func (s *Store) LDOTM(set string, q timetable.StopID, t timetable.Time) ([]Result, error) {
+	if _, ok := s.vm().TargetSets[set]; !ok {
+		return nil, fmt.Errorf("core: unknown target set %q", set)
+	}
+	return s.queryResults(fmt.Sprintf(sqlOTMLD, s.setTable("otm_ld", set), s.meta.BucketSeconds, s.loutTable()),
+		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)))
+}
+
+// Raw exposes the underlying relation of an arbitrary SQL query, for the
+// query CLI and tests.
+func (s *Store) Raw(q string, params ...sqltypes.Value) (*exec.Relation, error) {
+	return s.DB.Query(q, params...)
+}
+
+// RawTraced is Raw plus the access-path trace (EXPLAIN ANALYZE).
+func (s *Store) RawTraced(q string, params ...sqltypes.Value) (*exec.Relation, []string, error) {
+	return s.DB.QueryTraced(q, params...)
+}

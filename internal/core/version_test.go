@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptldb/internal/csa"
+	"ptldb/internal/order"
+	"ptldb/internal/timetable"
+	"ptldb/internal/ttl"
+)
+
+// TestVersions exercises the paper's Section 3.1 multi-period design: one
+// database holding weekday (base) and weekend timetable versions, each with
+// its own label tables and target sets.
+func TestVersions(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	weekday := randomTimetable(rng, 15, 260)
+	weekend := randomTimetable(rng, 15, 120) // sparser service
+
+	st, _ := newStore(t, weekday, order.ByDegree(weekday), BuildOptions{})
+	weekendLabels := ttl.Build(weekend, order.ByDegree(weekend)).Augment()
+	if err := st.AddVersion("weekend", weekendLabels); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := st.Versions(); len(got) != 2 || got[0] != "base" || got[1] != "weekend" {
+		t.Fatalf("Versions = %v", got)
+	}
+
+	we, err := st.Version("weekend")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every version answers with its own timetable's oracle.
+	for trial := 0; trial < 60; trial++ {
+		s := timetable.StopID(rng.Intn(15))
+		g := timetable.StopID(rng.Intn(15))
+		if s == g {
+			continue
+		}
+		tq := timetable.Time(rng.Intn(90000))
+
+		want := csa.EarliestArrival(weekday, s, g, tq)
+		got, ok, err := st.EarliestArrival(s, g, tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != (want < timetable.Infinity) || (ok && got != want) {
+			t.Fatalf("base EA(%d,%d,%v) = %v,%v want %v", s, g, tq, got, ok, want)
+		}
+
+		wantWE := csa.EarliestArrival(weekend, s, g, tq)
+		gotWE, okWE, err := we.EarliestArrival(s, g, tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okWE != (wantWE < timetable.Infinity) || (okWE && gotWE != wantWE) {
+			t.Fatalf("weekend EA(%d,%d,%v) = %v,%v want %v", s, g, tq, gotWE, okWE, wantWE)
+		}
+	}
+
+	// Target sets are per version: same name, independent tables.
+	targets := []timetable.StopID{2, 5, 9}
+	if err := st.AddTargetSet("poi", targets, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := we.AddTargetSet("poi", targets, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.TargetSets()["poi"]; !ok {
+		t.Error("base target set missing")
+	}
+	if _, ok := we.TargetSets()["poi"]; !ok {
+		t.Error("weekend target set missing")
+	}
+	weekdayLabels := ttl.Build(weekday, order.ByDegree(weekday)).Augment()
+	for trial := 0; trial < 20; trial++ {
+		q := timetable.StopID(rng.Intn(15))
+		tq := timetable.Time(rng.Intn(90000))
+		perBase := map[timetable.StopID]timetable.Time{}
+		perWE := map[timetable.StopID]timetable.Time{}
+		for _, w := range targets {
+			perBase[w] = weekdayLabels.EarliestArrivalUnified(q, w, tq)
+			perWE[w] = weekendLabels.EarliestArrivalUnified(q, w, tq)
+		}
+		gotBase, err := st.EAKNN("poi", q, tq, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkKNN(t, "base EA-kNN", gotBase, oracleKNNEA(weekdayLabels, q, targets, tq, 2), perBase)
+		gotWE, err := we.EAKNN("poi", q, tq, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkKNN(t, "weekend EA-kNN", gotWE, oracleKNNEA(weekendLabels, q, targets, tq, 2), perWE)
+	}
+}
+
+func TestVersionValidation(t *testing.T) {
+	st, _ := paperStore(t)
+	labels := ttl.Build(timetable.PaperExample(), order.Identity(7)).Augment()
+	if err := st.AddVersion("base", labels); err == nil {
+		t.Error("shadowing the base version accepted")
+	}
+	if err := st.AddVersion("Bad Name", labels); err == nil {
+		t.Error("invalid version name accepted")
+	}
+	var b timetable.Builder
+	b.AddStops(3)
+	small := ttl.Build(b.MustBuild(), order.Identity(3)).Augment()
+	if err := st.AddVersion("tiny", small); err == nil {
+		t.Error("stop-count mismatch accepted")
+	}
+	if err := st.AddVersion("sunday", labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddVersion("sunday", labels); err == nil {
+		t.Error("duplicate version accepted")
+	}
+	if _, err := st.Version("nope"); err == nil {
+		t.Error("unknown version accepted")
+	}
+	// The version survives reopening via the persisted meta.
+	st2, err := Open(st.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Version("sunday"); err != nil {
+		t.Errorf("version lost after Open: %v", err)
+	}
+}
+
+func TestDropTargetSet(t *testing.T) {
+	st, _ := paperStore(t)
+	if err := st.AddTargetSet("poi", []timetable.StopID{4, 6}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DropTargetSet("nope"); err == nil {
+		t.Error("dropping unknown set succeeded")
+	}
+	if err := st.DropTargetSet("poi"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.TargetSets()["poi"]; ok {
+		t.Error("dropped set still registered")
+	}
+	if _, err := st.EAKNN("poi", 0, 36000, 1); err == nil {
+		t.Error("query against dropped set succeeded")
+	}
+	// Rebuild with a different kmax.
+	if err := st.AddTargetSet("poi", []timetable.StopID{4, 6}, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.EAKNN("poi", 0, 36000, 4)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("rebuilt set: %v %v", got, err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package csa implements the Connection Scan Algorithm (CSA) family of
+// timetable queries. It serves two roles in this repository:
+//
+//   - an exact reference oracle against which the TTL labels and the PTLDB
+//     SQL queries are verified (machine-checked versions of the paper's
+//     Theorems 3.1.1, 3.2.1 and 3.2.2), and
+//   - the "main-memory solution" yardstick the paper's evaluation alludes to.
+//
+// The transfer model matches Timetable Labeling: changing vehicles at a stop
+// is possible whenever the arrival time is no later than the departure time
+// (no minimum transfer times, no footpaths).
+package csa
+
+import (
+	"sort"
+
+	"ptldb/internal/timetable"
+)
+
+// EarliestArrival answers EA(s, g, t): the earliest arrival time at g over
+// journeys departing s no sooner than t. It returns timetable.Infinity when
+// no such journey exists. EA(s, s, t) = t by convention (one is already
+// there).
+func EarliestArrival(tt *timetable.Timetable, s, g timetable.StopID, t timetable.Time) timetable.Time {
+	if s == g {
+		return t
+	}
+	arr := EarliestArrivalAll(tt, s, t)
+	return arr[g]
+}
+
+// EarliestArrivalAll answers the one-to-all earliest-arrival query: element v
+// of the result is EA(s, v, t) (timetable.Infinity when unreachable).
+func EarliestArrivalAll(tt *timetable.Timetable, s timetable.StopID, t timetable.Time) []timetable.Time {
+	arr := make([]timetable.Time, tt.NumStops())
+	for i := range arr {
+		arr[i] = timetable.Infinity
+	}
+	arr[s] = t
+	conns := tt.Connections()
+	// Connections are sorted by departure time: a single forward scan
+	// relaxes every reachable connection.
+	i := sort.Search(len(conns), func(i int) bool { return conns[i].Dep >= t })
+	for ; i < len(conns); i++ {
+		c := conns[i]
+		if c.Dep >= arr[c.From] && c.Arr < arr[c.To] {
+			arr[c.To] = c.Arr
+		}
+	}
+	return arr
+}
+
+// LatestDeparture answers LD(s, g, t): the latest departure time from s over
+// journeys arriving at g no later than t. It returns timetable.NegInfinity
+// when no such journey exists. LD(s, s, t) = t by convention.
+func LatestDeparture(tt *timetable.Timetable, s, g timetable.StopID, t timetable.Time) timetable.Time {
+	if s == g {
+		return t
+	}
+	dep := LatestDepartureAll(tt, g, t)
+	return dep[s]
+}
+
+// LatestDepartureAll answers the all-to-one latest-departure query toward
+// target g: element v of the result is LD(v, g, t).
+func LatestDepartureAll(tt *timetable.Timetable, g timetable.StopID, t timetable.Time) []timetable.Time {
+	dep := make([]timetable.Time, tt.NumStops())
+	for i := range dep {
+		dep[i] = timetable.NegInfinity
+	}
+	dep[g] = t
+	conns := tt.Connections()
+	// A backward scan in decreasing arrival order would need a second sort
+	// permutation; scanning the departure-ordered list backwards is not
+	// sufficient because a connection with later departure may arrive
+	// earlier. Build (and cache nothing: the oracle favours simplicity) a
+	// by-arrival order.
+	idx := make([]int32, 0, len(conns))
+	for i := range conns {
+		if conns[i].Arr <= t {
+			idx = append(idx, int32(i))
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return conns[idx[a]].Arr > conns[idx[b]].Arr })
+	for _, ci := range idx {
+		c := conns[ci]
+		if c.Arr <= dep[c.To] && c.Dep > dep[c.From] {
+			dep[c.From] = c.Dep
+		}
+	}
+	return dep
+}
+
+// ShortestDuration answers SD(s, g, t, tEnd): the minimum duration
+// (arrival − departure) over journeys departing s no sooner than t and
+// arriving at g no later than tEnd, or timetable.Infinity if none exists.
+// SD(s, s, …) = 0 by convention when t <= tEnd.
+func ShortestDuration(tt *timetable.Timetable, s, g timetable.StopID, t, tEnd timetable.Time) timetable.Time {
+	if t > tEnd {
+		return timetable.Infinity
+	}
+	if s == g {
+		return 0
+	}
+	best := timetable.Infinity
+	for _, p := range Profile(tt, s, g) {
+		if p.Dep >= t && p.Arr <= tEnd && p.Arr-p.Dep < best {
+			best = p.Arr - p.Dep
+		}
+	}
+	return best
+}
+
+// Journey is a Pareto-optimal departure/arrival pair for a fixed stop pair:
+// departing later and arriving earlier are both better.
+type Journey struct {
+	Dep, Arr timetable.Time
+}
+
+// Profile returns every Pareto-optimal (departure, arrival) pair for journeys
+// from s to g, sorted by increasing departure (and therefore increasing
+// arrival). It returns nil when g is unreachable from s.
+func Profile(tt *timetable.Timetable, s, g timetable.StopID) []Journey {
+	return ProfileAll(tt, g)[s]
+}
+
+// ProfileAll runs the profile variant of CSA toward target g: element v of
+// the result holds every Pareto-optimal (departure, arrival) pair for
+// journeys v -> g, sorted by increasing departure. Element g is nil (the
+// empty journey is implicit).
+func ProfileAll(tt *timetable.Timetable, g timetable.StopID) [][]Journey {
+	n := tt.NumStops()
+	prof := make([][]Journey, n) // kept sorted by Dep ascending, Pareto-thinned
+	conns := tt.Connections()
+	// Scan in decreasing departure order.
+	for i := len(conns) - 1; i >= 0; i-- {
+		c := conns[i]
+		// Earliest arrival at g when riding c, then continuing optimally.
+		var arr timetable.Time
+		if c.To == g {
+			arr = c.Arr
+		} else {
+			arr = evalProfile(prof[c.To], c.Arr)
+		}
+		if arr == timetable.Infinity {
+			continue
+		}
+		prof[c.From] = insertJourney(prof[c.From], Journey{Dep: c.Dep, Arr: arr})
+	}
+	return prof
+}
+
+// evalProfile returns the earliest arrival among pairs departing no earlier
+// than t, or timetable.Infinity.
+func evalProfile(p []Journey, t timetable.Time) timetable.Time {
+	i := sort.Search(len(p), func(i int) bool { return p[i].Dep >= t })
+	best := timetable.Infinity
+	for ; i < len(p); i++ {
+		if p[i].Arr < best {
+			best = p[i].Arr
+		}
+	}
+	return best
+}
+
+// insertJourney inserts j into the Pareto profile p (sorted by Dep) unless j
+// is dominated, removing any pairs j dominates. A pair (d, a) dominates
+// (d', a') when d >= d' and a <= a'.
+func insertJourney(p []Journey, j Journey) []Journey {
+	// Dominated if some existing pair departs no earlier and arrives no
+	// later.
+	for _, q := range p {
+		if q.Dep >= j.Dep && q.Arr <= j.Arr {
+			return p
+		}
+	}
+	out := p[:0]
+	for _, q := range p {
+		if j.Dep >= q.Dep && j.Arr <= q.Arr {
+			continue // j dominates q
+		}
+		out = append(out, q)
+	}
+	out = append(out, j)
+	sort.Slice(out, func(a, b int) bool { return out[a].Dep < out[b].Dep })
+	return out
+}
+
+// EarliestArrivalOneToMany answers EA-OTM(q, targets, t): element i of the
+// result is the earliest arrival at targets[i] over journeys departing q no
+// sooner than t (timetable.Infinity if unreachable).
+func EarliestArrivalOneToMany(tt *timetable.Timetable, q timetable.StopID, targets []timetable.StopID, t timetable.Time) []timetable.Time {
+	all := EarliestArrivalAll(tt, q, t)
+	out := make([]timetable.Time, len(targets))
+	for i, w := range targets {
+		out[i] = all[w]
+	}
+	return out
+}
+
+// LatestDepartureOneToMany answers LD-OTM(q, targets, t): element i of the
+// result is the latest departure from q over journeys arriving at targets[i]
+// no later than t (timetable.NegInfinity if none).
+func LatestDepartureOneToMany(tt *timetable.Timetable, q timetable.StopID, targets []timetable.StopID, t timetable.Time) []timetable.Time {
+	out := make([]timetable.Time, len(targets))
+	for i, w := range targets {
+		if w == q {
+			out[i] = t
+			continue
+		}
+		out[i] = LatestDepartureAll(tt, w, t)[q]
+	}
+	return out
+}
+
+// Neighbor is one kNN result: a target stop and the optimum of the relevant
+// criterion (arrival time for EA-kNN, departure time for LD-kNN).
+type Neighbor struct {
+	Stop timetable.StopID
+	When timetable.Time
+}
+
+// EarliestArrivalKNN answers EA-kNN(q, targets, t, k): the k distinct target
+// stops with the earliest arrival over journeys departing q no sooner than t.
+// Ties are broken by stop id, matching the paper's ORDER BY MIN(ta), v2.
+// Unreachable targets are never returned, so the result may hold fewer than k
+// entries.
+func EarliestArrivalKNN(tt *timetable.Timetable, q timetable.StopID, targets []timetable.StopID, t timetable.Time, k int) []Neighbor {
+	arr := EarliestArrivalOneToMany(tt, q, targets, t)
+	cand := make([]Neighbor, 0, len(targets))
+	for i, w := range targets {
+		if arr[i] < timetable.Infinity {
+			cand = append(cand, Neighbor{Stop: w, When: arr[i]})
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if cand[a].When != cand[b].When {
+			return cand[a].When < cand[b].When
+		}
+		return cand[a].Stop < cand[b].Stop
+	})
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	return cand
+}
+
+// LatestDepartureKNN answers LD-kNN(q, targets, t, k): the k distinct target
+// stops with the latest departure from q over journeys arriving no later than
+// t. Ties are broken by stop id (ORDER BY MAX(td) DESC, v2).
+func LatestDepartureKNN(tt *timetable.Timetable, q timetable.StopID, targets []timetable.StopID, t timetable.Time, k int) []Neighbor {
+	dep := LatestDepartureOneToMany(tt, q, targets, t)
+	cand := make([]Neighbor, 0, len(targets))
+	for i, w := range targets {
+		if dep[i] > timetable.NegInfinity {
+			cand = append(cand, Neighbor{Stop: w, When: dep[i]})
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if cand[a].When != cand[b].When {
+			return cand[a].When > cand[b].When
+		}
+		return cand[a].Stop < cand[b].Stop
+	})
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	return cand
+}

@@ -1,0 +1,268 @@
+package csa
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptldb/internal/timetable"
+)
+
+// randomTimetable builds a random strict-duration timetable for property
+// tests.
+func randomTimetable(rng *rand.Rand, stops, conns int) *timetable.Timetable {
+	var b timetable.Builder
+	b.AddStops(stops)
+	for i := 0; i < conns; i++ {
+		from := timetable.StopID(rng.Intn(stops))
+		to := timetable.StopID(rng.Intn(stops))
+		if from == to {
+			to = (to + 1) % timetable.StopID(stops)
+		}
+		dep := timetable.Time(rng.Intn(86400))
+		dur := timetable.Time(1 + rng.Intn(5400))
+		b.AddConnection(from, to, dep, dep+dur, timetable.TripID(rng.Intn(200)))
+	}
+	return b.MustBuild()
+}
+
+// bruteEA computes earliest arrivals by relaxing every connection until a
+// fixpoint, independent of scan order — an independent check on the
+// single-pass CSA.
+func bruteEA(tt *timetable.Timetable, s timetable.StopID, t timetable.Time) []timetable.Time {
+	arr := make([]timetable.Time, tt.NumStops())
+	for i := range arr {
+		arr[i] = timetable.Infinity
+	}
+	arr[s] = t
+	for changed := true; changed; {
+		changed = false
+		for _, c := range tt.Connections() {
+			if c.Dep >= arr[c.From] && c.Arr < arr[c.To] {
+				arr[c.To] = c.Arr
+				changed = true
+			}
+		}
+	}
+	return arr
+}
+
+// bruteLD is the analogous fixpoint computation for latest departures toward
+// target g.
+func bruteLD(tt *timetable.Timetable, g timetable.StopID, t timetable.Time) []timetable.Time {
+	dep := make([]timetable.Time, tt.NumStops())
+	for i := range dep {
+		dep[i] = timetable.NegInfinity
+	}
+	dep[g] = t
+	for changed := true; changed; {
+		changed = false
+		for _, c := range tt.Connections() {
+			if c.Arr <= dep[c.To] && c.Dep > dep[c.From] {
+				dep[c.From] = c.Dep
+				changed = true
+			}
+		}
+	}
+	return dep
+}
+
+func TestEarliestArrivalPaperExample(t *testing.T) {
+	tt := timetable.PaperExample()
+	cases := []struct {
+		s, g timetable.StopID
+		t    timetable.Time
+		want timetable.Time
+	}{
+		{5, 6, 28800, 43200}, // trip 1 end to end: dep 288, arr 432
+		{1, 2, 32400, 39600}, // 1@324 -> 0@360 -> 2@396
+		{1, 2, 32401, timetable.Infinity},
+		{0, 4, 0, 39600}, // 0@360 -> 4@396
+		{0, 4, 36001, timetable.Infinity},
+		{3, 4, 30000, 39600}, // 3@324 -> 0@360 -> 4@396
+		{1, 1, 32400, 32400}, // already there
+		{6, 5, 28800, 43200}, // trip 2
+	}
+	for _, c := range cases {
+		if got := EarliestArrival(tt, c.s, c.g, c.t); got != c.want {
+			t.Errorf("EA(%d,%d,%v) = %v, want %v", c.s, c.g, c.t, got, c.want)
+		}
+	}
+}
+
+func TestLatestDeparturePaperExample(t *testing.T) {
+	tt := timetable.PaperExample()
+	cases := []struct {
+		s, g timetable.StopID
+		t    timetable.Time
+		want timetable.Time
+	}{
+		{1, 5, 43200, 39600}, // 1@396 -> 5@432
+		{1, 5, 43199, timetable.NegInfinity},
+		{5, 6, 43200, 28800}, // full trip 1
+		{3, 4, 39600, 32400}, // 3@324 -> 0@360 -> 4@396
+		{4, 4, 1000, 1000},
+	}
+	for _, c := range cases {
+		if got := LatestDeparture(tt, c.s, c.g, c.t); got != c.want {
+			t.Errorf("LD(%d,%d,%v) = %v, want %v", c.s, c.g, c.t, got, c.want)
+		}
+	}
+}
+
+func TestShortestDurationPaperExample(t *testing.T) {
+	tt := timetable.PaperExample()
+	cases := []struct {
+		s, g    timetable.StopID
+		t, tEnd timetable.Time
+		want    timetable.Time
+	}{
+		{1, 5, 0, 86400, 3600},  // direct 1@396 -> 5@432
+		{5, 6, 0, 86400, 14400}, // whole trip 1
+		{5, 6, 0, 43199, timetable.Infinity},
+		{3, 4, 0, 86400, 7200},
+		{1, 1, 100, 200, 0},
+		{1, 1, 300, 200, timetable.Infinity}, // empty window
+	}
+	for _, c := range cases {
+		if got := ShortestDuration(tt, c.s, c.g, c.t, c.tEnd); got != c.want {
+			t.Errorf("SD(%d,%d,%v,%v) = %v, want %v", c.s, c.g, c.t, c.tEnd, got, c.want)
+		}
+	}
+}
+
+func TestEarliestArrivalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 30; iter++ {
+		tt := randomTimetable(rng, 2+rng.Intn(15), rng.Intn(120))
+		s := timetable.StopID(rng.Intn(tt.NumStops()))
+		start := timetable.Time(rng.Intn(86400))
+		got := EarliestArrivalAll(tt, s, start)
+		want := bruteEA(tt, s, start)
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("iter %d: EA-all(%d,%v)[%d] = %v, want %v", iter, s, start, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestLatestDepartureMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 30; iter++ {
+		tt := randomTimetable(rng, 2+rng.Intn(15), rng.Intn(120))
+		g := timetable.StopID(rng.Intn(tt.NumStops()))
+		end := timetable.Time(rng.Intn(2 * 86400))
+		got := LatestDepartureAll(tt, g, end)
+		want := bruteLD(tt, g, end)
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("iter %d: LD-all(%d,%v)[%d] = %v, want %v", iter, g, end, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestProfileConsistentWithEA checks that evaluating the profile at any
+// departure threshold reproduces the earliest-arrival query, and that
+// profiles are Pareto-thinned and sorted.
+func TestProfileConsistentWithEA(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for iter := 0; iter < 15; iter++ {
+		tt := randomTimetable(rng, 2+rng.Intn(12), rng.Intn(100))
+		g := timetable.StopID(rng.Intn(tt.NumStops()))
+		prof := ProfileAll(tt, g)
+		for s := timetable.StopID(0); int(s) < tt.NumStops(); s++ {
+			if s == g {
+				continue
+			}
+			p := prof[s]
+			for i := 1; i < len(p); i++ {
+				if p[i-1].Dep >= p[i].Dep || p[i-1].Arr >= p[i].Arr {
+					t.Fatalf("profile %d->%d not strictly increasing: %+v", s, g, p)
+				}
+			}
+			// Evaluate at a few thresholds including every breakpoint.
+			thresholds := []timetable.Time{0, 86400 * 2}
+			for _, j := range p {
+				thresholds = append(thresholds, j.Dep, j.Dep+1, j.Dep-1)
+			}
+			for _, th := range thresholds {
+				if got, want := evalProfile(p, th), EarliestArrival(tt, s, g, th); got != want {
+					t.Fatalf("profile eval %d->%d at %v = %v, want %v (profile %+v)", s, g, th, got, want, p)
+				}
+			}
+		}
+	}
+}
+
+func TestOneToManyMatchesPointQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	tt := randomTimetable(rng, 20, 300)
+	targets := []timetable.StopID{1, 4, 7, 13, 19}
+	q := timetable.StopID(0)
+	tq := timetable.Time(20000)
+
+	ea := EarliestArrivalOneToMany(tt, q, targets, tq)
+	for i, w := range targets {
+		if want := EarliestArrival(tt, q, w, tq); ea[i] != want {
+			t.Errorf("EA-OTM[%d] = %v, want %v", w, ea[i], want)
+		}
+	}
+	ld := LatestDepartureOneToMany(tt, q, targets, 70000)
+	for i, w := range targets {
+		if want := LatestDeparture(tt, q, w, 70000); ld[i] != want {
+			t.Errorf("LD-OTM[%d] = %v, want %v", w, ld[i], want)
+		}
+	}
+}
+
+func TestKNNOrderingAndTruncation(t *testing.T) {
+	tt := timetable.PaperExample()
+	targets := []timetable.StopID{4, 6}
+	// Paper Section 3.2.1: EA-kNN(0, {4,6}, 36000, 1) = (4, 39600).
+	got := EarliestArrivalKNN(tt, 0, targets, 36000, 1)
+	if len(got) != 1 || got[0].Stop != 4 || got[0].When != 39600 {
+		t.Fatalf("EA-kNN(0,{4,6},360,1) = %+v, want [(4, 396)]", got)
+	}
+	// k larger than reachable targets truncates.
+	got = EarliestArrivalKNN(tt, 0, targets, 36000, 10)
+	if len(got) != 2 || got[0].Stop != 4 || got[1].Stop != 6 {
+		t.Fatalf("EA-kNN k=10 = %+v", got)
+	}
+	// After the last departure nothing is reachable.
+	got = EarliestArrivalKNN(tt, 0, targets, 43201, 10)
+	if len(got) != 0 {
+		t.Fatalf("EA-kNN after close = %+v, want empty", got)
+	}
+
+	ld := LatestDepartureKNN(tt, 0, targets, 43200, 2)
+	// 0 -> 6 arriving 432 departs 0 at 360; 0 -> 4 arriving 396 departs 360.
+	if len(ld) != 2 || ld[0].When != 36000 || ld[1].When != 36000 {
+		t.Fatalf("LD-kNN = %+v", ld)
+	}
+	if ld[0].Stop != 4 || ld[1].Stop != 6 {
+		t.Fatalf("LD-kNN tie-break by stop id violated: %+v", ld)
+	}
+}
+
+func TestEvalProfileEmpty(t *testing.T) {
+	if got := evalProfile(nil, 0); got != timetable.Infinity {
+		t.Errorf("evalProfile(nil) = %v, want Infinity", got)
+	}
+}
+
+func TestInsertJourneyDominance(t *testing.T) {
+	p := insertJourney(nil, Journey{Dep: 100, Arr: 200})
+	p = insertJourney(p, Journey{Dep: 90, Arr: 250}) // dominated (earlier dep, later arr)
+	if len(p) != 1 {
+		t.Fatalf("dominated journey inserted: %+v", p)
+	}
+	p = insertJourney(p, Journey{Dep: 110, Arr: 190}) // dominates the first
+	if len(p) != 1 || p[0].Dep != 110 {
+		t.Fatalf("dominating journey did not evict: %+v", p)
+	}
+	p = insertJourney(p, Journey{Dep: 50, Arr: 60}) // incomparable
+	if len(p) != 2 || p[0].Dep != 50 {
+		t.Fatalf("incomparable journey mishandled: %+v", p)
+	}
+}

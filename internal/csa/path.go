@@ -1,0 +1,106 @@
+package csa
+
+import (
+	"sort"
+
+	"ptldb/internal/timetable"
+)
+
+// EarliestArrivalJourney returns the connection sequence of a journey from s
+// to g departing no sooner than t and arriving at EA(s, g, t). The second
+// result is false when g is unreachable. For s == g it returns an empty
+// journey and true.
+//
+// PTLDB itself answers timestamps only — the paper notes that full paths
+// would be stored expanded in the database — so path reconstruction runs the
+// Connection Scan with parent pointers; the arrival time always matches the
+// label-based answer (the labels are exact).
+func EarliestArrivalJourney(tt *timetable.Timetable, s, g timetable.StopID, t timetable.Time) ([]timetable.Connection, bool) {
+	if s == g {
+		return nil, true
+	}
+	n := tt.NumStops()
+	arr := make([]timetable.Time, n)
+	parent := make([]int32, n)
+	for i := range arr {
+		arr[i] = timetable.Infinity
+		parent[i] = -1
+	}
+	arr[s] = t
+	conns := tt.Connections()
+	i := sort.Search(len(conns), func(i int) bool { return conns[i].Dep >= t })
+	for ; i < len(conns); i++ {
+		c := conns[i]
+		if c.Dep >= arr[c.From] && c.Arr < arr[c.To] {
+			arr[c.To] = c.Arr
+			parent[c.To] = int32(i)
+		}
+	}
+	if arr[g] == timetable.Infinity {
+		return nil, false
+	}
+	var rev []timetable.Connection
+	for at := g; at != s; {
+		c := tt.Connection(parent[at])
+		rev = append(rev, c)
+		at = c.From
+	}
+	out := make([]timetable.Connection, len(rev))
+	for i, c := range rev {
+		out[len(rev)-1-i] = c
+	}
+	return out, true
+}
+
+// LatestDepartureJourney returns the connection sequence of a journey from s
+// to g arriving no later than t and departing at LD(s, g, t). The second
+// result is false when no such journey exists.
+func LatestDepartureJourney(tt *timetable.Timetable, s, g timetable.StopID, t timetable.Time) ([]timetable.Connection, bool) {
+	if s == g {
+		return nil, true
+	}
+	n := tt.NumStops()
+	dep := make([]timetable.Time, n)
+	parent := make([]int32, n)
+	for i := range dep {
+		dep[i] = timetable.NegInfinity
+		parent[i] = -1
+	}
+	dep[g] = t
+	conns := tt.Connections()
+	idx := make([]int32, 0, len(conns))
+	for i := range conns {
+		if conns[i].Arr <= t {
+			idx = append(idx, int32(i))
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return conns[idx[a]].Arr > conns[idx[b]].Arr })
+	for _, ci := range idx {
+		c := conns[ci]
+		if c.Arr <= dep[c.To] && c.Dep > dep[c.From] {
+			dep[c.From] = c.Dep
+			parent[c.From] = ci
+		}
+	}
+	if dep[s] == timetable.NegInfinity {
+		return nil, false
+	}
+	var out []timetable.Connection
+	for at := s; at != g; {
+		c := tt.Connection(parent[at])
+		out = append(out, c)
+		at = c.To
+	}
+	return out, true
+}
+
+// Transfers counts the vehicle changes along a journey.
+func Transfers(journey []timetable.Connection) int {
+	n := 0
+	for i := 1; i < len(journey); i++ {
+		if journey[i].Trip != journey[i-1].Trip {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package csa
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptldb/internal/timetable"
+)
+
+// checkJourney validates the structural invariants of a journey between s
+// and g with the given time bounds.
+func checkJourney(t *testing.T, tt *timetable.Timetable, j []timetable.Connection, s, g timetable.StopID) {
+	t.Helper()
+	if len(j) == 0 {
+		if s != g {
+			t.Fatalf("empty journey between distinct stops %d, %d", s, g)
+		}
+		return
+	}
+	if j[0].From != s || j[len(j)-1].To != g {
+		t.Fatalf("journey endpoints %d->%d, want %d->%d", j[0].From, j[len(j)-1].To, s, g)
+	}
+	for i := 1; i < len(j); i++ {
+		if j[i].From != j[i-1].To {
+			t.Fatalf("journey not connected at leg %d: %+v", i, j)
+		}
+		if j[i].Dep < j[i-1].Arr {
+			t.Fatalf("journey departs before arriving at leg %d: %+v", i, j)
+		}
+	}
+}
+
+func TestEarliestArrivalJourneyPaperExample(t *testing.T) {
+	tt := timetable.PaperExample()
+	j, ok := EarliestArrivalJourney(tt, 5, 6, 28800)
+	if !ok {
+		t.Fatal("5 -> 6 unreachable")
+	}
+	checkJourney(t, tt, j, 5, 6)
+	if len(j) != 4 {
+		t.Errorf("journey has %d legs, want 4 (full trip 1)", len(j))
+	}
+	if j[len(j)-1].Arr != 43200 {
+		t.Errorf("arrival %v, want 43200", j[len(j)-1].Arr)
+	}
+	if Transfers(j) != 0 {
+		t.Errorf("transfers = %d, want 0 (single trip)", Transfers(j))
+	}
+
+	// 3 -> 4 requires a transfer at stop 0 (trip 3 to trip 3's continuation
+	// is trip 3 only from 0; the 3@324 leg is trip 3, the 0@360 -> 4 leg is
+	// also trip 3): stay on one vehicle.
+	j, ok = EarliestArrivalJourney(tt, 3, 4, 0)
+	if !ok {
+		t.Fatal("3 -> 4 unreachable")
+	}
+	checkJourney(t, tt, j, 3, 4)
+	if j[len(j)-1].Arr != 39600 {
+		t.Errorf("arrival %v", j[len(j)-1].Arr)
+	}
+
+	if _, ok := EarliestArrivalJourney(tt, 5, 6, 28801); ok {
+		t.Error("journey found after last feasible departure")
+	}
+	if j, ok := EarliestArrivalJourney(tt, 2, 2, 100); !ok || len(j) != 0 {
+		t.Error("same-stop journey not empty")
+	}
+}
+
+func TestLatestDepartureJourneyPaperExample(t *testing.T) {
+	tt := timetable.PaperExample()
+	j, ok := LatestDepartureJourney(tt, 1, 5, 43200)
+	if !ok {
+		t.Fatal("1 -> 5 unreachable")
+	}
+	checkJourney(t, tt, j, 1, 5)
+	if j[0].Dep != 39600 {
+		t.Errorf("departure %v, want 39600", j[0].Dep)
+	}
+	if _, ok := LatestDepartureJourney(tt, 1, 5, 43199); ok {
+		t.Error("journey found before earliest feasible arrival")
+	}
+}
+
+// TestJourneysMatchScalarAnswers checks that reconstructed journeys realize
+// exactly the EA/LD timestamps on random instances.
+func TestJourneysMatchScalarAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 10; iter++ {
+		tt := randomTimetable(rng, 2+rng.Intn(15), rng.Intn(200))
+		n := tt.NumStops()
+		for trial := 0; trial < 40; trial++ {
+			s := timetable.StopID(rng.Intn(n))
+			g := timetable.StopID(rng.Intn(n))
+			if s == g {
+				continue
+			}
+			t0 := timetable.Time(rng.Intn(86400))
+			want := EarliestArrival(tt, s, g, t0)
+			j, ok := EarliestArrivalJourney(tt, s, g, t0)
+			if ok != (want < timetable.Infinity) {
+				t.Fatalf("EA journey ok=%v but EA=%v", ok, want)
+			}
+			if ok {
+				checkJourney(t, tt, j, s, g)
+				if j[0].Dep < t0 {
+					t.Fatalf("journey departs %v before %v", j[0].Dep, t0)
+				}
+				if j[len(j)-1].Arr != want {
+					t.Fatalf("journey arrives %v, EA=%v", j[len(j)-1].Arr, want)
+				}
+			}
+			wantLD := LatestDeparture(tt, s, g, t0)
+			jl, ok := LatestDepartureJourney(tt, s, g, t0)
+			if ok != (wantLD > timetable.NegInfinity) {
+				t.Fatalf("LD journey ok=%v but LD=%v", ok, wantLD)
+			}
+			if ok {
+				checkJourney(t, tt, jl, s, g)
+				if jl[len(jl)-1].Arr > t0 {
+					t.Fatalf("journey arrives %v after %v", jl[len(jl)-1].Arr, t0)
+				}
+				if jl[0].Dep != wantLD {
+					t.Fatalf("journey departs %v, LD=%v", jl[0].Dep, wantLD)
+				}
+			}
+		}
+	}
+}
+
+func TestTransfers(t *testing.T) {
+	j := []timetable.Connection{
+		{Trip: 1}, {Trip: 1}, {Trip: 2}, {Trip: 3}, {Trip: 3},
+	}
+	if got := Transfers(j); got != 2 {
+		t.Errorf("Transfers = %d, want 2", got)
+	}
+	if Transfers(nil) != 0 {
+		t.Error("Transfers(nil) != 0")
+	}
+}

@@ -1,0 +1,140 @@
+package order
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ptldb/internal/timetable"
+)
+
+func TestRanksRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		o := Random(int(n), seed)
+		if !o.Valid(int(n)) {
+			return false
+		}
+		back := FromRanks(o.Ranks())
+		if len(back) != len(o) {
+			return false
+		}
+		for i := range o {
+			if back[i] != o[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByDegreePaperExample(t *testing.T) {
+	tt := timetable.PaperExample()
+	o := ByDegree(tt)
+	if !o.Valid(7) {
+		t.Fatalf("order invalid: %v", o)
+	}
+	// Stop 0 participates in all four trips (4 in + 4 out connections) and
+	// must rank first.
+	if o[0] != 0 {
+		t.Errorf("ByDegree ranks %d first, want 0 (order %v)", o[0], o)
+	}
+}
+
+func TestByNeighborDegreePaperExample(t *testing.T) {
+	tt := timetable.PaperExample()
+	o := ByNeighborDegree(tt)
+	if !o.Valid(7) {
+		t.Fatalf("order invalid: %v", o)
+	}
+	if o[0] != 0 {
+		t.Errorf("ByNeighborDegree ranks %d first, want 0 (order %v)", o[0], o)
+	}
+	// Stops 1..4 (adjacent to the center) must all outrank leaves 5, 6.
+	r := o.Ranks()
+	for _, mid := range []timetable.StopID{1, 2} {
+		for _, leaf := range []timetable.StopID{5, 6} {
+			if r[mid] > r[leaf] {
+				t.Errorf("stop %d (rank %d) should outrank leaf %d (rank %d)", mid, r[mid], leaf, r[leaf])
+			}
+		}
+	}
+}
+
+func TestValidRejects(t *testing.T) {
+	cases := []struct {
+		o Order
+		n int
+	}{
+		{Order{0, 0}, 2},  // duplicate
+		{Order{0, 2}, 2},  // out of range
+		{Order{0}, 2},     // wrong length
+		{Order{-1, 0}, 2}, // negative
+	}
+	for _, c := range cases {
+		if c.o.Valid(c.n) {
+			t.Errorf("Valid(%v, %d) = true, want false", c.o, c.n)
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	o := Identity(4)
+	for i, v := range o {
+		if int(v) != i {
+			t.Fatalf("Identity(4) = %v", o)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, b := Random(50, 7), Random(50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Random not deterministic for equal seeds")
+		}
+	}
+	c := Random(50, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("Random produced identical permutations for different seeds")
+	}
+}
+
+func TestByHubUsagePaperExample(t *testing.T) {
+	tt := timetable.PaperExample()
+	o := ByHubUsage(tt, 40, 1)
+	if !o.Valid(7) {
+		t.Fatalf("order invalid: %v", o)
+	}
+	// Stop 0 lies on every cross-town journey and must rank first.
+	if o[0] != 0 {
+		t.Errorf("ByHubUsage ranks %d first, want 0 (order %v)", o[0], o)
+	}
+}
+
+func TestByHubUsageDeterministic(t *testing.T) {
+	tt := timetable.PaperExample()
+	a, b := ByHubUsage(tt, 10, 3), ByHubUsage(tt, 10, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ByHubUsage not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestByHubUsageEmptyNetwork(t *testing.T) {
+	var b timetable.Builder
+	b.AddStops(4)
+	tt := b.MustBuild()
+	if o := ByHubUsage(tt, 5, 1); !o.Valid(4) {
+		t.Errorf("order on connection-free network invalid: %v", o)
+	}
+}

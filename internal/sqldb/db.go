@@ -1,0 +1,416 @@
+// Package sqldb is the embedded relational database used by PTLDB: a
+// directory of paged heap and index files, a shared buffer pool with a
+// simulated storage device, a persisted catalog, and a SQL query interface
+// (parser + executor) supporting the dialect of the paper's Codes 1–4.
+//
+// It plays the role PostgreSQL plays in the paper. The engine is
+// bulk-load-then-read-only — there is no WAL or MVCC, matching the paper's
+// workload in which all tables are created during preprocessing — and
+// read queries may run concurrently.
+package sqldb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"ptldb/internal/sqldb/exec"
+	"ptldb/internal/sqldb/sql"
+	"ptldb/internal/sqldb/sqltypes"
+	"ptldb/internal/sqldb/storage"
+)
+
+// ColumnDef declares one column.
+type ColumnDef struct {
+	Name string        `json:"name"`
+	Type sqltypes.Type `json:"type"`
+}
+
+// TableDef declares a table: columns plus an optional primary key of up to
+// two integer columns.
+type TableDef struct {
+	Name    string      `json:"name"`
+	Columns []ColumnDef `json:"columns"`
+	PK      []string    `json:"pk"`
+}
+
+// Options configures Open.
+type Options struct {
+	// Device is the simulated storage device (default storage.SSD).
+	Device storage.DeviceModel
+	// PoolPages is the buffer-pool capacity in pages (default 131072 pages
+	// = 1 GiB, a laptop-scale stand-in for the paper's 8 GiB
+	// shared_buffers).
+	PoolPages int
+}
+
+// DB is one open database directory.
+type DB struct {
+	dir   string
+	dev   storage.DeviceModel
+	clock storage.Clock
+	pool  *storage.Pool
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// Open opens (creating if needed) the database in dir.
+func Open(dir string, opts Options) (*DB, error) {
+	if opts.Device.Name == "" {
+		opts.Device = storage.SSD
+	}
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 131072
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sqldb: %w", err)
+	}
+	db := &DB{
+		dir:    dir,
+		dev:    opts.Device,
+		pool:   storage.NewPool(opts.PoolPages),
+		tables: map[string]*Table{},
+	}
+	cat, err := os.ReadFile(db.catalogPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return db, nil
+		}
+		return nil, fmt.Errorf("sqldb: read catalog: %w", err)
+	}
+	var defs []TableDef
+	if err := json.Unmarshal(cat, &defs); err != nil {
+		return nil, fmt.Errorf("sqldb: parse catalog: %w", err)
+	}
+	for _, def := range defs {
+		if _, err := db.openTable(def); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func (db *DB) catalogPath() string { return filepath.Join(db.dir, "catalog.json") }
+
+// Clock exposes the simulated-device clock: the total device time charged by
+// all I/O since open (or the last Reset).
+func (db *DB) Clock() *storage.Clock { return &db.clock }
+
+// Pool exposes the buffer pool for cache statistics and DropCaches.
+func (db *DB) Pool() *storage.Pool { return db.pool }
+
+// Device returns the device model the database was opened with.
+func (db *DB) Device() storage.DeviceModel { return db.dev }
+
+// DropCaches flushes and empties the buffer pool, emulating the paper's
+// server restart + OS cache drop before each experiment.
+func (db *DB) DropCaches() error { return db.pool.DropCaches() }
+
+// CreateTable creates a new empty table.
+func (db *DB) CreateTable(def TableDef) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name := strings.ToLower(def.Name)
+	if name == "" {
+		return nil, fmt.Errorf("sqldb: empty table name")
+	}
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("sqldb: table %q already exists", def.Name)
+	}
+	if len(def.Columns) == 0 {
+		return nil, fmt.Errorf("sqldb: table %q has no columns", def.Name)
+	}
+	if len(def.PK) > 2 {
+		return nil, fmt.Errorf("sqldb: table %q: primary keys support at most two columns", def.Name)
+	}
+	for _, pk := range def.PK {
+		ci := colIndex(def.Columns, pk)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqldb: table %q: unknown PK column %q", def.Name, pk)
+		}
+		if def.Columns[ci].Type != sqltypes.Int64 {
+			return nil, fmt.Errorf("sqldb: table %q: PK column %q must be BIGINT", def.Name, pk)
+		}
+	}
+	def.Name = name
+	t, err := db.openTable(def)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.saveCatalogLocked(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// openTable opens the storage files of a table and registers it.
+func (db *DB) openTable(def TableDef) (*Table, error) {
+	name := strings.ToLower(def.Name)
+	heapFile, err := storage.OpenPagedFile(filepath.Join(db.dir, name+".heap"), db.dev, &db.clock)
+	if err != nil {
+		return nil, err
+	}
+	db.pool.Register(heapFile)
+	heap, err := storage.OpenRowStore(heapFile, db.pool)
+	if err != nil {
+		heapFile.Close()
+		return nil, err
+	}
+	idxFile, err := storage.OpenPagedFile(filepath.Join(db.dir, name+".idx"), db.dev, &db.clock)
+	if err != nil {
+		heapFile.Close()
+		return nil, err
+	}
+	db.pool.Register(idxFile)
+	idx, err := storage.OpenBTree(idxFile, db.pool)
+	if err != nil {
+		heapFile.Close()
+		idxFile.Close()
+		return nil, err
+	}
+	t := &Table{
+		def:      def,
+		db:       db,
+		heapFile: heapFile,
+		idxFile:  idxFile,
+		heap:     heap,
+		idx:      idx,
+	}
+	for _, pk := range def.PK {
+		t.pkCols = append(t.pkCols, colIndex(def.Columns, pk))
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+func (db *DB) saveCatalogLocked() error {
+	defs := make([]TableDef, 0, len(db.tables))
+	for _, t := range db.tables {
+		defs = append(defs, t.def)
+	}
+	// Deterministic order for reproducible catalogs.
+	for i := 0; i < len(defs); i++ {
+		for j := i + 1; j < len(defs); j++ {
+			if defs[j].Name < defs[i].Name {
+				defs[i], defs[j] = defs[j], defs[i]
+			}
+		}
+	}
+	data, err := json.MarshalIndent(defs, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := db.catalogPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, db.catalogPath())
+}
+
+// DropTable removes a table and deletes its files. Concurrent queries must
+// not be running (bulk-maintenance operation, like everything that writes).
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name = strings.ToLower(name)
+	t, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("sqldb: no table %q", name)
+	}
+	// Evict the table's cached pages before the files disappear.
+	if err := db.pool.DropCaches(); err != nil {
+		return err
+	}
+	t.heapFile.Close()
+	t.idxFile.Close()
+	delete(db.tables, name)
+	for _, suffix := range []string{".heap", ".idx"} {
+		if err := os.Remove(filepath.Join(db.dir, name+suffix)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return db.saveCatalogLocked()
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns the names of all tables.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Flush persists all tables and the buffer pool.
+func (db *DB) Flush() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, t := range db.tables {
+		if err := t.heap.Flush(); err != nil {
+			return err
+		}
+		if err := t.idx.Flush(); err != nil {
+			return err
+		}
+	}
+	return db.pool.FlushAll()
+}
+
+// Close flushes and releases all files.
+func (db *DB) Close() error {
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range db.tables {
+		t.heapFile.Close()
+		t.idxFile.Close()
+	}
+	db.tables = map[string]*Table{}
+	return nil
+}
+
+// SizeOnDisk returns the total bytes of all table files (the paper's
+// Section 4.3 storage report).
+func (db *DB) SizeOnDisk() (int64, error) {
+	var total int64
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		total += info.Size()
+	}
+	return total, nil
+}
+
+// Query parses and executes a SELECT with positional parameters ($1 …).
+func (db *DB) Query(query string, params ...sqltypes.Value) (*exec.Relation, error) {
+	sel, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(sel, catalogAdapter{db}, params)
+}
+
+// Exec runs a non-SELECT statement (CREATE TABLE, INSERT INTO ... VALUES,
+// DROP TABLE) with positional parameters, returning the number of rows
+// affected. SELECT statements are rejected — use Query.
+func (db *DB) Exec(stmtText string, params ...sqltypes.Value) (int, error) {
+	stmt, err := sql.ParseStatement(stmtText)
+	if err != nil {
+		return 0, err
+	}
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		def := TableDef{Name: s.Name, PK: s.PK}
+		for _, c := range s.Columns {
+			var typ sqltypes.Type
+			switch c.Type {
+			case sql.ColBigint:
+				typ = sqltypes.Int64
+			case sql.ColDouble:
+				typ = sqltypes.Float64
+			case sql.ColText:
+				typ = sqltypes.Text
+			case sql.ColBigintArray:
+				typ = sqltypes.IntArray
+			}
+			def.Columns = append(def.Columns, ColumnDef{Name: c.Name, Type: typ})
+		}
+		_, err := db.CreateTable(def)
+		return 0, err
+	case *sql.Insert:
+		tbl, ok := db.Table(s.Table)
+		if !ok {
+			return 0, fmt.Errorf("sqldb: no table %q", s.Table)
+		}
+		n := 0
+		for _, rowExprs := range s.Rows {
+			row, err := exec.EvalConstRow(rowExprs, params)
+			if err != nil {
+				return n, err
+			}
+			if err := tbl.Insert(row); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	case *sql.DropTable:
+		return 0, db.DropTable(s.Name)
+	case *sql.Select:
+		return 0, fmt.Errorf("sqldb: Exec of a SELECT; use Query")
+	default:
+		return 0, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+	}
+}
+
+// QueryTraced executes a SELECT and also returns the access-path trace (one
+// line per planner decision) — the engine's EXPLAIN ANALYZE.
+func (db *DB) QueryTraced(query string, params ...sqltypes.Value) (*exec.Relation, []string, error) {
+	sel, err := sql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	return exec.RunTraced(sel, catalogAdapter{db}, params)
+}
+
+// Stmt is a prepared statement: parsed once, executable many times.
+type Stmt struct {
+	db  *DB
+	sel *sql.Select
+}
+
+// Prepare parses a SELECT for repeated execution.
+func (db *DB) Prepare(query string) (*Stmt, error) {
+	sel, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, sel: sel}, nil
+}
+
+// Query executes the prepared statement.
+func (s *Stmt) Query(params ...sqltypes.Value) (*exec.Relation, error) {
+	return exec.Run(s.sel, catalogAdapter{s.db}, params)
+}
+
+// catalogAdapter exposes DB tables to the executor.
+type catalogAdapter struct{ db *DB }
+
+func (c catalogAdapter) Table(name string) (exec.Table, bool) {
+	t, ok := c.db.Table(name)
+	if !ok {
+		return nil, false
+	}
+	return t, true
+}
+
+func colIndex(cols []ColumnDef, name string) int {
+	for i, c := range cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,23 @@
+package exec
+
+import "ptldb/internal/sqldb/sqltypes"
+
+// Catalog resolves base-table names for the executor. It is implemented by
+// package sqldb.
+type Catalog interface {
+	// Table returns the table named name (case-insensitive), or false.
+	Table(name string) (Table, bool)
+}
+
+// Table is the executor's view of one stored table.
+type Table interface {
+	// Columns returns the column names in storage order.
+	Columns() []string
+	// PKCols returns the indices of the primary-key columns (at most two,
+	// in key order), or nil when the table has no primary key.
+	PKCols() []int
+	// LookupPK fetches the row with the given PK values.
+	LookupPK(key []int64) (sqltypes.Row, bool, error)
+	// Scan calls fn for every row in primary-key order.
+	Scan(fn func(sqltypes.Row) error) error
+}

@@ -1,0 +1,773 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ptldb/internal/sqldb/sql"
+	"ptldb/internal/sqldb/sqltypes"
+)
+
+// Run evaluates a parsed select against the catalog with the given
+// positional parameters.
+func Run(sel *sql.Select, cat Catalog, params []sqltypes.Value) (*Relation, error) {
+	r := &runner{cat: cat, params: params}
+	return r.evalSelect(sel, nil)
+}
+
+// RunTraced is Run, additionally returning one line per access-path decision
+// the planner took (point lookups, index nested-loop joins, hash joins,
+// full scans) in execution order — the engine's EXPLAIN ANALYZE.
+func RunTraced(sel *sql.Select, cat Catalog, params []sqltypes.Value) (*Relation, []string, error) {
+	r := &runner{cat: cat, params: params, trace: new([]string)}
+	rel, err := r.evalSelect(sel, nil)
+	return rel, *r.trace, err
+}
+
+type runner struct {
+	cat    Catalog
+	params []sqltypes.Value
+	// trace, when non-nil, accumulates access-path decisions.
+	trace *[]string
+}
+
+func (r *runner) tracef(format string, args ...any) {
+	if r.trace != nil {
+		*r.trace = append(*r.trace, fmt.Sprintf(format, args...))
+	}
+}
+
+// cteScope is a linked list of CTE bindings, innermost first.
+type cteScope struct {
+	name   string
+	rel    *Relation
+	parent *cteScope
+}
+
+func (s *cteScope) lookup(name string) (*Relation, bool) {
+	for c := s; c != nil; c = c.parent {
+		if strings.EqualFold(c.name, name) {
+			return c.rel, true
+		}
+	}
+	return nil, false
+}
+
+func (r *runner) compileAll(exprs []sql.Expr, schema Schema, agg *map[*sql.FuncCall]sqltypes.Value) ([]compiledExpr, error) {
+	ce := &compileEnv{schema: schema, params: r.params, agg: agg}
+	out := make([]compiledExpr, len(exprs))
+	for i, e := range exprs {
+		c, err := ce.compile(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+func (r *runner) evalSelect(sel *sql.Select, scope *cteScope) (*Relation, error) {
+	for _, cte := range sel.With {
+		rel, err := r.evalSelect(cte.Query, scope)
+		if err != nil {
+			return nil, fmt.Errorf("in CTE %s: %w", cte.Name, err)
+		}
+		// The CTE's own name qualifies its columns for the outer query.
+		rel = &Relation{Schema: rel.Schema.requalify(cte.Name), Rows: rel.Rows}
+		scope = &cteScope{name: cte.Name, rel: rel, parent: scope}
+	}
+
+	if sel.Core != nil {
+		return r.evalCore(sel.Core, sel.OrderBy, sel.Limit, scope)
+	}
+
+	// Compound select: evaluate arms and combine.
+	var out *Relation
+	seen := map[string]bool{}
+	for i, arm := range sel.Arms {
+		rel, err := r.evalSelect(arm, scope)
+		if err != nil {
+			return nil, err
+		}
+		dedup := false
+		if out == nil {
+			out = &Relation{Schema: rel.Schema}
+			// UNION (not ALL) dedups rows of the first arm too.
+			dedup = len(sel.All) > 0 && !sel.All[0]
+		} else {
+			if len(rel.Schema) != len(out.Schema) {
+				return nil, fmt.Errorf("exec: UNION arms have %d and %d columns", len(out.Schema), len(rel.Schema))
+			}
+			dedup = !sel.All[i-1]
+		}
+		var buf []byte
+		for _, row := range rel.Rows {
+			if dedup {
+				buf = sqltypes.EncodeRow(buf[:0], row)
+				if seen[string(buf)] {
+					continue
+				}
+				seen[string(buf)] = true
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+
+	if len(sel.OrderBy) > 0 {
+		exprs := make([]sql.Expr, len(sel.OrderBy))
+		for i, oi := range sel.OrderBy {
+			exprs[i] = oi.Expr
+		}
+		comps, err := r.compileAll(exprs, out.Schema, nil)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]sqltypes.Row, len(out.Rows))
+		for i, row := range out.Rows {
+			key := make(sqltypes.Row, len(comps))
+			for j, c := range comps {
+				v, err := c(row)
+				if err != nil {
+					return nil, err
+				}
+				key[j] = v
+			}
+			keys[i] = key
+		}
+		if err := sortRows(out.Rows, keys, sel.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Limit != nil {
+		if err := r.applyLimit(out, sel.Limit); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *runner) applyLimit(rel *Relation, limit sql.Expr) error {
+	ce := &compileEnv{params: r.params}
+	c, err := ce.compile(limit)
+	if err != nil {
+		return err
+	}
+	v, err := c(nil)
+	if err != nil {
+		return err
+	}
+	n, err := v.AsInt()
+	if err != nil {
+		return fmt.Errorf("exec: LIMIT: %w", err)
+	}
+	if n < 0 {
+		return fmt.Errorf("exec: negative LIMIT %d", n)
+	}
+	if int(n) < len(rel.Rows) {
+		rel.Rows = rel.Rows[:n]
+	}
+	return nil
+}
+
+// evalCore evaluates one SELECT core plus its statement-level ORDER BY and
+// LIMIT.
+func (r *runner) evalCore(core *sql.SelectCore, orderBy []sql.OrderItem, limit sql.Expr, scope *cteScope) (*Relation, error) {
+	input, filtered, err := r.buildFrom(core, scope)
+	if err != nil {
+		return nil, err
+	}
+
+	// Filter (unless the WHERE clause was already fused into the final
+	// join by buildFrom).
+	if core.Where != nil && !filtered {
+		ce := &compileEnv{schema: input.Schema, params: r.params}
+		pred, err := ce.compile(core.Where)
+		if err != nil {
+			return nil, err
+		}
+		kept := input.Rows[:0:0]
+		for _, row := range input.Rows {
+			v, err := pred(row)
+			if err != nil {
+				return nil, err
+			}
+			if t, null := truth(v); t && !null {
+				kept = append(kept, row)
+			}
+		}
+		input = &Relation{Schema: input.Schema, Rows: kept}
+	}
+
+	items, err := expandStars(core.Items, input.Schema)
+	if err != nil {
+		return nil, err
+	}
+
+	hasAgg := len(core.GroupBy) > 0 || core.Having != nil
+	for _, it := range items {
+		if containsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	for _, oi := range orderBy {
+		if containsAggregate(oi.Expr) {
+			hasAgg = true
+		}
+	}
+	hasUnnest := false
+	for _, it := range items {
+		if it.Expr != nil && containsUnnest(it.Expr) {
+			hasUnnest = true
+		}
+	}
+	if hasAgg && hasUnnest {
+		return nil, fmt.Errorf("exec: UNNEST cannot be combined with aggregation in one SELECT")
+	}
+
+	var out *Relation
+	var orderKeys []sqltypes.Row
+	if hasAgg {
+		out, orderKeys, err = r.evalGrouped(core, items, orderBy, input)
+	} else if hasUnnest {
+		out, err = r.evalUnnest(items, input)
+	} else {
+		out, err = r.evalProject(items, input)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if len(orderBy) > 0 {
+		// Grouped cores computed their keys per group (possibly zero of
+		// them); everything else sorts on per-row keys.
+		if !hasAgg {
+			orderKeys, err = r.plainOrderKeys(orderBy, input, out, hasUnnest)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := sortRows(out.Rows, orderKeys, orderBy); err != nil {
+			return nil, err
+		}
+	}
+	if limit != nil {
+		if err := r.applyLimit(out, limit); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// plainOrderKeys computes ORDER BY keys for non-grouped cores. Keys are
+// evaluated against the output schema when every column reference resolves
+// there (required for UNNEST cores, whose output rows do not correspond 1:1
+// to input rows); otherwise against the input rows, which are parallel to
+// the output rows.
+func (r *runner) plainOrderKeys(orderBy []sql.OrderItem, input, out *Relation, unnested bool) ([]sqltypes.Row, error) {
+	resolvesOnOutput := true
+	for _, oi := range orderBy {
+		var bad bool
+		walkExpr(oi.Expr, func(e sql.Expr) {
+			if c, ok := e.(*sql.ColumnRef); ok {
+				if _, err := out.Schema.resolve(c.Table, c.Column); err != nil {
+					bad = true
+				}
+			}
+		})
+		if bad {
+			resolvesOnOutput = false
+		}
+	}
+	src := out
+	if !resolvesOnOutput {
+		if unnested {
+			return nil, fmt.Errorf("exec: ORDER BY after UNNEST must reference output columns")
+		}
+		src = input
+	}
+	exprs := make([]sql.Expr, len(orderBy))
+	for i, oi := range orderBy {
+		exprs[i] = oi.Expr
+	}
+	comps, err := r.compileAll(exprs, src.Schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]sqltypes.Row, len(src.Rows))
+	for i, row := range src.Rows {
+		key := make(sqltypes.Row, len(comps))
+		for j, c := range comps {
+			v, err := c(row)
+			if err != nil {
+				return nil, err
+			}
+			key[j] = v
+		}
+		keys[i] = key
+	}
+	return keys, nil
+}
+
+// sortRows stably sorts rows by the parallel keys honoring per-item
+// direction.
+func sortRows(rows []sqltypes.Row, keys []sqltypes.Row, orderBy []sql.OrderItem) error {
+	if len(rows) != len(keys) {
+		return fmt.Errorf("exec: internal: %d rows but %d sort keys", len(rows), len(keys))
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for j := range orderBy {
+			c, err := sqltypes.Compare(ka[j], kb[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if orderBy[j].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	orig := make([]sqltypes.Row, len(rows))
+	copy(orig, rows)
+	for i, j := range idx {
+		rows[i] = orig[j]
+	}
+	return nil
+}
+
+// expandStars replaces * and tbl.* items with explicit column references.
+func expandStars(items []sql.SelectItem, schema Schema) ([]sql.SelectItem, error) {
+	out := make([]sql.SelectItem, 0, len(items))
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		matched := false
+		for _, c := range schema {
+			if it.Table != "" && !strings.EqualFold(c.Qual, it.Table) {
+				continue
+			}
+			matched = true
+			out = append(out, sql.SelectItem{
+				Expr:  &sql.ColumnRef{Table: c.Qual, Column: c.Name},
+				Alias: c.Name,
+			})
+		}
+		if !matched {
+			return nil, fmt.Errorf("exec: %s.* matches no columns", it.Table)
+		}
+	}
+	return out, nil
+}
+
+func itemExprs(items []sql.SelectItem) []sql.Expr {
+	out := make([]sql.Expr, len(items))
+	for i, it := range items {
+		out[i] = it.Expr
+	}
+	return out
+}
+
+// evalProject computes a plain projection.
+func (r *runner) evalProject(items []sql.SelectItem, input *Relation) (*Relation, error) {
+	out := &Relation{Schema: itemSchema(items)}
+	comps, err := r.compileAll(itemExprs(items), input.Schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = make([]sqltypes.Row, 0, len(input.Rows))
+	var arena rowArena
+	for _, row := range input.Rows {
+		orow := arena.alloc(len(comps))
+		for i, c := range comps {
+			v, err := c(row)
+			if err != nil {
+				return nil, err
+			}
+			orow[i] = v
+		}
+		out.Rows = append(out.Rows, orow)
+	}
+	return out, nil
+}
+
+// evalUnnest computes a projection where one or more items are top-level
+// UNNEST calls: each input row expands to as many output rows as the longest
+// unnested array (shorter arrays pad with NULL), with scalar items repeated.
+// This matches PostgreSQL's parallel unnesting of same-length arrays, which
+// the PTLDB schema guarantees.
+func (r *runner) evalUnnest(items []sql.SelectItem, input *Relation) (*Relation, error) {
+	ce := &compileEnv{schema: input.Schema, params: r.params}
+	unnest := make([]compiledExpr, len(items)) // nil => scalar item
+	scalar := make([]compiledExpr, len(items))
+	for i, it := range items {
+		if fc, ok := it.Expr.(*sql.FuncCall); ok && fc.Name == "UNNEST" {
+			if len(fc.Args) != 1 {
+				return nil, fmt.Errorf("exec: UNNEST takes exactly one argument")
+			}
+			c, err := ce.compile(fc.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			unnest[i] = c
+			continue
+		}
+		if containsUnnest(it.Expr) {
+			return nil, fmt.Errorf("exec: UNNEST must be a top-level select item")
+		}
+		c, err := ce.compile(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		scalar[i] = c
+	}
+
+	out := &Relation{Schema: itemSchema(items)}
+	arrays := make([][]int64, len(items))
+	arrayNull := make([]bool, len(items))
+	scalars := make(sqltypes.Row, len(items))
+	for _, row := range input.Rows {
+		maxLen := 0
+		for i := range items {
+			if unnest[i] != nil {
+				v, err := unnest[i](row)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					arrays[i], arrayNull[i] = nil, true
+					continue
+				}
+				if v.T != sqltypes.IntArray {
+					return nil, fmt.Errorf("exec: UNNEST of %s", v.T)
+				}
+				arrays[i], arrayNull[i] = v.A, false
+				if len(v.A) > maxLen {
+					maxLen = len(v.A)
+				}
+			} else {
+				v, err := scalar[i](row)
+				if err != nil {
+					return nil, err
+				}
+				scalars[i] = v
+			}
+		}
+		// One backing allocation for the expansion of this input row.
+		backing := make(sqltypes.Row, maxLen*len(items))
+		for j := 0; j < maxLen; j++ {
+			orow := backing[j*len(items) : (j+1)*len(items)]
+			for i := range items {
+				if unnest[i] != nil {
+					if !arrayNull[i] && j < len(arrays[i]) {
+						orow[i] = sqltypes.NewInt(arrays[i][j])
+					} else {
+						orow[i] = sqltypes.Null
+					}
+				} else {
+					orow[i] = scalars[i]
+				}
+			}
+			out.Rows = append(out.Rows, orow)
+		}
+	}
+	return out, nil
+}
+
+// evalGrouped computes aggregation with optional GROUP BY, returning the
+// output relation and the per-group ORDER BY keys.
+func (r *runner) evalGrouped(core *sql.SelectCore, items []sql.SelectItem, orderBy []sql.OrderItem, input *Relation) (*Relation, []sqltypes.Row, error) {
+	// Collect every aggregate call node across select items and order items.
+	var aggs []*sql.FuncCall
+	for _, it := range items {
+		collectAggregates(it.Expr, &aggs)
+	}
+	for _, oi := range orderBy {
+		collectAggregates(oi.Expr, &aggs)
+	}
+	collectAggregates(core.Having, &aggs)
+
+	// Without GROUP BY there is a single group whose representative row may
+	// not exist (empty input), so bare column references are invalid — the
+	// standard SQL rule.
+	if len(core.GroupBy) == 0 {
+		for _, it := range items {
+			if hasBareColumnRef(it.Expr) {
+				return nil, nil, fmt.Errorf("exec: column reference outside aggregate requires GROUP BY")
+			}
+		}
+		for _, oi := range orderBy {
+			if hasBareColumnRef(oi.Expr) {
+				return nil, nil, fmt.Errorf("exec: ORDER BY column outside aggregate requires GROUP BY")
+			}
+		}
+		if hasBareColumnRef(core.Having) {
+			return nil, nil, fmt.Errorf("exec: HAVING column outside aggregate requires GROUP BY")
+		}
+	}
+
+	// Compile the aggregate argument expressions and the GROUP BY keys
+	// against the input schema.
+	aggArgs := make([]compiledExpr, len(aggs))
+	ce := &compileEnv{schema: input.Schema, params: r.params}
+	for i, a := range aggs {
+		if a.Star {
+			continue
+		}
+		if len(a.Args) != 1 {
+			return nil, nil, fmt.Errorf("exec: %s takes one argument", a.Name)
+		}
+		c, err := ce.compile(a.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		aggArgs[i] = c
+	}
+	groupComps, err := r.compileAll(core.GroupBy, input.Schema, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Compile output and order expressions with aggregate substitution: the
+	// closures read aggValues, rebound per group below.
+	var aggValues map[*sql.FuncCall]sqltypes.Value
+	itemComps, err := r.compileAll(itemExprs(items), input.Schema, &aggValues)
+	if err != nil {
+		return nil, nil, err
+	}
+	orderExprs := make([]sql.Expr, len(orderBy))
+	for i, oi := range orderBy {
+		orderExprs[i] = oi.Expr
+	}
+	orderComps, err := r.compileAll(orderExprs, input.Schema, &aggValues)
+	if err != nil {
+		return nil, nil, err
+	}
+	var havingComp compiledExpr
+	if core.Having != nil {
+		ce2 := &compileEnv{schema: input.Schema, params: r.params, agg: &aggValues}
+		havingComp, err = ce2.compile(core.Having)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	type group struct {
+		first  sqltypes.Row
+		states []aggState
+	}
+	groups := map[string]*group{}
+	var groupOrder []string // first-seen order
+
+	keyVals := make(sqltypes.Row, len(groupComps))
+	var keyBuf []byte
+	for _, row := range input.Rows {
+		keyBuf = keyBuf[:0]
+		if len(groupComps) > 0 {
+			for i, c := range groupComps {
+				v, err := c(row)
+				if err != nil {
+					return nil, nil, err
+				}
+				keyVals[i] = v
+			}
+			keyBuf = sqltypes.EncodeRow(keyBuf, keyVals)
+		}
+		g, ok := groups[string(keyBuf)]
+		if !ok {
+			g = &group{first: row, states: newAggStates(aggs)}
+			groups[string(keyBuf)] = g
+			groupOrder = append(groupOrder, string(keyBuf))
+		}
+		for i, a := range aggs {
+			if err := g.states[i].observe(a, aggArgs[i], row); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	// A query with aggregates but no GROUP BY produces exactly one row, even
+	// over empty input (Code 1 relies on MIN over an empty join being NULL).
+	if len(core.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{first: nil, states: newAggStates(aggs)}
+		groupOrder = append(groupOrder, "")
+	}
+
+	out := &Relation{Schema: itemSchema(items)}
+	var sortKeys []sqltypes.Row
+	for _, k := range groupOrder {
+		g := groups[k]
+		aggValues = make(map[*sql.FuncCall]sqltypes.Value, len(aggs))
+		for i, a := range aggs {
+			aggValues[a] = g.states[i].result(a)
+		}
+		if havingComp != nil {
+			v, err := havingComp(g.first)
+			if err != nil {
+				return nil, nil, err
+			}
+			if keep, null := truth(v); !keep || null {
+				continue
+			}
+		}
+		orow := make(sqltypes.Row, len(itemComps))
+		for i, c := range itemComps {
+			v, err := c(g.first)
+			if err != nil {
+				return nil, nil, err
+			}
+			orow[i] = v
+		}
+		out.Rows = append(out.Rows, orow)
+		if len(orderComps) > 0 {
+			key := make(sqltypes.Row, len(orderComps))
+			for j, c := range orderComps {
+				v, err := c(g.first)
+				if err != nil {
+					return nil, nil, err
+				}
+				key[j] = v
+			}
+			sortKeys = append(sortKeys, key)
+		}
+	}
+	return out, sortKeys, nil
+}
+
+// aggState accumulates one aggregate over a group.
+type aggState struct {
+	count   int64
+	sum     float64
+	sumInt  int64
+	intOnly bool
+	best    sqltypes.Value
+	seen    bool
+}
+
+func newAggStates(aggs []*sql.FuncCall) []aggState {
+	s := make([]aggState, len(aggs))
+	for i := range s {
+		s[i].intOnly = true
+	}
+	return s
+}
+
+func (st *aggState) observe(a *sql.FuncCall, arg compiledExpr, row sqltypes.Row) error {
+	if a.Star { // COUNT(*)
+		st.count++
+		return nil
+	}
+	v, err := arg(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	st.count++
+	switch a.Name {
+	case "MIN", "MAX":
+		if !st.seen {
+			st.best, st.seen = v, true
+			return nil
+		}
+		// Fast path for the integer label timestamps.
+		if v.T == sqltypes.Int64 && st.best.T == sqltypes.Int64 {
+			if (a.Name == "MIN" && v.I < st.best.I) || (a.Name == "MAX" && v.I > st.best.I) {
+				st.best = v
+			}
+			return nil
+		}
+		c, err := sqltypes.Compare(v, st.best)
+		if err != nil {
+			return err
+		}
+		if (a.Name == "MIN" && c < 0) || (a.Name == "MAX" && c > 0) {
+			st.best = v
+		}
+	case "SUM", "AVG":
+		f, err := v.AsFloat()
+		if err != nil {
+			return err
+		}
+		st.sum += f
+		if v.T == sqltypes.Int64 {
+			st.sumInt += v.I
+		} else {
+			st.intOnly = false
+		}
+	}
+	return nil
+}
+
+func (st *aggState) result(a *sql.FuncCall) sqltypes.Value {
+	switch a.Name {
+	case "COUNT":
+		return sqltypes.NewInt(st.count)
+	case "MIN", "MAX":
+		if !st.seen {
+			return sqltypes.Null
+		}
+		return st.best
+	case "SUM":
+		if st.count == 0 {
+			return sqltypes.Null
+		}
+		if st.intOnly {
+			return sqltypes.NewInt(st.sumInt)
+		}
+		return sqltypes.NewFloat(st.sum)
+	case "AVG":
+		if st.count == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(st.sum / float64(st.count))
+	default:
+		return sqltypes.Null
+	}
+}
+
+// itemSchema derives the output schema of a projection.
+func itemSchema(items []sql.SelectItem) Schema {
+	s := make(Schema, len(items))
+	for i, it := range items {
+		name := it.Alias
+		if name == "" {
+			name = defaultName(it.Expr)
+		}
+		s[i] = ColID{Name: name}
+	}
+	return s
+}
+
+// EvalConstRow evaluates row-independent expressions (literals, parameters,
+// arithmetic over them) into a row of values: the VALUES clause of INSERT.
+func EvalConstRow(exprs []sql.Expr, params []sqltypes.Value) (sqltypes.Row, error) {
+	ce := &compileEnv{params: params}
+	out := make(sqltypes.Row, len(exprs))
+	for i, e := range exprs {
+		c, err := ce.compile(e)
+		if err != nil {
+			return nil, err
+		}
+		v, err := c(nil)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,423 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ptldb/internal/sqldb/sql"
+	"ptldb/internal/sqldb/sqltypes"
+)
+
+// memTable is an in-memory Table implementation for executor unit tests.
+type memTable struct {
+	cols []string
+	pk   []int
+	rows []sqltypes.Row
+}
+
+func (m *memTable) Columns() []string { return m.cols }
+func (m *memTable) PKCols() []int     { return m.pk }
+
+func (m *memTable) LookupPK(key []int64) (sqltypes.Row, bool, error) {
+	for _, r := range m.rows {
+		match := true
+		for i, ci := range m.pk {
+			if r[ci].T != sqltypes.Int64 || r[ci].I != key[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return r, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func (m *memTable) Scan(fn func(sqltypes.Row) error) error {
+	for _, r := range m.rows {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type memCatalog map[string]*memTable
+
+func (c memCatalog) Table(name string) (Table, bool) {
+	t, ok := c[strings.ToLower(name)]
+	return t, ok
+}
+
+func run(t *testing.T, cat Catalog, q string, params ...sqltypes.Value) *Relation {
+	t.Helper()
+	sel, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	rel, err := Run(sel, cat, params)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return rel
+}
+
+func testCatalog() memCatalog {
+	nums := &memTable{cols: []string{"a", "b"}, pk: []int{0}}
+	for i := int64(0); i < 10; i++ {
+		nums.rows = append(nums.rows, sqltypes.Row{sqltypes.NewInt(i), sqltypes.NewInt(i * i)})
+	}
+	return memCatalog{"nums": nums}
+}
+
+func TestSchemaResolve(t *testing.T) {
+	s := Schema{{Qual: "t", Name: "a"}, {Qual: "u", Name: "b"}, {Qual: "u", Name: "a"}}
+	if i, err := s.resolve("t", "a"); err != nil || i != 0 {
+		t.Errorf("resolve(t.a) = %d, %v", i, err)
+	}
+	if i, err := s.resolve("", "b"); err != nil || i != 1 {
+		t.Errorf("resolve(b) = %d, %v", i, err)
+	}
+	if _, err := s.resolve("", "a"); err == nil {
+		t.Error("ambiguous column accepted")
+	}
+	if _, err := s.resolve("t", "zzz"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	// Case-insensitive on both qualifier and name.
+	if i, err := s.resolve("U", "B"); err != nil || i != 1 {
+		t.Errorf("resolve(U.B) = %d, %v", i, err)
+	}
+}
+
+func TestRequalify(t *testing.T) {
+	s := Schema{{Qual: "x", Name: "a"}, {Qual: "y", Name: "b"}}
+	r := s.requalify("z")
+	for i, c := range r {
+		if c.Qual != "z" || c.Name != s[i].Name {
+			t.Errorf("requalify[%d] = %+v", i, c)
+		}
+	}
+	// Original untouched.
+	if s[0].Qual != "x" {
+		t.Error("requalify mutated input")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cat := testCatalog()
+	bad := []string{
+		"SELECT zzz FROM nums",
+		"SELECT a FROM nums WHERE zzz = 1",
+		"SELECT a FROM nums ORDER BY zzz",
+		"SELECT NOSUCHFUNC(a) FROM nums",
+		"SELECT MIN(a, b) FROM nums",       // aggregate arity
+		"SELECT FLOOR(a, b) FROM nums",     // scalar arity
+		"SELECT a FROM nums WHERE a = $1",  // missing param
+		"SELECT a FROM nums LIMIT b",       // column ref in LIMIT
+		"SELECT a FROM nums WHERE a = 1/0", // runtime arithmetic error
+		"SELECT UNNEST(a) + 1 FROM nums",   // non-top-level unnest
+	}
+	for _, q := range bad {
+		sel, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse(%q): %v", q, err)
+		}
+		if _, err := Run(sel, cat, nil); err == nil {
+			t.Errorf("Run(%q) succeeded", q)
+		}
+	}
+}
+
+func TestArithmeticTyping(t *testing.T) {
+	cat := testCatalog()
+	rel := run(t, cat, "SELECT 7 / 2, 7.0 / 2, 7 % 3, -(3 - 5)")
+	row := rel.Rows[0]
+	if row[0].T != sqltypes.Int64 || row[0].I != 3 {
+		t.Errorf("7/2 = %v (integer division expected)", row[0])
+	}
+	if row[1].T != sqltypes.Float64 || row[1].F != 3.5 {
+		t.Errorf("7.0/2 = %v", row[1])
+	}
+	if row[2].I != 1 {
+		t.Errorf("7%%3 = %v", row[2])
+	}
+	if row[3].I != 2 {
+		t.Errorf("-(3-5) = %v", row[3])
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	cat := memCatalog{"arrs": {cols: []string{"xs"}, rows: []sqltypes.Row{
+		{sqltypes.NewIntArray([]int64{5, 1, 9})},
+	}}}
+	rel := run(t, cat, `
+SELECT ABS(-4), CEIL(2.1), FLOOR(2.9), COALESCE(NULL, NULL, 8),
+       LEAST(3, 1, 2), GREATEST(3, 1, 2), CARDINALITY(xs), xs[2]
+FROM arrs`)
+	want := []int64{4, 3, 2, 8, 1, 3, 3, 1}
+	for i, w := range want {
+		v := rel.Rows[0][i]
+		got, err := v.AsInt()
+		if err != nil || got != w {
+			t.Errorf("col %d = %v, want %d", i, v, w)
+		}
+	}
+	// Out-of-range subscript is NULL, as in PostgreSQL.
+	rel = run(t, cat, "SELECT xs[99], xs[0] FROM arrs")
+	if !rel.Rows[0][0].IsNull() || !rel.Rows[0][1].IsNull() {
+		t.Errorf("out-of-range subscripts = %v", rel.Rows[0])
+	}
+}
+
+func TestThreeValuedLogicTruthTable(t *testing.T) {
+	cat := testCatalog()
+	cases := []struct {
+		expr string
+		want string // "t", "f" or "n"
+	}{
+		{"1 = 1 AND NULL", "n"},
+		{"1 = 2 AND NULL", "f"},
+		{"NULL AND 1 = 2", "f"},
+		{"1 = 1 OR NULL", "t"},
+		{"NULL OR 1 = 1", "t"},
+		{"1 = 2 OR NULL", "n"},
+		{"NOT NULL", "n"},
+		{"NULL = NULL", "n"},
+		{"NULL + 1", "n"},
+	}
+	for _, c := range cases {
+		rel := run(t, cat, fmt.Sprintf("SELECT %s", c.expr))
+		v := rel.Rows[0][0]
+		got := "n"
+		if !v.IsNull() {
+			if tr, _ := truth(v); tr {
+				got = "t"
+			} else {
+				got = "f"
+			}
+		}
+		if got != c.want {
+			t.Errorf("%s = %q (%v), want %q", c.expr, got, v, c.want)
+		}
+	}
+}
+
+func TestIndexVsScanSameResults(t *testing.T) {
+	// The same query answered via the PK access path and via a full scan
+	// (no PK) must agree.
+	withPK := testCatalog()
+	noPK := memCatalog{"nums": {cols: []string{"a", "b"}, rows: withPK["nums"].rows}}
+	q := "SELECT b FROM nums WHERE a = 6"
+	a := run(t, withPK, q)
+	b := run(t, noPK, q)
+	if len(a.Rows) != 1 || len(b.Rows) != 1 || a.Rows[0][0].I != b.Rows[0][0].I {
+		t.Errorf("index path %v vs scan path %v", a.Rows, b.Rows)
+	}
+}
+
+func TestCTEShadowsTable(t *testing.T) {
+	cat := testCatalog()
+	rel := run(t, cat, "WITH nums AS (SELECT 42 AS a) SELECT a FROM nums")
+	if len(rel.Rows) != 1 || rel.Rows[0][0].I != 42 {
+		t.Errorf("CTE did not shadow base table: %v", rel.Rows)
+	}
+}
+
+func TestNestedCTEScopes(t *testing.T) {
+	cat := testCatalog()
+	rel := run(t, cat, `
+WITH x AS (SELECT 1 AS v),
+     y AS (SELECT v + 1 AS v FROM x)
+SELECT x.v, y.v FROM x, y`)
+	if rel.Rows[0][0].I != 1 || rel.Rows[0][1].I != 2 {
+		t.Errorf("nested CTEs = %v", rel.Rows)
+	}
+}
+
+func TestSumAvgAggregates(t *testing.T) {
+	cat := testCatalog()
+	rel := run(t, cat, "SELECT SUM(a), AVG(a) FROM nums")
+	if rel.Rows[0][0].I != 45 {
+		t.Errorf("SUM = %v", rel.Rows[0][0])
+	}
+	if rel.Rows[0][1].T != sqltypes.Float64 || rel.Rows[0][1].F != 4.5 {
+		t.Errorf("AVG = %v", rel.Rows[0][1])
+	}
+	// SUM over empty input is NULL; COUNT is 0.
+	rel = run(t, cat, "SELECT SUM(a), COUNT(a) FROM nums WHERE a > 100")
+	if !rel.Rows[0][0].IsNull() || rel.Rows[0][1].I != 0 {
+		t.Errorf("empty SUM/COUNT = %v", rel.Rows[0])
+	}
+}
+
+func TestOrderByAliasAfterUnnest(t *testing.T) {
+	cat := memCatalog{"arrs": {cols: []string{"xs"}, rows: []sqltypes.Row{
+		{sqltypes.NewIntArray([]int64{5, 1, 9})},
+	}}}
+	// After UNNEST, ORDER BY must reference output columns (by alias).
+	rel := run(t, cat, "SELECT UNNEST(xs) AS x FROM arrs ORDER BY x DESC")
+	var got []int64
+	for _, r := range rel.Rows {
+		got = append(got, r[0].I)
+	}
+	if len(got) != 3 || got[0] != 9 || got[1] != 5 || got[2] != 1 {
+		t.Errorf("ordered unnest = %v", got)
+	}
+	// Referencing an input-only column after UNNEST is rejected.
+	sel, err := sql.Parse("SELECT UNNEST(xs) AS x FROM arrs ORDER BY xs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sel, cat, nil); err == nil {
+		t.Error("ORDER BY on array input column after UNNEST accepted")
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	cat := testCatalog()
+	rel := run(t, cat, "SELECT a FROM nums LIMIT 0")
+	if len(rel.Rows) != 0 {
+		t.Errorf("LIMIT 0 returned %d rows", len(rel.Rows))
+	}
+}
+
+func TestColumnsHelper(t *testing.T) {
+	rel := &Relation{Schema: Schema{{Qual: "t", Name: "a"}, {Name: "b"}}}
+	cols := rel.Columns()
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+func TestUnionPathsDirect(t *testing.T) {
+	cat := testCatalog()
+	// UNION dedup, UNION ALL, outer ORDER BY and LIMIT over the combined set.
+	rel := run(t, cat, `
+(SELECT a FROM nums WHERE a < 2) UNION (SELECT a FROM nums WHERE a < 3)
+ORDER BY a DESC LIMIT 2`)
+	if len(rel.Rows) != 2 || rel.Rows[0][0].I != 2 || rel.Rows[1][0].I != 1 {
+		t.Fatalf("union rows = %v", rel.Rows)
+	}
+	rel = run(t, cat, "SELECT a FROM nums WHERE a = 1 UNION ALL SELECT a FROM nums WHERE a = 1")
+	if len(rel.Rows) != 2 {
+		t.Fatalf("union all rows = %v", rel.Rows)
+	}
+	// Arity mismatch is an error.
+	sel, _ := sql.Parse("SELECT a, b FROM nums UNION SELECT a FROM nums")
+	if _, err := Run(sel, cat, nil); err == nil {
+		t.Error("union arity mismatch accepted")
+	}
+}
+
+func TestRunTraced(t *testing.T) {
+	cat := testCatalog()
+	sel, err := sql.Parse("SELECT b FROM nums WHERE a = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, trace, err := RunTraced(sel, cat, nil)
+	if err != nil || len(rel.Rows) != 1 {
+		t.Fatal(rel, err)
+	}
+	if len(trace) == 0 || !strings.Contains(trace[0], "point lookup nums") {
+		t.Errorf("trace = %v", trace)
+	}
+}
+
+func TestIndexNestedLoopAndNullKeys(t *testing.T) {
+	dim := &memTable{cols: []string{"k", "w"}, pk: []int{0}, rows: []sqltypes.Row{
+		{sqltypes.NewInt(10), sqltypes.NewInt(100)},
+		{sqltypes.NewInt(20), sqltypes.NewInt(200)},
+	}}
+	facts := &memTable{cols: []string{"k"}, rows: []sqltypes.Row{
+		{sqltypes.NewInt(10)}, {sqltypes.Null}, {sqltypes.NewInt(30)},
+	}}
+	cat := memCatalog{"dim": dim, "facts": facts}
+	// facts has no PK: it scans; dim's PK is bound by facts.k -> index join.
+	// NULL keys never match.
+	rel := run(t, cat, "SELECT dim.w FROM facts, dim WHERE dim.k = facts.k")
+	if len(rel.Rows) != 1 || rel.Rows[0][0].I != 100 {
+		t.Fatalf("index join rows = %v", rel.Rows)
+	}
+	// Hash join with NULL keys (no usable index: join both directions on
+	// non-PK columns).
+	a := &memTable{cols: []string{"x"}, rows: []sqltypes.Row{
+		{sqltypes.NewInt(1)}, {sqltypes.Null},
+	}}
+	b := &memTable{cols: []string{"x", "y"}, rows: []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewInt(11)},
+		{sqltypes.Null, sqltypes.NewInt(99)},
+	}}
+	cat2 := memCatalog{"a": a, "b": b}
+	rel = run(t, cat2, "SELECT b.y FROM a, b WHERE a.x = b.x")
+	if len(rel.Rows) != 1 || rel.Rows[0][0].I != 11 {
+		t.Fatalf("hash join with NULLs = %v", rel.Rows)
+	}
+	// Cross product (no equality conjunct).
+	rel = run(t, cat2, "SELECT b.y FROM a, b WHERE b.y > 50")
+	if len(rel.Rows) != 2 {
+		t.Fatalf("cross join rows = %v", rel.Rows)
+	}
+}
+
+func TestEvalConstRow(t *testing.T) {
+	row, err := EvalConstRow([]sql.Expr{
+		&sql.IntLit{V: 5},
+		&sql.BinaryOp{Op: "+", L: &sql.Param{N: 1}, R: &sql.IntLit{V: 1}},
+		&sql.NullLit{},
+	}, []sqltypes.Value{sqltypes.NewInt(41)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].I != 5 || row[1].I != 42 || !row[2].IsNull() {
+		t.Fatalf("row = %v", row)
+	}
+	if _, err := EvalConstRow([]sql.Expr{&sql.ColumnRef{Column: "x"}}, nil); err == nil {
+		t.Error("column ref in const row accepted")
+	}
+}
+
+func TestIntCmpAllOps(t *testing.T) {
+	cat := testCatalog()
+	rel := run(t, cat, "SELECT 1 = 1, 1 <> 2, 1 < 2, 2 <= 2, 3 > 2, 2 >= 3")
+	want := []int64{1, 1, 1, 1, 1, 0}
+	for i, w := range want {
+		if rel.Rows[0][i].I != w {
+			t.Errorf("op %d = %v, want %d", i, rel.Rows[0][i], w)
+		}
+	}
+}
+
+func TestStarExpansionVariants(t *testing.T) {
+	cat := testCatalog()
+	rel := run(t, cat, "SELECT * FROM nums WHERE a = 1")
+	if len(rel.Rows) != 1 || len(rel.Rows[0]) != 2 {
+		t.Fatalf("star = %v", rel.Rows)
+	}
+	rel = run(t, cat, "SELECT n.* FROM nums AS n WHERE n.a = 1")
+	if len(rel.Rows[0]) != 2 {
+		t.Fatalf("qualified star = %v", rel.Rows)
+	}
+	sel, _ := sql.Parse("SELECT zz.* FROM nums AS n")
+	if _, err := Run(sel, cat, nil); err == nil {
+		t.Error("star with unknown qualifier accepted")
+	}
+}
+
+func TestNegateAndFloatPaths(t *testing.T) {
+	cat := testCatalog()
+	rel := run(t, cat, "SELECT -2.5, -(1 + 1), 5.0 % 2.0, GREATEST(1.5, 2)")
+	if rel.Rows[0][0].F != -2.5 || rel.Rows[0][1].I != -2 || rel.Rows[0][2].F != 1.0 {
+		t.Fatalf("row = %v", rel.Rows[0])
+	}
+	if rel.Rows[0][3].F != 2.0 && rel.Rows[0][3].I != 2 {
+		t.Fatalf("GREATEST mixed = %v", rel.Rows[0][3])
+	}
+	sel, _ := sql.Parse("SELECT -'x'")
+	if _, err := Run(sel, cat, nil); err == nil {
+		t.Error("negating text accepted")
+	}
+}

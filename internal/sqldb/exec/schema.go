@@ -1,0 +1,83 @@
+// Package exec evaluates parsed SQL against a catalog of stored tables.
+//
+// Execution is materialized: every operator produces a fully computed
+// Relation. This mirrors how PostgreSQL 9.x treats the paper's queries —
+// CTEs are optimization fences and set-returning functions in the select
+// list force materialization — and keeps the engine small and testable. The
+// planner recognizes the two access paths PTLDB's schema is designed
+// around: primary-key point lookups when the WHERE clause binds every PK
+// column to a constant or parameter, and index nested-loop joins when a
+// base table's full PK is equality-bound to expressions over the other
+// relation of a comma join.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"ptldb/internal/sqldb/sqltypes"
+)
+
+// ColID names one output column: an optional qualifier (table alias) and the
+// column name. Matching is case-insensitive.
+type ColID struct {
+	Qual string
+	Name string
+}
+
+// Schema is an ordered list of column identities.
+type Schema []ColID
+
+// Relation is a materialized intermediate or final result.
+type Relation struct {
+	Schema Schema
+	Rows   []sqltypes.Row
+}
+
+// Columns returns the bare column names, for presentation.
+func (r *Relation) Columns() []string {
+	out := make([]string, len(r.Schema))
+	for i, c := range r.Schema {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// resolve finds the index of a column reference in the schema. An empty
+// qualifier matches any column with the name; ambiguity is an error.
+func (s Schema) resolve(qual, name string) (int, error) {
+	found := -1
+	for i, c := range s {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qual != "" && !strings.EqualFold(c.Qual, qual) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("exec: ambiguous column %q", displayCol(qual, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("exec: unknown column %q", displayCol(qual, name))
+	}
+	return found, nil
+}
+
+func displayCol(qual, name string) string {
+	if qual == "" {
+		return name
+	}
+	return qual + "." + name
+}
+
+// requalify returns a copy of the schema with every column's qualifier
+// replaced (how a derived table's alias renames its output).
+func (s Schema) requalify(qual string) Schema {
+	out := make(Schema, len(s))
+	for i, c := range s {
+		out[i] = ColID{Qual: qual, Name: c.Name}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package sql
+
+// Expr is any scalar (or, for Unnest, set-returning) expression.
+type Expr interface{ isExpr() }
+
+// ColumnRef names a column, optionally qualified: Table may be empty.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// FloatLit is a decimal literal.
+type FloatLit struct{ V float64 }
+
+// StringLit is a string literal.
+type StringLit struct{ V string }
+
+// NullLit is the NULL keyword.
+type NullLit struct{}
+
+// Param is a positional parameter $N (1-based).
+type Param struct{ N int }
+
+// BinaryOp applies Op ("=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/",
+// "%", "AND", "OR") to two operands.
+type BinaryOp struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryOp applies Op ("-", "NOT") to one operand.
+type UnaryOp struct {
+	Op string
+	E  Expr
+}
+
+// FuncCall is a function or aggregate application. Star marks COUNT(*).
+type FuncCall struct {
+	Name string // upper-cased
+	Args []Expr
+	Star bool
+}
+
+// ArrayIndex is a PostgreSQL-style 1-based array subscript: A[I].
+type ArrayIndex struct {
+	A, I Expr
+}
+
+// ArraySlice is a 1-based inclusive slice: A[Lo:Hi].
+type ArraySlice struct {
+	A, Lo, Hi Expr
+}
+
+// CaseExpr is CASE WHEN cond THEN value ... [ELSE value] END.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr // nil means ELSE NULL
+}
+
+// CaseWhen is one WHEN/THEN arm.
+type CaseWhen struct {
+	Cond, Then Expr
+}
+
+func (*CaseExpr) isExpr()   {}
+func (*ColumnRef) isExpr()  {}
+func (*IntLit) isExpr()     {}
+func (*FloatLit) isExpr()   {}
+func (*StringLit) isExpr()  {}
+func (*NullLit) isExpr()    {}
+func (*Param) isExpr()      {}
+func (*BinaryOp) isExpr()   {}
+func (*UnaryOp) isExpr()    {}
+func (*FuncCall) isExpr()   {}
+func (*ArrayIndex) isExpr() {}
+func (*ArraySlice) isExpr() {}
+
+// SelectItem is one element of the SELECT list. Star by itself is `*`;
+// Star with Table set is `tbl.*`.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+	Table string
+}
+
+// FromItem is one element of the FROM list: either a named table (CTE or
+// base table) or a derived subquery; Alias may rename it.
+type FromItem struct {
+	Table    string
+	Subquery *Select
+	Alias    string
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectCore is a single SELECT ... FROM ... WHERE ... GROUP BY ... HAVING
+// block.
+type SelectCore struct {
+	Items   []SelectItem
+	From    []FromItem
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+}
+
+// Select is a full select statement: either a simple core or a UNION chain
+// of arms (each arm a full Select, since PostgreSQL allows parenthesized
+// arms with their own ORDER BY / LIMIT — the form the paper's Codes 3 and 4
+// use), plus an optional trailing ORDER BY / LIMIT.
+type Select struct {
+	With []CTE
+	// Exactly one of Core / Arms is set.
+	Core *SelectCore
+	Arms []*Select
+	// All is parallel to Arms[1:]: All[i] reports whether the i-th UNION
+	// keyword was UNION ALL.
+	All     []bool
+	OrderBy []OrderItem
+	Limit   Expr
+}
+
+// CTE is one WITH element: name AS (select).
+type CTE struct {
+	Name  string
+	Query *Select
+}

@@ -1,0 +1,192 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed select back to SQL text. The output parses to an
+// equivalent tree (Parse(Format(s)) ≡ s up to parenthesization), which the
+// tests verify by round-tripping; it is used for plan debugging and error
+// messages.
+func Format(s *Select) string {
+	var b strings.Builder
+	formatSelect(&b, s)
+	return b.String()
+}
+
+func formatSelect(b *strings.Builder, s *Select) {
+	if len(s.With) > 0 {
+		b.WriteString("WITH ")
+		for i, cte := range s.With {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(cte.Name)
+			b.WriteString(" AS (")
+			formatSelect(b, cte.Query)
+			b.WriteString(")")
+		}
+		b.WriteString(" ")
+	}
+	if s.Core != nil {
+		formatCore(b, s.Core)
+	} else {
+		for i, arm := range s.Arms {
+			if i > 0 {
+				b.WriteString(" UNION ")
+				if s.All[i-1] {
+					b.WriteString("ALL ")
+				}
+			}
+			b.WriteString("(")
+			formatSelect(b, arm)
+			b.WriteString(")")
+		}
+	}
+	for i, oi := range s.OrderBy {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(FormatExpr(oi.Expr))
+		if oi.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT ")
+		b.WriteString(FormatExpr(s.Limit))
+	}
+}
+
+func formatCore(b *strings.Builder, c *SelectCore) {
+	b.WriteString("SELECT ")
+	for i, it := range c.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.Table != "":
+			b.WriteString(it.Table)
+			b.WriteString(".*")
+		case it.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(FormatExpr(it.Expr))
+			if it.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(it.Alias)
+			}
+		}
+	}
+	for i, f := range c.From {
+		if i == 0 {
+			b.WriteString(" FROM ")
+		} else {
+			b.WriteString(", ")
+		}
+		if f.Subquery != nil {
+			b.WriteString("(")
+			formatSelect(b, f.Subquery)
+			b.WriteString(")")
+		} else {
+			b.WriteString(f.Table)
+		}
+		if f.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(f.Alias)
+		}
+	}
+	if c.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(FormatExpr(c.Where))
+	}
+	for i, g := range c.GroupBy {
+		if i == 0 {
+			b.WriteString(" GROUP BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(FormatExpr(g))
+	}
+	if c.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(FormatExpr(c.Having))
+	}
+}
+
+// FormatExpr renders one expression. Binary operations are fully
+// parenthesized, so precedence never needs reconstruction.
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table != "" {
+			return x.Table + "." + x.Column
+		}
+		return x.Column
+	case *IntLit:
+		// Negative literals render as explicit negations so the output
+		// reparses to a stable form (the lexer has no signed numbers).
+		if x.V < 0 {
+			return "(- " + strconv.FormatInt(-x.V, 10) + ")"
+		}
+		return strconv.FormatInt(x.V, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(x.V, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		if x.V < 0 {
+			return "(- " + strings.TrimPrefix(s, "-") + ")"
+		}
+		return s
+	case *StringLit:
+		return "'" + strings.ReplaceAll(x.V, "'", "''") + "'"
+	case *NullLit:
+		return "NULL"
+	case *Param:
+		return "$" + strconv.Itoa(x.N)
+	case *BinaryOp:
+		return "(" + FormatExpr(x.L) + " " + x.Op + " " + FormatExpr(x.R) + ")"
+	case *UnaryOp:
+		if x.Op == "NOT" {
+			return "(NOT " + FormatExpr(x.E) + ")"
+		}
+		// The space prevents "--" (negation of a negative literal) from
+		// lexing as a line comment.
+		return "(" + x.Op + " " + FormatExpr(x.E) + ")"
+	case *FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = FormatExpr(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *CaseExpr:
+		var b strings.Builder
+		b.WriteString("CASE")
+		for _, wh := range x.Whens {
+			b.WriteString(" WHEN ")
+			b.WriteString(FormatExpr(wh.Cond))
+			b.WriteString(" THEN ")
+			b.WriteString(FormatExpr(wh.Then))
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			b.WriteString(FormatExpr(x.Else))
+		}
+		b.WriteString(" END")
+		return b.String()
+	case *ArrayIndex:
+		return FormatExpr(x.A) + "[" + FormatExpr(x.I) + "]"
+	case *ArraySlice:
+		return FormatExpr(x.A) + "[" + FormatExpr(x.Lo) + ":" + FormatExpr(x.Hi) + "]"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}

@@ -1,0 +1,153 @@
+package sql
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// normalizeSelect canonicalizes a parse tree for round-trip comparison:
+// Format fully parenthesizes arms, so a reparsed simple select may come back
+// as a one-arm compound; both forms are semantically identical.
+func normalizeSelect(s *Select) *Select {
+	if len(s.Arms) == 1 && s.Arms[0].With == nil && s.Arms[0].OrderBy == nil && s.Arms[0].Limit == nil {
+		inner := s.Arms[0]
+		out := *s
+		out.Arms, out.All = nil, nil
+		out.Core = inner.Core
+		if inner.Arms != nil {
+			out.Arms, out.All = inner.Arms, inner.All
+		}
+		s = &out
+	}
+	return s
+}
+
+func TestFormatRoundTripFixed(t *testing.T) {
+	queries := []string{
+		"SELECT 1",
+		"SELECT a, b AS x FROM t WHERE a >= 3 AND b < 4 OR NOT a = b",
+		"SELECT t.*, u.c FROM t, (SELECT 1 AS c) AS u",
+		"WITH x AS (SELECT 1 AS v) SELECT v FROM x ORDER BY v DESC LIMIT 3",
+		"SELECT UNNEST(hubs[1:$2]) AS h FROM lout WHERE v = $1",
+		"SELECT MIN(a), COUNT(*), SUM(a + 1) FROM t GROUP BY b ORDER BY MIN(a), b",
+		"(SELECT a FROM t LIMIT 1) UNION ALL (SELECT a FROM u) ORDER BY a",
+		"SELECT 'it''s', NULL, 2.5, -3 FROM t",
+		"SELECT FLOOR(ta / 3600) FROM t WHERE x <> 1",
+	}
+	for _, q := range queries {
+		first, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		text := Format(first)
+		second, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", text, q, err)
+		}
+		if !reflect.DeepEqual(normalizeSelect(first), normalizeSelect(second)) {
+			t.Errorf("round trip changed the tree:\n  in:  %s\n  out: %s", q, text)
+		}
+		// Format must be a fixpoint after one round.
+		if third := Format(second); third != text {
+			t.Errorf("Format not stable: %q -> %q", text, third)
+		}
+	}
+}
+
+// randomExpr generates a random expression tree for the round-trip property.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return &IntLit{V: rng.Int63n(1000) - 500}
+		case 1:
+			return &ColumnRef{Column: string(rune('a' + rng.Intn(4)))}
+		case 2:
+			return &ColumnRef{Table: "t", Column: string(rune('a' + rng.Intn(4)))}
+		case 3:
+			return &Param{N: 1 + rng.Intn(3)}
+		default:
+			return &NullLit{}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0, 1:
+		ops := []string{"+", "-", "*", "=", "<", "<=", ">", ">=", "<>", "AND", "OR"}
+		return &BinaryOp{Op: ops[rng.Intn(len(ops))],
+			L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 2:
+		if rng.Intn(2) == 0 {
+			return &UnaryOp{Op: "NOT", E: randomExpr(rng, depth-1)}
+		}
+		return &UnaryOp{Op: "-", E: randomExpr(rng, depth-1)}
+	case 3:
+		return &FuncCall{Name: "FLOOR", Args: []Expr{randomExpr(rng, depth-1)}}
+	case 4:
+		return &ArrayIndex{A: &ColumnRef{Column: "xs"}, I: randomExpr(rng, depth-1)}
+	default:
+		return &ArraySlice{A: &ColumnRef{Column: "xs"},
+			Lo: randomExpr(rng, depth-1), Hi: randomExpr(rng, depth-1)}
+	}
+}
+
+// TestFormatExprRoundTripRandom is the property test: for random expression
+// trees, Format -> Parse -> Format is the identity.
+func TestFormatExprRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 500; i++ {
+		e := randomExpr(rng, 1+rng.Intn(4))
+		text := "SELECT " + FormatExpr(e)
+		sel, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		got := FormatExpr(sel.Core.Items[0].Expr)
+		if got != FormatExpr(e) {
+			t.Fatalf("round trip changed expression:\n  in:  %s\n  out: %s", FormatExpr(e), got)
+		}
+	}
+}
+
+func TestFormatPaperCode1Parses(t *testing.T) {
+	s := mustParse(t, `
+WITH outp AS
+  (SELECT UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+   FROM lout WHERE v=$1),
+inp AS
+  (SELECT UNNEST(hubs) AS hub, UNNEST(tds) AS td, UNNEST(tas) AS ta
+   FROM lin WHERE v=$2)
+SELECT MIN(inp.ta)
+FROM outp, inp
+WHERE outp.hub=inp.hub AND outp.ta<=inp.td AND outp.td>=$3`)
+	text := Format(s)
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("formatted Code 1 does not parse: %v\n%s", err, text)
+	}
+}
+
+// TestFormatNewConstructs covers HAVING, CASE and the IN/BETWEEN desugaring:
+// the formatted text must reparse to the same canonical tree.
+func TestFormatNewConstructs(t *testing.T) {
+	queries := []string{
+		"SELECT grp, MIN(v) FROM t GROUP BY grp HAVING MIN(v) > 2 ORDER BY grp",
+		"SELECT CASE WHEN a < 3 THEN 1 WHEN a < 9 THEN 2 ELSE 3 END FROM t",
+		"SELECT CASE WHEN a = 1 THEN 'x' END FROM t",
+		"SELECT a FROM t WHERE a IN (1, 2, 3)",
+		"SELECT a FROM t WHERE a BETWEEN 2 AND 7",
+	}
+	for _, q := range queries {
+		first, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		text := Format(first)
+		second, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", text, err)
+		}
+		if third := Format(second); third != text {
+			t.Errorf("Format not stable for %q: %q -> %q", q, text, third)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package sql contains the lexer, AST and recursive-descent parser for the
+// SQL dialect of the embedded PTLDB database engine. The dialect covers the
+// constructs used by the paper's query Codes 1–4 (and the table builders):
+// SELECT with CTEs (WITH), derived tables, comma joins, UNNEST over array
+// columns and array slices, aggregates, GROUP BY, ORDER BY with ASC/DESC,
+// LIMIT, UNION [ALL] and positional parameters ($1, $2, …).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind uint8
+
+const (
+	// TokEOF terminates the token stream.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or keyword (keywords are matched
+	// case-insensitively by the parser).
+	TokIdent
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a single-quoted string literal, unescaped.
+	TokString
+	// TokParam is a positional parameter; Num holds its 1-based index.
+	TokParam
+	// TokOp is an operator or punctuation symbol.
+	TokOp
+)
+
+// Token is one lexical element.
+type Token struct {
+	Kind TokenKind
+	Text string // identifier, operator symbol or literal text
+	Num  int    // parameter index for TokParam
+	Pos  int    // byte offset in the input, for error messages
+}
+
+// Lex tokenizes a SQL string. Comments (-- to end of line, /* ... */) are
+// skipped.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sql: unterminated comment at offset %d", i)
+			}
+			i += 2 + end + 2
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[start:i], Pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+				}
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '$':
+			start := i
+			i++
+			num := 0
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				num = num*10 + int(src[i]-'0')
+				i++
+			}
+			if i == start+1 {
+				return nil, fmt.Errorf("sql: bare $ at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokParam, Num: num, Pos: start})
+		default:
+			start := i
+			// Multi-byte operators first.
+			for _, op := range []string{"<=", ">=", "<>", "!=", "||"} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, Token{Kind: TokOp, Text: op, Pos: start})
+					i += len(op)
+					goto next
+				}
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', '[', ']', ':', ';':
+				toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		next:
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,224 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement: *Select, *CreateTable, *Insert or
+// *DropTable.
+type Statement interface{ isStatement() }
+
+func (*Select) isStatement()      {}
+func (*CreateTable) isStatement() {}
+func (*Insert) isStatement()      {}
+func (*DropTable) isStatement()   {}
+
+// ColumnType is the declared type of a column in CREATE TABLE.
+type ColumnType uint8
+
+// Column type names accepted by the parser (with common synonyms).
+const (
+	ColBigint ColumnType = iota
+	ColDouble
+	ColText
+	ColBigintArray
+)
+
+// CreateTable is CREATE TABLE name (col TYPE..., [PRIMARY KEY (a[, b])]).
+type CreateTable struct {
+	Name    string
+	Columns []ColumnSpec
+	PK      []string
+}
+
+// ColumnSpec is one column declaration.
+type ColumnSpec struct {
+	Name string
+	Type ColumnType
+}
+
+// Insert is INSERT INTO name VALUES (...), (...). Each value expression must
+// be row-independent (literals, parameters, arithmetic over them).
+type Insert struct {
+	Table string
+	Rows  [][]Expr
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct {
+	Name string
+}
+
+// ParseStatement parses one statement of any supported kind.
+func ParseStatement(src string) (Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	var stmt Statement
+	switch {
+	case p.peekKw("CREATE"):
+		stmt, err = p.parseCreateTable()
+	case p.peekKw("INSERT"):
+		stmt, err = p.parseInsert()
+	case p.peekKw("DROP"):
+		stmt, err = p.parseDropTable()
+	default:
+		stmt, err = p.parseSelect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.acceptOp(";")
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf("trailing input")
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseCreateTable() (*CreateTable, error) {
+	p.acceptKw("CREATE")
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		if p.acceptKw("PRIMARY") {
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				ct.PK = append(ct.PK, col)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.parseColumnType()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, ColumnSpec{Name: col, Type: typ})
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// parseColumnType accepts the engine's types plus common synonyms:
+// BIGINT/INT/INTEGER[ []], DOUBLE [PRECISION]/FLOAT/REAL, TEXT/VARCHAR.
+func (p *parser) parseColumnType() (ColumnType, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return 0, p.errf("expected column type")
+	}
+	p.pos++
+	base := strings.ToUpper(t.Text)
+	switch base {
+	case "BIGINT", "INT", "INTEGER":
+		if p.acceptOp("[") {
+			if err := p.expectOp("]"); err != nil {
+				return 0, err
+			}
+			return ColBigintArray, nil
+		}
+		return ColBigint, nil
+	case "DOUBLE":
+		p.acceptKw("PRECISION")
+		return ColDouble, nil
+	case "FLOAT", "REAL":
+		return ColDouble, nil
+	case "TEXT", "VARCHAR":
+		// Optional length, ignored.
+		if p.acceptOp("(") {
+			if p.peek().Kind == TokNumber {
+				p.pos++
+			}
+			if err := p.expectOp(")"); err != nil {
+				return 0, err
+			}
+		}
+		return ColText, nil
+	default:
+		return 0, fmt.Errorf("sql: unknown column type %q", t.Text)
+	}
+}
+
+func (p *parser) parseInsert() (*Insert, error) {
+	p.acceptKw("INSERT")
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseDropTable() (*DropTable, error) {
+	p.acceptKw("DROP")
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name}, nil
+}

@@ -1,0 +1,81 @@
+package sql
+
+import "testing"
+
+func TestParseStatementCreateTable(t *testing.T) {
+	s, err := ParseStatement(`
+CREATE TABLE lout (v BIGINT, hubs BIGINT[], tds INT[], score DOUBLE PRECISION,
+                   f FLOAT, r REAL, name TEXT, tag VARCHAR(32), PRIMARY KEY (v))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := s.(*CreateTable)
+	if !ok {
+		t.Fatalf("statement = %T", s)
+	}
+	if ct.Name != "lout" || len(ct.Columns) != 8 || len(ct.PK) != 1 || ct.PK[0] != "v" {
+		t.Fatalf("create = %+v", ct)
+	}
+	wantTypes := []ColumnType{ColBigint, ColBigintArray, ColBigintArray, ColDouble,
+		ColDouble, ColDouble, ColText, ColText}
+	for i, w := range wantTypes {
+		if ct.Columns[i].Type != w {
+			t.Errorf("column %d type = %d, want %d", i, ct.Columns[i].Type, w)
+		}
+	}
+	// Composite PK.
+	s, err = ParseStatement("CREATE TABLE k (a INT, b INTEGER, PRIMARY KEY (a, b))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := s.(*CreateTable); len(ct.PK) != 2 {
+		t.Fatalf("composite PK = %+v", ct.PK)
+	}
+}
+
+func TestParseStatementInsertDrop(t *testing.T) {
+	s, err := ParseStatement("INSERT INTO t VALUES (1, 'a', $1), (2, 'b', NULL);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := s.(*Insert)
+	if ins.Table != "t" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 3 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	s, err = ParseStatement("DROP TABLE old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.(*DropTable); d.Name != "old" {
+		t.Fatalf("drop = %+v", d)
+	}
+	// A SELECT routes through ParseStatement too.
+	s, err = ParseStatement("SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*Select); !ok {
+		t.Fatalf("statement = %T", s)
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	bad := []string{
+		"CREATE TABLE",                      // missing name
+		"CREATE TABLE t",                    // missing columns
+		"CREATE TABLE t (a TIMESTAMP)",      // unknown type
+		"CREATE TABLE t (a BIGINT",          // unbalanced
+		"CREATE TABLE t (a BIGINT[)",        // broken array
+		"INSERT t VALUES (1)",               // missing INTO
+		"INSERT INTO t (1)",                 // missing VALUES
+		"INSERT INTO t VALUES 1",            // missing parens
+		"DROP t",                            // missing TABLE
+		"CREATE TABLE t (a BIGINT) garbage", // trailing input
+		"INSERT INTO t VALUES (1,)",         // trailing comma
+	}
+	for _, src := range bad {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded", src)
+		}
+	}
+}

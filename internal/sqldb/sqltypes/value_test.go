@@ -1,0 +1,209 @@
+package sqltypes
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		NullType: "NULL", Int64: "BIGINT", Float64: "DOUBLE", Text: "TEXT", IntArray: "BIGINT[]",
+		Type(99): "Type(99)",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-42), "-42"},
+		{NewFloat(2.5), "2.5"},
+		{NewText("hi"), "hi"},
+		{NewIntArray([]int64{1, 2, 3}), "{1,2,3}"},
+		{NewIntArray(nil), "{}"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.T, got, c.want)
+		}
+	}
+}
+
+func TestAsIntAsFloat(t *testing.T) {
+	if v, err := NewInt(7).AsInt(); err != nil || v != 7 {
+		t.Errorf("AsInt(7) = %d, %v", v, err)
+	}
+	if v, err := NewFloat(7.9).AsInt(); err != nil || v != 7 {
+		t.Errorf("AsInt(7.9) = %d, %v (truncation expected)", v, err)
+	}
+	if _, err := NewText("x").AsInt(); err == nil {
+		t.Error("AsInt(text) succeeded")
+	}
+	if v, err := NewInt(3).AsFloat(); err != nil || v != 3.0 {
+		t.Errorf("AsFloat(3) = %v, %v", v, err)
+	}
+	if _, err := Null.AsFloat(); err == nil {
+		t.Error("AsFloat(NULL) succeeded")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+		{NewText("a"), NewText("b"), -1},
+		{NewIntArray([]int64{1, 2}), NewIntArray([]int64{1, 3}), -1},
+		{NewIntArray([]int64{1, 2}), NewIntArray([]int64{1, 2, 0}), -1},
+		{NewIntArray([]int64{1, 2}), NewIntArray([]int64{1, 2}), 0},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Errorf("Compare(%v,%v): %v", c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := Compare(NewText("x"), NewInt(1)); err == nil {
+		t.Error("Compare(text,int) succeeded")
+	}
+	if _, err := Compare(NewText("x"), NewIntArray(nil)); err == nil {
+		t.Error("Compare(text,array) succeeded")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rows := []Row{
+		{},
+		{Null},
+		{NewInt(0), NewInt(-1), NewInt(math.MaxInt64), NewInt(math.MinInt64)},
+		{NewFloat(3.14159), NewFloat(math.Inf(1))},
+		{NewText(""), NewText("hello, κόσμε")},
+		{NewIntArray(nil), NewIntArray([]int64{5}), NewIntArray([]int64{100, 90, 80, -3})},
+		{NewInt(1), Null, NewText("x"), NewIntArray([]int64{36000, 36100, 39600})},
+	}
+	for i, r := range rows {
+		buf := EncodeRow(nil, r)
+		got, err := DecodeRow(buf)
+		if err != nil {
+			t.Fatalf("row %d: DecodeRow: %v", i, err)
+		}
+		if len(got) != len(r) {
+			t.Fatalf("row %d: got %d values, want %d", i, len(got), len(r))
+		}
+		for j := range r {
+			if !reflect.DeepEqual(normalize(got[j]), normalize(r[j])) {
+				t.Errorf("row %d value %d: got %+v, want %+v", i, j, got[j], r[j])
+			}
+		}
+	}
+}
+
+// normalize maps empty and nil arrays to a canonical form for comparison.
+func normalize(v Value) Value {
+	if v.T == IntArray && len(v.A) == 0 {
+		v.A = nil
+	}
+	return v
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	good := EncodeRow(nil, Row{NewInt(12345), NewText("abc"), NewIntArray([]int64{1, 2, 3})})
+	// Truncations at every prefix must error, never panic.
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeRow(good[:i]); err == nil && i < len(good) {
+			// A prefix may accidentally parse only if it is self-delimiting;
+			// the row header pins the value count, so any true prefix fails.
+			t.Errorf("DecodeRow(prefix %d/%d) succeeded", i, len(good))
+		}
+	}
+	// Trailing garbage.
+	if _, err := DecodeRow(append(append([]byte(nil), good...), 0xFF)); err == nil {
+		t.Error("DecodeRow with trailing bytes succeeded")
+	}
+	// Unknown tag.
+	bad := EncodeRow(nil, Row{NewInt(1)})
+	bad[1] = 0x7F
+	if _, err := DecodeRow(bad); err == nil {
+		t.Error("DecodeRow with bad tag succeeded")
+	}
+}
+
+// TestEncodeDecodeQuick is a property test over random rows.
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := make(Row, rng.Intn(8))
+		for i := range r {
+			switch rng.Intn(5) {
+			case 0:
+				r[i] = Null
+			case 1:
+				r[i] = NewInt(rng.Int63() - rng.Int63())
+			case 2:
+				r[i] = NewFloat(rng.NormFloat64())
+			case 3:
+				b := make([]byte, rng.Intn(20))
+				rng.Read(b)
+				r[i] = NewText(string(b))
+			default:
+				a := make([]int64, rng.Intn(50))
+				for j := range a {
+					a[j] = rng.Int63n(1 << 40)
+				}
+				r[i] = NewIntArray(a)
+			}
+		}
+		buf := EncodeRow(nil, r)
+		got, err := DecodeRow(buf)
+		if err != nil || len(got) != len(r) {
+			return false
+		}
+		for i := range r {
+			if !reflect.DeepEqual(normalize(got[i]), normalize(r[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewIntArray([]int64{1, 2}), NewText("a")}
+	c := r.Clone()
+	c[0].A[0] = 99
+	if r[0].A[0] != 1 {
+		t.Error("Clone shares array backing store")
+	}
+}
+
+func TestCompareArraysEqualPrefixLonger(t *testing.T) {
+	got, err := Compare(NewIntArray([]int64{1, 2, 3}), NewIntArray([]int64{1, 2}))
+	if err != nil || got != 1 {
+		t.Errorf("Compare longer-vs-prefix = %d, %v", got, err)
+	}
+}

@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the unit of I/O, matching PostgreSQL's default block size.
+const PageSize = 8192
+
+// PageID addresses a page within one file.
+type PageID uint32
+
+// PagedFile is a page-granular view of an on-disk file. All physical reads
+// and writes flow through it so the device model sees every access. It is
+// safe for concurrent use.
+type PagedFile struct {
+	mu       sync.Mutex
+	f        *os.File
+	pages    PageID
+	dev      DeviceModel
+	clock    *Clock
+	lastRead PageID // for sequential-access detection
+	id       int    // pool key component, assigned by the buffer pool
+}
+
+// OpenPagedFile opens (creating if necessary) the file at path. Device
+// charges accrue on clock.
+func OpenPagedFile(path string, dev DeviceModel, clock *Clock) (*PagedFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s size %d is not page-aligned", path, st.Size())
+	}
+	return &PagedFile{f: f, pages: PageID(st.Size() / PageSize), dev: dev, clock: clock, lastRead: ^PageID(0)}, nil
+}
+
+// NumPages returns the current page count.
+func (p *PagedFile) NumPages() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pages
+}
+
+// Allocate extends the file by one zero page and returns its id.
+func (p *PagedFile) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.pages
+	if err := p.f.Truncate(int64(id+1) * PageSize); err != nil {
+		return 0, fmt.Errorf("storage: allocate page %d: %w", id, err)
+	}
+	p.pages++
+	return id, nil
+}
+
+// ReadPage fills buf (len PageSize) with page id and charges the device
+// model: a sequential read when id follows the previous read, a random read
+// otherwise.
+func (p *PagedFile) ReadPage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id >= p.pages {
+		return fmt.Errorf("storage: read past end: page %d of %d", id, p.pages)
+	}
+	if _, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	if p.lastRead != ^PageID(0) && id == p.lastRead+1 {
+		p.clock.Charge(p.dev.SeqRead)
+	} else {
+		p.clock.Charge(p.dev.RandRead)
+	}
+	p.lastRead = id
+	return nil
+}
+
+// WritePage stores buf as page id (which must have been allocated) and
+// charges the device write cost.
+func (p *PagedFile) WritePage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id >= p.pages {
+		return fmt.Errorf("storage: write past end: page %d of %d", id, p.pages)
+	}
+	if _, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	p.clock.Charge(p.dev.Write)
+	return nil
+}
+
+// Sync flushes the file to stable storage.
+func (p *PagedFile) Sync() error { return p.f.Sync() }
+
+// Close releases the underlying file handle.
+func (p *PagedFile) Close() error { return p.f.Close() }

@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is the shared buffer pool: a fixed number of page frames cached over
+// any number of PagedFiles, with LRU replacement and write-back of dirty
+// pages. It plays the role of PostgreSQL's shared_buffers in the PTLDB
+// evaluation; DropCaches emulates the paper's "restart the server and clear
+// the operating system's cache" step.
+//
+// The pool itself is safe for concurrent use. The bytes of a pinned frame
+// may be read concurrently; mutating them is only safe while the caller is
+// the sole writer (PTLDB's workload is bulk-load-then-read-only, matching
+// the paper).
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[frameKey]*Frame
+	// LRU list of unpinned frames; head is least recently used.
+	lruHead, lruTail *Frame
+
+	nextFileID int
+
+	hits, misses uint64
+}
+
+type frameKey struct {
+	file int
+	page PageID
+}
+
+// Frame is one pinned buffer-pool page. Callers must Unpin it when done and
+// MarkDirty after modifying its Data.
+type Frame struct {
+	key   frameKey
+	file  *PagedFile
+	data  [PageSize]byte
+	pins  int
+	dirty bool
+
+	prev, next *Frame // LRU links, valid only while unpinned
+}
+
+// Data returns the page bytes. The slice is valid while the frame is pinned.
+func (f *Frame) Data() []byte { return f.data[:] }
+
+// MarkDirty records that the page must be written back before eviction.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// Page returns the page id this frame caches.
+func (f *Frame) Page() PageID { return f.key.page }
+
+// NewPool creates a pool with room for capacity frames (minimum 8).
+func NewPool(capacity int) *Pool {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Pool{capacity: capacity, frames: make(map[frameKey]*Frame, capacity)}
+}
+
+// Register assigns the pool-local id of a file. It must be called once per
+// file before the first Get.
+func (p *Pool) Register(f *PagedFile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextFileID++
+	f.id = p.nextFileID
+}
+
+// Get pins the frame holding page id of file f, reading it from the device
+// on a miss.
+func (p *Pool) Get(f *PagedFile, id PageID) (*Frame, error) {
+	key := frameKey{file: f.id, page: id}
+	p.mu.Lock()
+	if fr, ok := p.frames[key]; ok {
+		p.hits++
+		if fr.pins == 0 {
+			p.lruRemove(fr)
+		}
+		fr.pins++
+		p.mu.Unlock()
+		return fr, nil
+	}
+	p.misses++
+	fr, err := p.allocFrameLocked(f, key)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	// Read outside the pool lock would allow higher concurrency but would
+	// need per-frame latches; the evaluation workload is latency-bound, not
+	// throughput-bound, so the simple protocol is kept.
+	if err := f.ReadPage(id, fr.data[:]); err != nil {
+		fr.pins = 0
+		delete(p.frames, key)
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.mu.Unlock()
+	return fr, nil
+}
+
+// NewPage allocates a fresh page in f and returns it pinned and zeroed.
+func (p *Pool) NewPage(f *PagedFile) (*Frame, error) {
+	id, err := f.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	key := frameKey{file: f.id, page: id}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr, err := p.allocFrameLocked(f, key)
+	if err != nil {
+		return nil, err
+	}
+	fr.dirty = true
+	return fr, nil
+}
+
+// allocFrameLocked finds a free frame (evicting if needed), installs it in
+// the table pinned once, and returns it. Caller holds p.mu.
+func (p *Pool) allocFrameLocked(f *PagedFile, key frameKey) (*Frame, error) {
+	for len(p.frames) >= p.capacity {
+		victim := p.lruHead
+		if victim == nil {
+			return nil, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", p.capacity)
+		}
+		p.lruRemove(victim)
+		delete(p.frames, victim.key)
+		if victim.dirty {
+			if err := victim.file.WritePage(victim.key.page, victim.data[:]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	fr := &Frame{key: key, file: f, pins: 1}
+	p.frames[key] = fr
+	return fr, nil
+}
+
+// Unpin releases one pin. Unpinned frames become eviction candidates.
+func (p *Pool) Unpin(fr *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr.pins <= 0 {
+		panic("storage: Unpin of unpinned frame")
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		p.lruAppend(fr)
+	}
+}
+
+// FlushAll writes every dirty frame back to its file.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fr := range p.frames {
+		if fr.dirty {
+			if err := fr.file.WritePage(fr.key.page, fr.data[:]); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// DropCaches flushes and evicts every frame, emulating a cold server start.
+// It fails if any frame is still pinned.
+func (p *Pool) DropCaches() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fr := range p.frames {
+		if fr.pins > 0 {
+			return fmt.Errorf("storage: DropCaches with pinned page %d", fr.key.page)
+		}
+		if fr.dirty {
+			if err := fr.file.WritePage(fr.key.page, fr.data[:]); err != nil {
+				return err
+			}
+		}
+	}
+	p.frames = make(map[frameKey]*Frame, p.capacity)
+	p.lruHead, p.lruTail = nil, nil
+	return nil
+}
+
+// Stats reports hit/miss counters since creation.
+func (p *Pool) Stats() (hits, misses uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+func (p *Pool) lruAppend(fr *Frame) {
+	fr.prev, fr.next = p.lruTail, nil
+	if p.lruTail != nil {
+		p.lruTail.next = fr
+	} else {
+		p.lruHead = fr
+	}
+	p.lruTail = fr
+}
+
+func (p *Pool) lruRemove(fr *Frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else {
+		p.lruHead = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else {
+		p.lruTail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+}

@@ -1,0 +1,232 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RowStore is an append-only record file: the heap of one table. Records are
+// written as [uvarint length][payload] back to back, spilling across page
+// boundaries, so a wide row (PTLDB label rows hold arrays of thousands of
+// timestamps) occupies consecutive pages and costs one random read plus
+// sequential reads — the access pattern the paper's design minimizes.
+//
+// Page 0 is the header: magic, record count and the append position.
+type RowStore struct {
+	file *PagedFile
+	pool *Pool
+
+	count    uint64
+	tailPage PageID
+	tailOff  uint32
+}
+
+// Locator addresses one record: the page and offset of its length prefix.
+type Locator struct {
+	Page PageID
+	Off  uint32
+	Len  uint32 // payload length (excluding the prefix)
+}
+
+const rowStoreMagic = 0x50544c31 // "PTL1"
+
+// OpenRowStore opens or initializes a row store over file.
+func OpenRowStore(file *PagedFile, pool *Pool) (*RowStore, error) {
+	rs := &RowStore{file: file, pool: pool}
+	if file.NumPages() == 0 {
+		fr, err := pool.NewPage(file)
+		if err != nil {
+			return nil, err
+		}
+		if fr.Page() != 0 {
+			pool.Unpin(fr)
+			return nil, fmt.Errorf("storage: rowstore header not at page 0")
+		}
+		rs.tailPage, rs.tailOff = 0, 0 // no data page yet
+		rs.writeHeader(fr)
+		pool.Unpin(fr)
+		return rs, nil
+	}
+	fr, err := pool.Get(file, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(fr)
+	d := fr.Data()
+	if binary.LittleEndian.Uint32(d[0:]) != rowStoreMagic {
+		return nil, fmt.Errorf("storage: bad rowstore magic")
+	}
+	rs.count = binary.LittleEndian.Uint64(d[4:])
+	rs.tailPage = PageID(binary.LittleEndian.Uint32(d[12:]))
+	rs.tailOff = binary.LittleEndian.Uint32(d[16:])
+	return rs, nil
+}
+
+func (rs *RowStore) writeHeader(fr *Frame) {
+	d := fr.Data()
+	binary.LittleEndian.PutUint32(d[0:], rowStoreMagic)
+	binary.LittleEndian.PutUint64(d[4:], rs.count)
+	binary.LittleEndian.PutUint32(d[12:], uint32(rs.tailPage))
+	binary.LittleEndian.PutUint32(d[16:], rs.tailOff)
+	fr.MarkDirty()
+}
+
+// Count returns the number of records appended.
+func (rs *RowStore) Count() uint64 { return rs.count }
+
+// Append stores payload and returns its locator. Appends must be serialized
+// by the caller (bulk load).
+func (rs *RowStore) Append(payload []byte) (Locator, error) {
+	var prefix [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(prefix[:], uint64(len(payload)))
+
+	// Normalize the tail so the locator is well-formed; prefixes and
+	// payloads may freely spill across page boundaries.
+	if rs.tailPage == 0 || rs.tailOff == PageSize {
+		fr, err := rs.pool.NewPage(rs.file)
+		if err != nil {
+			return Locator{}, err
+		}
+		rs.tailPage, rs.tailOff = fr.Page(), 0
+		rs.pool.Unpin(fr)
+	}
+	loc := Locator{Page: rs.tailPage, Off: rs.tailOff, Len: uint32(len(payload))}
+	if err := rs.write(prefix[:n]); err != nil {
+		return Locator{}, err
+	}
+	if err := rs.write(payload); err != nil {
+		return Locator{}, err
+	}
+	rs.count++
+	return loc, nil
+}
+
+// write appends bytes at the tail position, spilling to fresh pages.
+func (rs *RowStore) write(b []byte) error {
+	for len(b) > 0 {
+		if rs.tailOff == PageSize {
+			fr, err := rs.pool.NewPage(rs.file)
+			if err != nil {
+				return err
+			}
+			rs.tailPage, rs.tailOff = fr.Page(), 0
+			rs.pool.Unpin(fr)
+		}
+		fr, err := rs.pool.Get(rs.file, rs.tailPage)
+		if err != nil {
+			return err
+		}
+		nc := copy(fr.Data()[rs.tailOff:], b)
+		fr.MarkDirty()
+		rs.pool.Unpin(fr)
+		rs.tailOff += uint32(nc)
+		b = b[nc:]
+	}
+	return nil
+}
+
+// Read returns the payload at loc.
+func (rs *RowStore) Read(loc Locator) ([]byte, error) {
+	page, off := loc.Page, loc.Off
+	// Parse the length prefix (validating loc.Len).
+	var prefix [binary.MaxVarintLen64]byte
+	pn, err := rs.peek(page, off, prefix[:])
+	if err != nil {
+		return nil, err
+	}
+	ln, k := binary.Uvarint(prefix[:pn])
+	if k <= 0 || uint32(ln) != loc.Len {
+		return nil, fmt.Errorf("storage: locator length mismatch at page %d off %d", page, off)
+	}
+	out := make([]byte, ln)
+	if err := rs.copyFrom(page, off+uint32(k), out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// peek copies up to len(buf) bytes starting at (page, off) without knowing
+// whether they cross a page boundary; returns how many were copied.
+func (rs *RowStore) peek(page PageID, off uint32, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) && page < rs.file.NumPages() {
+		fr, err := rs.pool.Get(rs.file, page)
+		if err != nil {
+			return n, err
+		}
+		c := copy(buf[n:], fr.Data()[off:])
+		rs.pool.Unpin(fr)
+		n += c
+		page++
+		off = 0
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("storage: read past end of rowstore")
+	}
+	return n, nil
+}
+
+// copyFrom fills out with the bytes starting at (page, off), following page
+// spills.
+func (rs *RowStore) copyFrom(page PageID, off uint32, out []byte) error {
+	for len(out) > 0 {
+		if off >= PageSize {
+			page += PageID(off / PageSize)
+			off %= PageSize
+		}
+		fr, err := rs.pool.Get(rs.file, page)
+		if err != nil {
+			return err
+		}
+		c := copy(out, fr.Data()[off:])
+		rs.pool.Unpin(fr)
+		out = out[c:]
+		page++
+		off = 0
+	}
+	return nil
+}
+
+// Flush persists the header and all buffered pages.
+func (rs *RowStore) Flush() error {
+	fr, err := rs.pool.Get(rs.file, 0)
+	if err != nil {
+		return err
+	}
+	rs.writeHeader(fr)
+	rs.pool.Unpin(fr)
+	return rs.pool.FlushAll()
+}
+
+// Scan calls fn for every record in append order with its locator and
+// payload. The payload slice is only valid during the call.
+func (rs *RowStore) Scan(fn func(Locator, []byte) error) error {
+	if rs.count == 0 {
+		return nil
+	}
+	page, off := PageID(1), uint32(0)
+	for i := uint64(0); i < rs.count; i++ {
+		var prefix [binary.MaxVarintLen64]byte
+		pn, err := rs.peek(page, off, prefix[:])
+		if err != nil {
+			return err
+		}
+		ln, k := binary.Uvarint(prefix[:pn])
+		if k <= 0 {
+			return fmt.Errorf("storage: corrupt record %d at page %d off %d", i, page, off)
+		}
+		loc := Locator{Page: page, Off: off, Len: uint32(ln)}
+		payload := make([]byte, ln)
+		if err := rs.copyFrom(page, off+uint32(k), payload); err != nil {
+			return err
+		}
+		if err := fn(loc, payload); err != nil {
+			return err
+		}
+		// Advance past prefix + payload.
+		total := uint64(off) + uint64(k) + ln
+		page += PageID(total / PageSize)
+		off = uint32(total % PageSize)
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+// Package synth generates synthetic schedule-based transit networks.
+//
+// The PTLDB evaluation uses eleven real GTFS feeds (paper Table 7) that are
+// not redistributable; this package substitutes parametric city models that
+// match the published statistics of each dataset — number of stops, number
+// of elementary connections and average degree — and the qualitative
+// structure hub labeling relies on: a minority of central interchange stops
+// traversed by many lines, line-shaped trips with regular headways, and a
+// service day spanning roughly 04:00–26:00.
+//
+// Generation is fully deterministic for a given (Profile, Scale, Seed).
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ptldb/internal/timetable"
+)
+
+// Profile describes one synthetic city.
+type Profile struct {
+	// Name of the modelled dataset (paper Table 7).
+	Name string
+	// Stops is the target number of stops |V|.
+	Stops int
+	// Connections is the target number of elementary connections |E|.
+	Connections int
+	// PaperTuplesPerStop records the |HL|/|V| the paper reports for the real
+	// dataset (informational; used in EXPERIMENTS.md comparisons).
+	PaperTuplesPerStop int
+	// PaperPreprocSeconds records the TTL preprocessing time the paper
+	// reports (informational).
+	PaperPreprocSeconds float64
+}
+
+// AvgDegree returns the target average degree |E|/|V|.
+func (p Profile) AvgDegree() int { return p.Connections / p.Stops }
+
+// Profiles lists the eleven datasets of the paper's Table 7.
+var Profiles = []Profile{
+	{Name: "Austin", Stops: 2000, Connections: 317000, PaperTuplesPerStop: 1600, PaperPreprocSeconds: 11.3},
+	{Name: "Berlin", Stops: 12000, Connections: 2081000, PaperTuplesPerStop: 1734, PaperPreprocSeconds: 184.7},
+	{Name: "Budapest", Stops: 5000, Connections: 1446000, PaperTuplesPerStop: 2486, PaperPreprocSeconds: 54.4},
+	{Name: "Denver", Stops: 10000, Connections: 711000, PaperTuplesPerStop: 1190, PaperPreprocSeconds: 27.3},
+	{Name: "Houston", Stops: 10000, Connections: 1113000, PaperTuplesPerStop: 2196, PaperPreprocSeconds: 72.6},
+	{Name: "Los Angeles", Stops: 15000, Connections: 1928000, PaperTuplesPerStop: 2572, PaperPreprocSeconds: 194.5},
+	{Name: "Madrid", Stops: 4000, Connections: 1913000, PaperTuplesPerStop: 7230, PaperPreprocSeconds: 338.5},
+	{Name: "Roma", Stops: 9000, Connections: 2281000, PaperTuplesPerStop: 4370, PaperPreprocSeconds: 353.6},
+	{Name: "Salt Lake City", Stops: 6000, Connections: 330000, PaperTuplesPerStop: 630, PaperPreprocSeconds: 4.5},
+	{Name: "Sweden", Stops: 51000, Connections: 4072000, PaperTuplesPerStop: 775, PaperPreprocSeconds: 179.1},
+	{Name: "Toronto", Stops: 10000, Connections: 3300000, PaperTuplesPerStop: 2987, PaperPreprocSeconds: 262.1},
+}
+
+// ProfileByName returns the profile with the given name (case-sensitive).
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown profile %q", name)
+}
+
+// Options tunes generation.
+type Options struct {
+	// Scale multiplies both the stop and connection targets; 1.0 generates
+	// the full-size dataset, 0.1 a ten-times smaller one with the same
+	// average degree. Values <= 0 default to 1.0.
+	Scale float64
+	// Seed selects the deterministic random stream.
+	Seed int64
+
+	// MinLineStops/MaxLineStops bound the number of stops per line
+	// (defaults 8/28).
+	MinLineStops, MaxLineStops int
+	// DayStart/DayEnd bound first and last departures (defaults 4h/26h).
+	DayStart, DayEnd timetable.Time
+}
+
+func (o *Options) defaults() {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.MinLineStops == 0 {
+		o.MinLineStops = 8
+	}
+	if o.MaxLineStops == 0 {
+		o.MaxLineStops = 28
+	}
+	if o.DayStart == 0 {
+		o.DayStart = 4 * 3600
+	}
+	if o.DayEnd == 0 {
+		o.DayEnd = 26 * 3600
+	}
+}
+
+// Generate builds the synthetic timetable for a profile.
+func Generate(p Profile, opt Options) *timetable.Timetable {
+	opt.defaults()
+	nStops := int(math.Round(float64(p.Stops) * opt.Scale))
+	if nStops < opt.MaxLineStops+2 {
+		nStops = opt.MaxLineStops + 2
+	}
+	targetConns := int(math.Round(float64(p.Connections) * opt.Scale))
+	rng := rand.New(rand.NewSource(opt.Seed ^ int64(len(p.Name))<<32 ^ int64(nStops)))
+
+	g := newGeometry(rng, nStops)
+	var b timetable.Builder
+	for i := 0; i < nStops; i++ {
+		b.AddStop(fmt.Sprintf("%s-%04d", p.Name, i), g.pts[i].y, g.pts[i].x)
+	}
+
+	// Phase 1: plan routes until every stop is served. Each route starts at
+	// a yet-unserved stop, so coverage is guaranteed regardless of scale.
+	var routes [][]timetable.StopID
+	served := make([]bool, nStops)
+	nServed, totalSegs := 0, 0
+	for next := 0; nServed < nStops; {
+		for next < nStops && served[next] {
+			next++
+		}
+		route := g.route(rng, timetable.StopID(next),
+			opt.MinLineStops+rng.Intn(opt.MaxLineStops-opt.MinLineStops+1))
+		if len(route) < 2 {
+			// Isolated pocket in the spatial index: mark the stop served and
+			// let a later route pass nearby.
+			served[next] = true
+			nServed++
+			continue
+		}
+		routes = append(routes, route)
+		totalSegs += 2 * (len(route) - 1) // both directions
+		for _, s := range route {
+			if !served[s] {
+				served[s] = true
+				nServed++
+			}
+		}
+	}
+
+	// Phase 2: derive a base headway so that running every route all day in
+	// both directions yields the target connection count, then emit trips.
+	window := float64(opt.DayEnd - opt.DayStart)
+	sweeps := float64(targetConns) / float64(totalSegs) // trips per route per day
+	baseHeadway := window / math.Max(1, sweeps)
+
+	trip := timetable.TripID(0)
+	conns := 0
+	for r := 0; conns < targetConns; r = (r + 1) % len(routes) {
+		stops := routes[r]
+		// Inter-stop running times: 60–240 s, fixed per line.
+		seg := make([]timetable.Time, len(stops)-1)
+		for i := range seg {
+			seg[i] = timetable.Time(60 + rng.Intn(180))
+		}
+		headway := timetable.Time(baseHeadway * (0.7 + 0.6*rng.Float64()))
+		if headway < 120 {
+			headway = 120
+		}
+		first := opt.DayStart + timetable.Time(rng.Intn(3600))
+		// Lines run in both directions, like real transit lines; without the
+		// reverse runs large parts of the network would be one-way traps.
+		reversed := make([]timetable.StopID, len(stops))
+		for i, s := range stops {
+			reversed[len(stops)-1-i] = s
+		}
+		for t0 := first; t0 <= opt.DayEnd && conns < targetConns; t0 += headway {
+			for _, dir := range [2][]timetable.StopID{stops, reversed} {
+				t := t0
+				for i := 0; i+1 < len(dir) && conns < targetConns; i++ {
+					b.AddConnection(dir[i], dir[i+1], t, t+seg[i], trip)
+					t += seg[i] + timetable.Time(10+rng.Intn(30)) // dwell
+					conns++
+				}
+				trip++
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// point is a stop location in an abstract unit square.
+type point struct{ x, y float64 }
+
+// geometry places stops and answers nearest-neighbour-ish routing queries
+// through a uniform grid index. A fraction of the stops ("hubs") cluster
+// around the city centre so that radial lines share interchanges, giving the
+// degree skew hub labeling exploits.
+type geometry struct {
+	pts  []point
+	hubs []timetable.StopID
+	grid map[[2]int][]timetable.StopID
+	cell float64
+}
+
+func newGeometry(rng *rand.Rand, n int) *geometry {
+	g := &geometry{
+		pts:  make([]point, n),
+		cell: 1.0 / math.Max(4, math.Sqrt(float64(n)/6)),
+		grid: make(map[[2]int][]timetable.StopID),
+	}
+	nHubs := n / 50
+	if nHubs < 3 {
+		nHubs = 3
+	}
+	for i := 0; i < n; i++ {
+		var pt point
+		if i < nHubs {
+			// Hubs: gaussian cluster around the centre.
+			pt = point{
+				x: clamp01(0.5 + rng.NormFloat64()*0.12),
+				y: clamp01(0.5 + rng.NormFloat64()*0.12),
+			}
+			g.hubs = append(g.hubs, timetable.StopID(i))
+		} else {
+			pt = point{x: rng.Float64(), y: rng.Float64()}
+		}
+		g.pts[i] = pt
+		key := g.key(pt)
+		g.grid[key] = append(g.grid[key], timetable.StopID(i))
+	}
+	return g
+}
+
+func clamp01(v float64) float64 { return math.Min(1, math.Max(0, v)) }
+
+func (g *geometry) key(p point) [2]int {
+	return [2]int{int(p.x / g.cell), int(p.y / g.cell)}
+}
+
+// near returns up to k stops close to p, excluding those in skip, searching
+// outward ring by ring.
+func (g *geometry) near(p point, k int, skip map[timetable.StopID]bool) []timetable.StopID {
+	center := g.key(p)
+	var out []timetable.StopID
+	for r := 0; r < 8 && len(out) < k; r++ {
+		for dx := -r; dx <= r; dx++ {
+			for dy := -r; dy <= r; dy++ {
+				if maxAbs(dx, dy) != r {
+					continue // ring boundary only
+				}
+				for _, id := range g.grid[[2]int{center[0] + dx, center[1] + dy}] {
+					if !skip[id] {
+						out = append(out, id)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return g.dist2(p, out[a]) < g.dist2(p, out[b]) })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (g *geometry) dist2(p point, id timetable.StopID) float64 {
+	q := g.pts[id]
+	dx, dy := p.x-q.x, p.y-q.y
+	return dx*dx + dy*dy
+}
+
+// route builds one line of n stops: it starts at the given stop, walks toward
+// a random hub, and after passing it continues toward a random peripheral
+// point, visiting near-lying stops along the way.
+func (g *geometry) route(rng *rand.Rand, start timetable.StopID, n int) []timetable.StopID {
+	visited := map[timetable.StopID]bool{start: true}
+	seq := []timetable.StopID{start}
+	cur := g.pts[start]
+	target := g.pts[g.hubs[rng.Intn(len(g.hubs))]]
+	for len(seq) < n {
+		// Candidate next stops near the current position; among them pick
+		// the one making most progress toward the target.
+		cand := g.near(cur, 6, visited)
+		if len(cand) == 0 {
+			break
+		}
+		best, bestD := cand[0], math.Inf(1)
+		for _, c := range cand {
+			d := g.dist2(target, c)
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		seq = append(seq, best)
+		visited[best] = true
+		cur = g.pts[best]
+		// Arrived near the target: head for the periphery next.
+		if bestD < g.cell*g.cell {
+			target = point{x: rng.Float64(), y: rng.Float64()}
+		}
+	}
+	return seq
+}

@@ -1,0 +1,154 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"ptldb/internal/timetable"
+)
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("Madrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stops != 4000 || p.AvgDegree() != 478 {
+		t.Errorf("Madrid profile = %+v (avg degree %d)", p, p.AvgDegree())
+	}
+	if _, err := ProfileByName("Atlantis"); err == nil {
+		t.Error("ProfileByName(Atlantis) succeeded")
+	}
+}
+
+func TestGenerateHitsTargets(t *testing.T) {
+	p, _ := ProfileByName("Austin")
+	tt := Generate(p, Options{Scale: 0.05, Seed: 1})
+	wantStops := int(math.Round(float64(p.Stops) * 0.05))
+	if got := tt.NumStops(); got != wantStops {
+		t.Errorf("NumStops = %d, want %d", got, wantStops)
+	}
+	wantConns := int(math.Round(float64(p.Connections) * 0.05))
+	if got := tt.NumConnections(); got != wantConns {
+		t.Errorf("NumConnections = %d, want %d", got, wantConns)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("Denver")
+	a := Generate(p, Options{Scale: 0.02, Seed: 9})
+	b := Generate(p, Options{Scale: 0.02, Seed: 9})
+	if a.NumConnections() != b.NumConnections() {
+		t.Fatal("different sizes for same seed")
+	}
+	for i, c := range a.Connections() {
+		if c != b.Connection(int32(i)) {
+			t.Fatalf("connection %d differs for same seed", i)
+		}
+	}
+	c := Generate(p, Options{Scale: 0.02, Seed: 10})
+	same := a.NumConnections() == c.NumConnections()
+	if same {
+		for i := range a.Connections() {
+			if a.Connection(int32(i)) != c.Connection(int32(i)) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("identical timetables for different seeds")
+	}
+}
+
+// TestGenerateStructure checks the qualitative properties the evaluation
+// depends on: a realistic service span, positive durations (enforced by the
+// builder), degree skew (hubs see far more traffic than the median stop), and
+// full connectivity of most of the network at the start of day.
+func TestGenerateStructure(t *testing.T) {
+	p, _ := ProfileByName("Berlin")
+	tt := Generate(p, Options{Scale: 0.02, Seed: 3})
+
+	if tt.MinTime() < 4*3600 || tt.MinTime() > 7*3600 {
+		t.Errorf("first departure %v outside expected morning window", tt.MinTime())
+	}
+	if tt.MaxTime() < 20*3600 {
+		t.Errorf("last arrival %v suspiciously early", tt.MaxTime())
+	}
+
+	degs := make([]int, tt.NumStops())
+	for v := range degs {
+		degs[v] = len(tt.Outgoing(timetable.StopID(v))) + len(tt.Incoming(timetable.StopID(v)))
+	}
+	maxDeg, sum := 0, 0
+	for _, d := range degs {
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := sum / len(degs)
+	if maxDeg < 4*avg {
+		t.Errorf("degree skew too flat: max %d vs avg %d", maxDeg, avg)
+	}
+
+	// Reachability sweep from a busy stop.
+	busy := timetable.StopID(0)
+	for v := range degs {
+		if degs[v] > degs[busy] {
+			busy = timetable.StopID(v)
+		}
+	}
+	arr := earliestAll(tt, busy, tt.MinTime())
+	reached := 0
+	for _, a := range arr {
+		if a < timetable.Infinity {
+			reached++
+		}
+	}
+	if float64(reached) < 0.5*float64(tt.NumStops()) {
+		t.Errorf("only %d/%d stops reachable from the busiest stop", reached, tt.NumStops())
+	}
+}
+
+// earliestAll is a local copy of the CSA forward scan to avoid an import
+// cycle in test-only code.
+func earliestAll(tt *timetable.Timetable, s timetable.StopID, t0 timetable.Time) []timetable.Time {
+	arr := make([]timetable.Time, tt.NumStops())
+	for i := range arr {
+		arr[i] = timetable.Infinity
+	}
+	arr[s] = t0
+	for _, c := range tt.Connections() {
+		if c.Dep >= arr[c.From] && c.Arr < arr[c.To] {
+			arr[c.To] = c.Arr
+		}
+	}
+	return arr
+}
+
+func TestGenerateTinyScaleClampsStops(t *testing.T) {
+	p, _ := ProfileByName("Austin")
+	tt := Generate(p, Options{Scale: 0.001, Seed: 1})
+	if tt.NumStops() < 10 {
+		t.Errorf("tiny scale produced %d stops", tt.NumStops())
+	}
+	if tt.NumConnections() == 0 {
+		t.Error("tiny scale produced no connections")
+	}
+}
+
+func TestAllProfilesPresent(t *testing.T) {
+	if len(Profiles) != 11 {
+		t.Fatalf("expected the paper's 11 datasets, have %d", len(Profiles))
+	}
+	seen := map[string]bool{}
+	for _, p := range Profiles {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Stops <= 0 || p.Connections <= 0 {
+			t.Errorf("profile %q has empty targets", p.Name)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package timetable defines the schedule-based public-transportation network
+// model used throughout PTLDB.
+//
+// Following the notation of Timetable Labeling (Wang et al., SIGMOD 2015),
+// which the PTLDB paper builds on, a timetable is a multigraph whose vertices
+// are stops ("distinct locations where one may board a transit vehicle") and
+// whose arcs are elementary connections: a vehicle of trip b departs stop u at
+// timestamp t_d and arrives at stop v at timestamp t_a. Multiple arcs may
+// connect the same pair of stops, one per scheduled trip.
+package timetable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// StopID identifies a stop (vertex). IDs are dense integers in [0, NumStops).
+type StopID int32
+
+// TripID identifies a trip (a single scheduled run of a vehicle). The value
+// NoTrip marks a synthetic connection that belongs to no trip (e.g. a dummy
+// label tuple).
+type TripID int32
+
+// NoTrip is the TripID used when a connection or label tuple is not backed by
+// an actual trip.
+const NoTrip TripID = -1
+
+// NoStop is used where a StopID is required but absent (e.g. the pivot of a
+// direct-trip label tuple).
+const NoStop StopID = -1
+
+// Time is a timestamp in seconds relative to the start of the service day.
+// Values may exceed 24h*3600 for trips that run past midnight.
+type Time int32
+
+// Infinity is a sentinel greater than every valid timestamp.
+const Infinity Time = 1<<31 - 1
+
+// NegInfinity is a sentinel smaller than every valid timestamp.
+const NegInfinity Time = -(1<<31 - 1)
+
+// Hour returns the hour bucket of t, i.e. floor(t/3600). It is the grouping
+// unit of the knn_* and otm_* tables of the PTLDB paper (Section 3.2.1).
+func (t Time) Hour() int32 { return int32(t) / 3600 }
+
+// String renders t as hh:mm:ss.
+func (t Time) String() string {
+	if t == Infinity {
+		return "inf"
+	}
+	if t == NegInfinity {
+		return "-inf"
+	}
+	neg := ""
+	v := int32(t)
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	return fmt.Sprintf("%s%02d:%02d:%02d", neg, v/3600, v/60%60, v%60)
+}
+
+// Stop is a vertex of the timetable graph.
+type Stop struct {
+	ID   StopID
+	Name string
+	// Lat and Lon are WGS84 coordinates. They are informational only; no
+	// query in PTLDB depends on geometry.
+	Lat, Lon float64
+}
+
+// Connection is one arc of the timetable multigraph: trip Trip departs From
+// at Dep and arrives at To at Arr.
+type Connection struct {
+	From, To StopID
+	Dep, Arr Time
+	Trip     TripID
+}
+
+// Duration returns the riding time of the connection.
+func (c Connection) Duration() Time { return c.Arr - c.Dep }
+
+// Timetable is an immutable schedule-based network. Construct one with a
+// Builder; the zero value is an empty network.
+type Timetable struct {
+	stops []Stop
+	// conns holds every connection sorted by (Dep, Arr, From, To, Trip).
+	// This is the scan order of the Connection Scan Algorithm.
+	conns []Connection
+
+	// out[v] lists indexes into conns of connections departing v, sorted by
+	// Dep ascending. in[v] lists indexes of connections arriving at v,
+	// sorted by Arr ascending.
+	out, in [][]int32
+
+	minTime, maxTime Time
+	numTrips         int
+}
+
+// NumStops returns |V|.
+func (tt *Timetable) NumStops() int { return len(tt.stops) }
+
+// NumConnections returns |E|, the number of elementary connections.
+func (tt *Timetable) NumConnections() int { return len(tt.conns) }
+
+// NumTrips returns the number of distinct trips.
+func (tt *Timetable) NumTrips() int { return tt.numTrips }
+
+// Stop returns the stop with the given id.
+func (tt *Timetable) Stop(id StopID) Stop { return tt.stops[id] }
+
+// Stops returns all stops. The returned slice must not be modified.
+func (tt *Timetable) Stops() []Stop { return tt.stops }
+
+// Connections returns every connection sorted by departure time. The returned
+// slice must not be modified.
+func (tt *Timetable) Connections() []Connection { return tt.conns }
+
+// Connection returns the i-th connection in departure order.
+func (tt *Timetable) Connection(i int32) Connection { return tt.conns[i] }
+
+// Outgoing returns the indexes (into Connections) of the connections
+// departing v, sorted by departure time.
+func (tt *Timetable) Outgoing(v StopID) []int32 { return tt.out[v] }
+
+// Incoming returns the indexes (into Connections) of the connections arriving
+// at v, sorted by arrival time.
+func (tt *Timetable) Incoming(v StopID) []int32 { return tt.in[v] }
+
+// MinTime returns the earliest departure timestamp in the timetable, or 0 for
+// an empty network.
+func (tt *Timetable) MinTime() Time { return tt.minTime }
+
+// MaxTime returns the latest arrival timestamp in the timetable, or 0 for an
+// empty network.
+func (tt *Timetable) MaxTime() Time { return tt.maxTime }
+
+// Span returns MaxTime - MinTime.
+func (tt *Timetable) Span() Time { return tt.maxTime - tt.minTime }
+
+// AvgDegree returns |E|/|V| rounded to the nearest integer, the "Avg degr."
+// column of the paper's Table 7.
+func (tt *Timetable) AvgDegree() int {
+	if len(tt.stops) == 0 {
+		return 0
+	}
+	return (len(tt.conns) + len(tt.stops)/2) / len(tt.stops)
+}
+
+// Stats summarizes a timetable for reporting (paper Table 7).
+type Stats struct {
+	Stops       int
+	Connections int
+	Trips       int
+	AvgDegree   int
+	MinTime     Time
+	MaxTime     Time
+}
+
+// Stats returns summary statistics of the network.
+func (tt *Timetable) Stats() Stats {
+	return Stats{
+		Stops:       tt.NumStops(),
+		Connections: tt.NumConnections(),
+		Trips:       tt.NumTrips(),
+		AvgDegree:   tt.AvgDegree(),
+		MinTime:     tt.minTime,
+		MaxTime:     tt.maxTime,
+	}
+}
+
+// Builder accumulates stops and connections and produces an immutable
+// Timetable. The zero value is ready to use.
+type Builder struct {
+	stops []Stop
+	conns []Connection
+}
+
+// AddStop registers a stop and returns its id.
+func (b *Builder) AddStop(name string, lat, lon float64) StopID {
+	id := StopID(len(b.stops))
+	b.stops = append(b.stops, Stop{ID: id, Name: name, Lat: lat, Lon: lon})
+	return id
+}
+
+// AddStops registers n unnamed stops and returns the id of the first.
+func (b *Builder) AddStops(n int) StopID {
+	first := StopID(len(b.stops))
+	for i := 0; i < n; i++ {
+		b.AddStop(fmt.Sprintf("stop-%d", int(first)+i), 0, 0)
+	}
+	return first
+}
+
+// AddConnection records one elementary connection.
+func (b *Builder) AddConnection(from, to StopID, dep, arr Time, trip TripID) {
+	b.conns = append(b.conns, Connection{From: from, To: to, Dep: dep, Arr: arr, Trip: trip})
+}
+
+// Errors returned by Builder.Build.
+var (
+	ErrBadStop     = errors.New("timetable: connection references unknown stop")
+	ErrBadTimes    = errors.New("timetable: connection duration is not strictly positive")
+	ErrSelfLoop    = errors.New("timetable: connection departs and arrives at the same stop")
+	ErrNegativeDep = errors.New("timetable: connection departs at a negative timestamp")
+)
+
+// Build validates the accumulated data and returns the finished network.
+func (b *Builder) Build() (*Timetable, error) {
+	n := StopID(len(b.stops))
+	for i, c := range b.conns {
+		switch {
+		case c.From < 0 || c.From >= n || c.To < 0 || c.To >= n:
+			return nil, fmt.Errorf("%w: conn %d %d->%d with %d stops", ErrBadStop, i, c.From, c.To, n)
+		case c.Arr <= c.Dep:
+			return nil, fmt.Errorf("%w: conn %d dep=%v arr=%v", ErrBadTimes, i, c.Dep, c.Arr)
+		case c.From == c.To:
+			return nil, fmt.Errorf("%w: conn %d at stop %d", ErrSelfLoop, i, c.From)
+		case c.Dep < 0:
+			return nil, fmt.Errorf("%w: conn %d dep=%d", ErrNegativeDep, i, c.Dep)
+		}
+	}
+
+	tt := &Timetable{
+		stops: append([]Stop(nil), b.stops...),
+		conns: append([]Connection(nil), b.conns...),
+	}
+	sort.Slice(tt.conns, func(i, j int) bool {
+		a, b := tt.conns[i], tt.conns[j]
+		if a.Dep != b.Dep {
+			return a.Dep < b.Dep
+		}
+		if a.Arr != b.Arr {
+			return a.Arr < b.Arr
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Trip < b.Trip
+	})
+
+	tt.out = make([][]int32, n)
+	tt.in = make([][]int32, n)
+	trips := make(map[TripID]struct{})
+	tt.minTime, tt.maxTime = Infinity, NegInfinity
+	for i, c := range tt.conns {
+		tt.out[c.From] = append(tt.out[c.From], int32(i))
+		tt.in[c.To] = append(tt.in[c.To], int32(i))
+		if c.Trip != NoTrip {
+			trips[c.Trip] = struct{}{}
+		}
+		if c.Dep < tt.minTime {
+			tt.minTime = c.Dep
+		}
+		if c.Arr > tt.maxTime {
+			tt.maxTime = c.Arr
+		}
+	}
+	if len(tt.conns) == 0 {
+		tt.minTime, tt.maxTime = 0, 0
+	}
+	tt.numTrips = len(trips)
+	// out[v] is already sorted by Dep because conns is; in[v] needs its own
+	// order by Arr.
+	for v := range tt.in {
+		idx := tt.in[v]
+		sort.Slice(idx, func(i, j int) bool {
+			a, b := tt.conns[idx[i]], tt.conns[idx[j]]
+			if a.Arr != b.Arr {
+				return a.Arr < b.Arr
+			}
+			return a.Dep < b.Dep
+		})
+	}
+	return tt, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and examples.
+func (b *Builder) MustBuild() *Timetable {
+	tt, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return tt
+}

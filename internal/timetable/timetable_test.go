@@ -1,0 +1,258 @@
+package timetable
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "00:00:00"},
+		{36000, "10:00:00"},
+		{3661, "01:01:01"},
+		{25*3600 + 59, "25:00:59"},
+		{-60, "-00:01:00"},
+		{Infinity, "inf"},
+		{NegInfinity, "-inf"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int32(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeHour(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want int32
+	}{
+		{0, 0}, {3599, 0}, {3600, 1}, {36000, 10}, {36001, 10}, {86399, 23}, {86400, 24},
+	}
+	for _, c := range cases {
+		if got := c.in.Hour(); got != c.want {
+			t.Errorf("Time(%d).Hour() = %d, want %d", int32(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	var b Builder
+	tt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.NumStops() != 0 || tt.NumConnections() != 0 || tt.NumTrips() != 0 {
+		t.Errorf("empty timetable not empty: %+v", tt.Stats())
+	}
+	if tt.MinTime() != 0 || tt.MaxTime() != 0 || tt.Span() != 0 {
+		t.Errorf("empty timetable has nonzero time range [%v, %v]", tt.MinTime(), tt.MaxTime())
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	mk := func(f func(*Builder)) error {
+		var b Builder
+		b.AddStops(3)
+		f(&b)
+		_, err := b.Build()
+		return err
+	}
+	cases := []struct {
+		name string
+		f    func(*Builder)
+		want error
+	}{
+		{"unknown-to", func(b *Builder) { b.AddConnection(0, 7, 10, 20, 1) }, ErrBadStop},
+		{"unknown-from", func(b *Builder) { b.AddConnection(-1, 1, 10, 20, 1) }, ErrBadStop},
+		{"arr-before-dep", func(b *Builder) { b.AddConnection(0, 1, 20, 10, 1) }, ErrBadTimes},
+		{"zero-duration", func(b *Builder) { b.AddConnection(0, 1, 20, 20, 1) }, ErrBadTimes},
+		{"self-loop", func(b *Builder) { b.AddConnection(2, 2, 10, 20, 1) }, ErrSelfLoop},
+		{"negative-dep", func(b *Builder) { b.AddConnection(0, 1, -5, 20, 1) }, ErrNegativeDep},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := mk(c.f)
+			if err == nil {
+				t.Fatalf("Build() succeeded, want %v", c.want)
+			}
+			if !errorIs(err, c.want) {
+				t.Fatalf("Build() = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func errorIs(err, target error) bool {
+	for e := err; e != nil; {
+		if e == target {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+func TestBuildSortsConnections(t *testing.T) {
+	var b Builder
+	b.AddStops(4)
+	b.AddConnection(2, 3, 300, 400, 3)
+	b.AddConnection(0, 1, 100, 200, 1)
+	b.AddConnection(1, 2, 200, 300, 2)
+	b.AddConnection(0, 2, 100, 150, 4)
+	tt := b.MustBuild()
+
+	conns := tt.Connections()
+	if !sort.SliceIsSorted(conns, func(i, j int) bool { return conns[i].Dep < conns[j].Dep }) {
+		t.Errorf("connections not sorted by departure: %+v", conns)
+	}
+	if conns[0].Arr != 150 {
+		t.Errorf("tie on Dep not broken by Arr: first conn %+v", conns[0])
+	}
+}
+
+func TestAdjacencyLists(t *testing.T) {
+	tt := PaperExample()
+	// Stop 0 has four outgoing connections (one per trip) and four incoming.
+	if got := len(tt.Outgoing(0)); got != 4 {
+		t.Errorf("len(Outgoing(0)) = %d, want 4", got)
+	}
+	if got := len(tt.Incoming(0)); got != 4 {
+		t.Errorf("len(Incoming(0)) = %d, want 4", got)
+	}
+	for v := StopID(0); v < 7; v++ {
+		out := tt.Outgoing(v)
+		for i := 1; i < len(out); i++ {
+			if tt.Connection(out[i-1]).Dep > tt.Connection(out[i]).Dep {
+				t.Errorf("Outgoing(%d) not sorted by departure", v)
+			}
+		}
+		for _, ci := range out {
+			if tt.Connection(ci).From != v {
+				t.Errorf("Outgoing(%d) contains connection from %d", v, tt.Connection(ci).From)
+			}
+		}
+		in := tt.Incoming(v)
+		for i := 1; i < len(in); i++ {
+			if tt.Connection(in[i-1]).Arr > tt.Connection(in[i]).Arr {
+				t.Errorf("Incoming(%d) not sorted by arrival", v)
+			}
+		}
+		for _, ci := range in {
+			if tt.Connection(ci).To != v {
+				t.Errorf("Incoming(%d) contains connection to %d", v, tt.Connection(ci).To)
+			}
+		}
+	}
+}
+
+func TestPaperExampleStats(t *testing.T) {
+	tt := PaperExample()
+	s := tt.Stats()
+	if s.Stops != 7 {
+		t.Errorf("Stops = %d, want 7", s.Stops)
+	}
+	if s.Connections != 12 {
+		t.Errorf("Connections = %d, want 12", s.Connections)
+	}
+	if s.Trips != 4 {
+		t.Errorf("Trips = %d, want 4", s.Trips)
+	}
+	if s.MinTime != 28800 {
+		t.Errorf("MinTime = %v, want 08:00:00", s.MinTime)
+	}
+	if s.MaxTime != 43200 {
+		t.Errorf("MaxTime = %v, want 12:00:00", s.MaxTime)
+	}
+}
+
+func TestConnectionDuration(t *testing.T) {
+	c := Connection{Dep: 100, Arr: 250}
+	if c.Duration() != 150 {
+		t.Errorf("Duration = %d, want 150", c.Duration())
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	var b Builder
+	b.AddStops(2)
+	for i := 0; i < 7; i++ {
+		b.AddConnection(0, 1, Time(i*100), Time(i*100+50), TripID(i))
+	}
+	tt := b.MustBuild()
+	// 7 connections / 2 stops = 3.5, rounds to 4.
+	if got := tt.AvgDegree(); got != 4 {
+		t.Errorf("AvgDegree = %d, want 4", got)
+	}
+}
+
+// TestAdjacencyCoversAllConnections is a property test: for random timetables,
+// every connection appears exactly once in Outgoing(from) and once in
+// Incoming(to), and nowhere else.
+func TestAdjacencyCoversAllConnections(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b Builder
+		n := 2 + rng.Intn(20)
+		b.AddStops(n)
+		m := rng.Intn(200)
+		for i := 0; i < m; i++ {
+			from := StopID(rng.Intn(n))
+			to := StopID(rng.Intn(n))
+			if from == to {
+				to = (to + 1) % StopID(n)
+			}
+			dep := Time(rng.Intn(86400))
+			b.AddConnection(from, to, dep, dep+1+Time(rng.Intn(3600)), TripID(rng.Intn(50)))
+		}
+		tt := b.MustBuild()
+		seen := make([]int, tt.NumConnections())
+		for v := StopID(0); v < StopID(n); v++ {
+			for _, ci := range tt.Outgoing(v) {
+				seen[ci]++
+			}
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		inSeen := make([]int, tt.NumConnections())
+		for v := StopID(0); v < StopID(n); v++ {
+			for _, ci := range tt.Incoming(v) {
+				inSeen[ci]++
+			}
+		}
+		for _, s := range inSeen {
+			if s != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStopAccessors(t *testing.T) {
+	var b Builder
+	id := b.AddStop("central", 37.98, 23.73)
+	tt := b.MustBuild()
+	s := tt.Stop(id)
+	if s.Name != "central" || s.Lat != 37.98 || s.Lon != 23.73 || s.ID != id {
+		t.Errorf("Stop(%d) = %+v", id, s)
+	}
+	if len(tt.Stops()) != 1 {
+		t.Errorf("Stops() has %d entries, want 1", len(tt.Stops()))
+	}
+}

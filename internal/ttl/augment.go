@@ -1,0 +1,149 @@
+package ttl
+
+import (
+	"sort"
+
+	"ptldb/internal/timetable"
+)
+
+// Augment adds the PTLDB dummy tuples of paper Section 3.1 in place and
+// returns l. Augment is idempotent.
+//
+// For every stop v, a dummy tuple ⟨v, t, t, −1, −1⟩ is appended to both
+// L_out(v) and L_in(v) for every distinct timestamp t in:
+//
+//   - arrivals at v recorded in other stops' out-labels (tuples with
+//     hub = v in any L_out(u)),
+//   - departures from v recorded in other stops' in-labels (tuples with
+//     hub = v in any L_in(u)), and
+//   - arrivals at v in v's own in-label.
+//
+// This is the rule that reproduces Table 1 of the paper exactly; it folds the
+// three TTL query cases (hub = g, hub = s, and the proper join) into the
+// single join of the paper's Code 1: a tuple l1 ∈ L_out(s) with hub = g joins
+// the dummy ⟨g, l1.t_a, l1.t_a⟩ in L_in(g), and a tuple l2 ∈ L_in(g) with
+// hub = s joins the dummy ⟨s, l2.t_d, l2.t_d⟩ in L_out(s).
+func (l *Labels) Augment() *Labels {
+	if l.Augmented {
+		return l
+	}
+	n := len(l.In)
+	times := make([]map[timetable.Time]struct{}, n)
+	add := func(v timetable.StopID, t timetable.Time) {
+		if times[v] == nil {
+			times[v] = make(map[timetable.Time]struct{})
+		}
+		times[v][t] = struct{}{}
+	}
+	for u := 0; u < n; u++ {
+		for _, x := range l.Out[u] {
+			add(x.Hub, x.Arr)
+		}
+		for _, y := range l.In[u] {
+			add(y.Hub, y.Dep)
+			add(timetable.StopID(u), y.Arr)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if times[v] == nil {
+			continue
+		}
+		ts := make([]timetable.Time, 0, len(times[v]))
+		for t := range times[v] {
+			ts = append(ts, t)
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		for _, t := range ts {
+			d := Tuple{Hub: timetable.StopID(v), Dep: t, Arr: t, Pivot: timetable.NoStop, Trip: timetable.NoTrip}
+			l.Out[v] = append(l.Out[v], d)
+			l.In[v] = append(l.In[v], d)
+		}
+		sortLabel(l.Out[v])
+		sortLabel(l.In[v])
+	}
+	l.Augmented = true
+	return l
+}
+
+// EarliestArrivalUnified answers EA(s, g, t) using only the single-join form
+// of the paper's Code 1, which is what the database executes. It requires
+// augmented labels; for s == g it returns the earliest dummy timestamp >= t
+// at s (the paper's EA(1, 1, 324) = 324 convention), which may exceed t.
+func (l *Labels) EarliestArrivalUnified(s, g timetable.StopID, t timetable.Time) timetable.Time {
+	best := timetable.Infinity
+	joinLabels(l.Out[s], l.In[g], func(xs, ys []Tuple) {
+		minArr := timetable.Infinity
+		for _, x := range xs {
+			if x.Dep >= t && x.Arr < minArr {
+				minArr = x.Arr
+			}
+		}
+		if minArr == timetable.Infinity {
+			return
+		}
+		for _, y := range ys {
+			if y.Dep >= minArr && y.Arr < best {
+				best = y.Arr
+			}
+		}
+	})
+	return best
+}
+
+// LatestDepartureUnified answers LD(s, g, t) using only the single-join form.
+func (l *Labels) LatestDepartureUnified(s, g timetable.StopID, t timetable.Time) timetable.Time {
+	best := timetable.NegInfinity
+	joinLabels(l.Out[s], l.In[g], func(xs, ys []Tuple) {
+		maxDep := timetable.NegInfinity
+		for _, y := range ys {
+			if y.Arr <= t && y.Dep > maxDep {
+				maxDep = y.Dep
+			}
+		}
+		if maxDep == timetable.NegInfinity {
+			return
+		}
+		for _, x := range xs {
+			if x.Arr <= maxDep && x.Dep > best {
+				best = x.Dep
+			}
+		}
+	})
+	return best
+}
+
+// ShortestDurationUnified answers SD(s, g, t, tEnd) using only the
+// single-join form.
+func (l *Labels) ShortestDurationUnified(s, g timetable.StopID, t, tEnd timetable.Time) timetable.Time {
+	best := timetable.Infinity
+	joinLabels(l.Out[s], l.In[g], func(xs, ys []Tuple) {
+		for _, x := range xs {
+			if x.Dep < t {
+				continue
+			}
+			for _, y := range ys {
+				if x.Arr <= y.Dep && y.Arr <= tEnd && y.Arr-x.Dep < best {
+					best = y.Arr - x.Dep
+				}
+			}
+		}
+	})
+	return best
+}
+
+// Clone returns a deep copy of the labels.
+func (l *Labels) Clone() *Labels {
+	c := &Labels{
+		In:        make([][]Tuple, len(l.In)),
+		Out:       make([][]Tuple, len(l.Out)),
+		Augmented: l.Augmented,
+	}
+	if l.Ranks != nil {
+		c.Ranks = append([]int32(nil), l.Ranks...)
+	}
+	for v := range l.In {
+		c.In[v] = append([]Tuple(nil), l.In[v]...)
+		c.Out[v] = append([]Tuple(nil), l.Out[v]...)
+	}
+	return c
+}

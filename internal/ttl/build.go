@@ -1,0 +1,590 @@
+package ttl
+
+import (
+	"sort"
+
+	"ptldb/internal/order"
+	"ptldb/internal/timetable"
+)
+
+// Build constructs the TTL index for tt under the given vertex order using
+// pruned time-dependent profile searches, the timetable analogue of Pruned
+// Landmark Labeling: hubs are processed from most to least important, and a
+// candidate journey is discarded as soon as the labels built so far already
+// certify a journey that departs no earlier and arrives no later.
+//
+// The resulting labels are canonical for (tt, ord): they satisfy the cover
+// property (every Pareto-optimal journey is witnessed by its most important
+// stop) and contain no tuple whose journey is covered by more important hubs.
+//
+// Each per-hub search is a connection scan restricted to reached stops: a
+// priority queue merges the time-sorted connection lists of the stops that
+// already carry a Pareto profile entry, so unreachable parts of the timetable
+// cost nothing — essential once pruning shrinks the searches of unimportant
+// hubs to a handful of stops.
+func Build(tt *timetable.Timetable, ord order.Order) *Labels {
+	n := tt.NumStops()
+	l := &Labels{
+		In:    make([][]Tuple, n),
+		Out:   make([][]Tuple, n),
+		Ranks: ord.Ranks(),
+	}
+	// The forward search of a hub writes L_in(w) and reads L_out(h); the
+	// backward search writes L_out(w) and reads L_in(h): disjoint data, so
+	// the two directions run concurrently on separate scratch states.
+	newBuilder := func() *builder {
+		b := &builder{
+			tt:        tt,
+			l:         l,
+			ranks:     l.Ranks,
+			prof:      make([][]profEntry, n),
+			meta:      make([][]profMeta, n),
+			pos:       make([]int32, n),
+			hubBlocks: make([]hubBlock, n),
+		}
+		for i := range b.pos {
+			b.pos[i] = unreached
+		}
+		return b
+	}
+	fwd, bwd := newBuilder(), newBuilder()
+	done := make(chan struct{})
+	for _, h := range ord {
+		go func() {
+			fwd.forward(h)
+			done <- struct{}{}
+		}()
+		bwd.backward(h)
+		<-done
+	}
+	for v := 0; v < n; v++ {
+		sortLabel(l.In[v])
+		sortLabel(l.Out[v])
+	}
+	return l
+}
+
+// Stream position sentinels (regular positions are >= 0).
+const (
+	unreached int32 = -1 // stop has no profile entry yet
+	exhausted int32 = -2 // stream consumed its whole connection list
+)
+
+// profEntry is one Pareto profile point: a journey between the current hub
+// and a stop, departing at d and arriving at a. Profiles are kept sorted by
+// d; being Pareto antichains they are then sorted by a as well.
+type profEntry struct {
+	d, a timetable.Time
+}
+
+// profMeta carries reconstruction metadata parallel to profEntry. first is
+// the trip of the journey's first leg (what label tuples record), last the
+// trip of its final leg (needed to detect transfers when extending), and
+// pivot the first transfer stop (NoStop while the journey is single-trip).
+type profMeta struct {
+	pivot       timetable.StopID
+	first, last timetable.TripID
+}
+
+// builder carries the scratch state shared by the per-hub searches.
+type builder struct {
+	tt    *timetable.Timetable
+	l     *Labels
+	ranks []int32
+
+	// prof[w] is the Pareto profile of the current search at stop w, with
+	// meta[w] parallel; pos[w] is the stream position into the stop's
+	// connection list. touched lists stops to reset after the search.
+	prof    [][]profEntry
+	meta    [][]profMeta
+	pos     []int32
+	touched []timetable.StopID
+
+	// hubBlocks indexes the current hub's own label by hub stop for cover
+	// queries; hubUsed lists the occupied slots for reset.
+	hubBlocks []hubBlock
+	hubUsed   []timetable.StopID
+
+	pq streamHeap
+}
+
+// forward runs the pruned forward profile search from hub h, appending tuples
+// ⟨h, d, a⟩ to L_in(w) for every uncovered Pareto journey h -> w. Connections
+// are processed in increasing departure order; strictly positive durations
+// guarantee that when a connection departing at time t is processed, every
+// journey arriving at its departure stop by t is already in the profile.
+func (b *builder) forward(h timetable.StopID) {
+	tt, rankH := b.tt, b.ranks[h]
+	b.buildHubIndex(b.l.Out[h])
+	b.pq = b.pq[:0]
+
+	// The hub's own stream covers the whole day: one may start from h at any
+	// time.
+	b.openForwardStream(h, 0)
+
+	for len(b.pq) > 0 {
+		it := b.pop()
+		u := it.stop
+		if it.pos != b.pos[u] {
+			continue // stale: the stream was rewound or advanced
+		}
+		out := tt.Outgoing(u)
+		c := tt.Connection(out[it.pos])
+		// Advance the stream before relaxing so that a rewind triggered by
+		// the relaxation itself is not clobbered.
+		if int(it.pos)+1 < len(out) {
+			b.pos[u] = it.pos + 1
+			b.push(streamItem{key: int64(tt.Connection(out[it.pos+1]).Dep), stop: u, pos: it.pos + 1})
+		} else {
+			b.pos[u] = exhausted
+		}
+
+		// Best (latest) departure from h that reaches u by c.Dep.
+		var cand profEntry
+		var m profMeta
+		if u == h {
+			cand = profEntry{d: c.Dep, a: c.Arr}
+			m = profMeta{pivot: timetable.NoStop, first: c.Trip, last: c.Trip}
+		} else {
+			i := lastArrAtMost(b.prof[u], c.Dep)
+			if i < 0 {
+				continue
+			}
+			cand = profEntry{d: b.prof[u][i].d, a: c.Arr}
+			m = b.meta[u][i]
+			if c.Trip != m.last && m.pivot == timetable.NoStop {
+				m.pivot = u
+			}
+			m.last = c.Trip
+		}
+		w := c.To
+		if w == h || b.ranks[w] < rankH {
+			// Journeys back to the hub decompose into later starts; journeys
+			// to more important stops are covered by earlier hubs.
+			continue
+		}
+		if dominatedForward(b.prof[w], cand) {
+			continue
+		}
+		if b.coveredForward(b.l.In[w], h, w, cand.d, cand.a) {
+			continue
+		}
+		b.insertForward(w, cand, m)
+	}
+
+	// Emit the surviving profile entries as labels and reset.
+	for _, w := range b.touched {
+		for i, e := range b.prof[w] {
+			m := b.meta[w][i]
+			b.l.In[w] = append(b.l.In[w], Tuple{Hub: h, Dep: e.d, Arr: e.a, Pivot: m.pivot, Trip: m.first})
+		}
+		b.prof[w] = b.prof[w][:0]
+		b.meta[w] = b.meta[w][:0]
+		b.pos[w] = unreached
+	}
+	b.touched = b.touched[:0]
+	b.pos[h] = unreached
+	b.releaseHubIndex()
+}
+
+// backward runs the pruned backward profile search toward hub h, appending
+// tuples ⟨h, d, a⟩ to L_out(w) for every uncovered Pareto journey w -> h.
+// Connections are processed in decreasing arrival order over the incoming
+// lists of reached stops.
+func (b *builder) backward(h timetable.StopID) {
+	tt, rankH := b.tt, b.ranks[h]
+	b.buildHubIndex(b.l.In[h])
+	b.pq = b.pq[:0]
+
+	b.openBackwardStream(h, int32(len(tt.Incoming(h)))-1)
+
+	for len(b.pq) > 0 {
+		it := b.pop()
+		v := it.stop
+		if it.pos != b.pos[v] {
+			continue
+		}
+		in := tt.Incoming(v)
+		c := tt.Connection(in[it.pos])
+		if it.pos > 0 {
+			b.pos[v] = it.pos - 1
+			b.push(streamItem{key: -int64(tt.Connection(in[it.pos-1]).Arr), stop: v, pos: it.pos - 1})
+		} else {
+			b.pos[v] = exhausted
+		}
+
+		// Best (earliest) arrival at h for journeys leaving v at or after
+		// c.Arr.
+		var cand profEntry
+		var m profMeta
+		if v == h {
+			cand = profEntry{d: c.Dep, a: c.Arr}
+			m = profMeta{pivot: timetable.NoStop, first: c.Trip, last: c.Trip}
+		} else {
+			i := firstDepAtLeast(b.prof[v], c.Arr)
+			if i < 0 {
+				continue
+			}
+			cand = profEntry{d: c.Dep, a: b.prof[v][i].a}
+			m = b.meta[v][i]
+			if c.Trip != m.first && m.pivot == timetable.NoStop {
+				m.pivot = v
+			}
+			m.first = c.Trip
+		}
+		w := c.From
+		if w == h || b.ranks[w] < rankH {
+			continue
+		}
+		if dominatedBackward(b.prof[w], cand) {
+			continue
+		}
+		if b.coveredBackward(b.l.Out[w], h, w, cand.d, cand.a) {
+			continue
+		}
+		b.insertBackward(w, cand, m)
+	}
+
+	for _, w := range b.touched {
+		for i, e := range b.prof[w] {
+			m := b.meta[w][i]
+			b.l.Out[w] = append(b.l.Out[w], Tuple{Hub: h, Dep: e.d, Arr: e.a, Pivot: m.pivot, Trip: m.first})
+		}
+		b.prof[w] = b.prof[w][:0]
+		b.meta[w] = b.meta[w][:0]
+		b.pos[w] = unreached
+	}
+	b.touched = b.touched[:0]
+	b.pos[h] = unreached
+	b.releaseHubIndex()
+}
+
+func (b *builder) openForwardStream(u timetable.StopID, pos int32) {
+	out := b.tt.Outgoing(u)
+	if int(pos) >= len(out) {
+		b.pos[u] = exhausted
+		return
+	}
+	b.pos[u] = pos
+	b.push(streamItem{key: int64(b.tt.Connection(out[pos]).Dep), stop: u, pos: pos})
+}
+
+func (b *builder) openBackwardStream(u timetable.StopID, pos int32) {
+	if pos < 0 {
+		b.pos[u] = exhausted
+		return
+	}
+	in := b.tt.Incoming(u)
+	b.pos[u] = pos
+	b.push(streamItem{key: -int64(b.tt.Connection(in[pos]).Arr), stop: u, pos: pos})
+}
+
+// lastArrAtMost returns the index of the profile entry with the largest
+// departure among those arriving no later than t, or -1. Profiles are sorted
+// by both coordinates, so this is the last entry with a <= t.
+func lastArrAtMost(p []profEntry, t timetable.Time) int {
+	lo, hi := 0, len(p)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p[mid].a <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// firstDepAtLeast returns the index of the profile entry with the smallest
+// arrival among those departing no earlier than t, or -1.
+func firstDepAtLeast(p []profEntry, t timetable.Time) int {
+	lo, hi := 0, len(p)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p[mid].d < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(p) {
+		return -1
+	}
+	return lo
+}
+
+func dominatedForward(p []profEntry, e profEntry) bool {
+	// Dominated iff some entry departs >= e.d and arrives <= e.a; with the
+	// sort order it suffices to inspect the last entry arriving <= e.a.
+	i := lastArrAtMost(p, e.a)
+	return i >= 0 && p[i].d >= e.d
+}
+
+func dominatedBackward(p []profEntry, e profEntry) bool {
+	i := firstDepAtLeast(p, e.d)
+	return i >= 0 && p[i].a <= e.a
+}
+
+// insertForward adds e to w's profile, evicting entries e dominates, and
+// opens or rewinds w's outgoing stream to cover departures >= e.a.
+// Connections between a rewound position and the previous one depart later
+// than the current scan clock, so none is processed twice.
+func (b *builder) insertForward(w timetable.StopID, e profEntry, m profMeta) {
+	b.insert(w, e, m)
+	out := b.tt.Outgoing(w)
+	start := int32(sort.Search(len(out), func(i int) bool { return b.tt.Connection(out[i]).Dep >= e.a }))
+	if int(start) >= len(out) {
+		if b.pos[w] == unreached {
+			b.pos[w] = exhausted
+		}
+		return
+	}
+	if b.pos[w] == unreached || b.pos[w] == exhausted || start < b.pos[w] {
+		b.pos[w] = start
+		b.push(streamItem{key: int64(b.tt.Connection(out[start]).Dep), stop: w, pos: start})
+	}
+}
+
+// insertBackward adds e and opens or rewinds w's incoming stream to cover
+// arrivals <= e.d (streams run backward in time).
+func (b *builder) insertBackward(w timetable.StopID, e profEntry, m profMeta) {
+	b.insert(w, e, m)
+	in := b.tt.Incoming(w)
+	// Last index with arr <= e.d.
+	start := int32(sort.Search(len(in), func(i int) bool { return b.tt.Connection(in[i]).Arr > e.d })) - 1
+	if start < 0 {
+		if b.pos[w] == unreached {
+			b.pos[w] = exhausted
+		}
+		return
+	}
+	if b.pos[w] == unreached || b.pos[w] == exhausted || start > b.pos[w] {
+		b.pos[w] = start
+		b.push(streamItem{key: -int64(b.tt.Connection(in[start]).Arr), stop: w, pos: start})
+	}
+}
+
+// insert performs the Pareto insertion shared by both directions: e replaces
+// every entry it dominates (a contiguous run around its departure position).
+func (b *builder) insert(w timetable.StopID, e profEntry, m profMeta) {
+	p, ms := b.prof[w], b.meta[w]
+	if len(p) == 0 {
+		b.touched = append(b.touched, w)
+	}
+	i := sort.Search(len(p), func(i int) bool { return p[i].d >= e.d })
+	// Entries left of i have d < e.d; those arriving >= e.a are dominated by
+	// e and, arrivals being sorted, form the run immediately left of i.
+	lo := i
+	for lo > 0 && p[lo-1].a >= e.a {
+		lo--
+	}
+	// An existing entry with d == e.d must have a > e.a (e is not
+	// dominated), so it is dominated by e.
+	hi := i
+	if hi < len(p) && p[hi].d == e.d {
+		hi++
+	}
+	b.prof[w] = splice(p, lo, hi, e)
+	b.meta[w] = splice(ms, lo, hi, m)
+}
+
+// splice replaces s[lo:hi] with the single element e.
+func splice[T any](s []T, lo, hi int, e T) []T {
+	switch {
+	case hi-lo == 1:
+		s[lo] = e
+		return s
+	case hi-lo > 1:
+		s[lo] = e
+		return append(s[:lo+1], s[hi:]...)
+	default: // hi == lo: pure insertion
+		var zero T
+		s = append(s, zero)
+		copy(s[lo+1:], s[lo:len(s)-1])
+		s[lo] = e
+		return s
+	}
+}
+
+// hubBlock summarizes the current hub's label tuples for one hub stop:
+// departures ascending with the suffix-minimum of arrivals, so that "exists a
+// tuple departing >= d and arriving <= a" is a binary search.
+type hubBlock struct {
+	deps      []timetable.Time
+	sufMinArr []timetable.Time
+}
+
+// buildHubIndex groups label (the current hub's own L_out or L_in) by hub.
+// During construction tuples of one hub are contiguous and sorted by
+// departure, because each earlier hub appended its batch in profile order.
+func (b *builder) buildHubIndex(label []Tuple) {
+	i := 0
+	for i < len(label) {
+		h := label[i].Hub
+		j := i
+		for j < len(label) && label[j].Hub == h {
+			j++
+		}
+		blk := hubBlock{
+			deps:      make([]timetable.Time, j-i),
+			sufMinArr: make([]timetable.Time, j-i),
+		}
+		min := timetable.Infinity
+		for k := j - 1; k >= i; k-- {
+			blk.deps[k-i] = label[k].Dep
+			if label[k].Arr < min {
+				min = label[k].Arr
+			}
+			blk.sufMinArr[k-i] = min
+		}
+		b.hubBlocks[h] = blk
+		b.hubUsed = append(b.hubUsed, h)
+		i = j
+	}
+}
+
+func (b *builder) releaseHubIndex() {
+	for _, h := range b.hubUsed {
+		b.hubBlocks[h] = hubBlock{}
+	}
+	b.hubUsed = b.hubUsed[:0]
+}
+
+// minArrFrom returns the minimum arrival among tuples departing >= d, or
+// timetable.Infinity.
+func (blk *hubBlock) minArrFrom(d timetable.Time) timetable.Time {
+	lo, hi := 0, len(blk.deps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if blk.deps[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(blk.deps) {
+		return timetable.Infinity
+	}
+	return blk.sufMinArr[lo]
+}
+
+// coveredForward reports whether the labels built by hubs more important than
+// h already certify a journey h -> w departing no earlier than d and arriving
+// no later than a. The hub index holds L_out(h); lin is L_in(w).
+func (b *builder) coveredForward(lin []Tuple, h, w timetable.StopID, d, a timetable.Time) bool {
+	// Direct: a tuple in L_out(h) whose hub is w itself.
+	if blk := &b.hubBlocks[w]; len(blk.deps) > 0 && blk.minArrFrom(d) <= a {
+		return true
+	}
+	// Tuples in lin are contiguous per hub, so the transfer-time bound from
+	// L_out(h) is computed once per block.
+	for i := 0; i < len(lin); {
+		h2 := lin[i].Hub
+		j := i
+		for j < len(lin) && lin[j].Hub == h2 {
+			j++
+		}
+		// Tuples with hub h are this search's own output.
+		if h2 != h {
+			if blk := &b.hubBlocks[h2]; len(blk.deps) > 0 {
+				if minArr := blk.minArrFrom(d); minArr != timetable.Infinity {
+					for k := i; k < j; k++ {
+						if lin[k].Dep >= minArr && lin[k].Arr <= a {
+							return true
+						}
+					}
+				}
+			}
+		}
+		i = j
+	}
+	return false
+}
+
+// coveredBackward reports whether existing labels certify a journey w -> h
+// departing >= d and arriving <= a. The hub index holds L_in(h); lout is
+// L_out(w).
+func (b *builder) coveredBackward(lout []Tuple, h, w timetable.StopID, d, a timetable.Time) bool {
+	// Direct: a tuple in L_in(h) whose hub is w itself.
+	if blk := &b.hubBlocks[w]; len(blk.deps) > 0 && blk.minArrFrom(d) <= a {
+		return true
+	}
+	// For a block of L_out(w) tuples sharing a hub, minArrFrom is monotone
+	// in its argument, so only the earliest transfer arrival among tuples
+	// departing >= d needs to be probed.
+	for i := 0; i < len(lout); {
+		h2 := lout[i].Hub
+		j := i
+		for j < len(lout) && lout[j].Hub == h2 {
+			j++
+		}
+		if h2 != h {
+			if blk := &b.hubBlocks[h2]; len(blk.deps) > 0 {
+				xArrMin := timetable.Infinity
+				for k := i; k < j; k++ {
+					if lout[k].Dep >= d && lout[k].Arr < xArrMin {
+						xArrMin = lout[k].Arr
+					}
+				}
+				if xArrMin != timetable.Infinity && blk.minArrFrom(xArrMin) <= a {
+					return true
+				}
+			}
+		}
+		i = j
+	}
+	return false
+}
+
+// streamItem is a pending connection-stream head: the connection at index pos
+// of stop's outgoing (forward) or incoming (backward) list.
+type streamItem struct {
+	key  int64 // departure (forward) or negated arrival (backward)
+	stop timetable.StopID
+	pos  int32
+}
+
+// streamHeap is a binary min-heap of stream heads, specialized to avoid
+// container/heap interface overhead in the innermost preprocessing loop.
+type streamHeap []streamItem
+
+func (b *builder) push(e streamItem) {
+	h := b.pq
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].key <= h[i].key {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	b.pq = h
+}
+
+func (b *builder) pop() streamItem {
+	h := b.pq
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h) && h[l].key < h[s].key {
+			s = l
+		}
+		if r < len(h) && h[r].key < h[s].key {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	b.pq = h
+	return top
+}

@@ -1,0 +1,403 @@
+// Package ptldb is the public face of this repository: a from-scratch Go
+// reproduction of "Scalable Public Transportation Queries on the Database"
+// (Efentakis, EDBT 2016).
+//
+// PTLDB answers Earliest-Arrival (EA), Latest-Departure (LD) and
+// Shortest-Duration (SD) point queries, EA/LD k-Nearest-Neighbor queries and
+// EA/LD one-to-many queries on schedule-based public-transportation
+// networks, entirely through SQL over hub-label tables stored in an embedded
+// relational engine (the stand-in for the paper's PostgreSQL).
+//
+// Typical flow:
+//
+//	tt, _ := ptldb.GenerateCity("Austin", 0.1, 1)      // or ptldb.LoadGTFS(dir)
+//	db, _ := ptldb.Create("/tmp/austin", tt, ptldb.Config{})
+//	defer db.Close()
+//	arr, ok, _ := db.EarliestArrival(12, 87, 8*3600)
+//	_ = db.AddTargetSet("museums", []ptldb.StopID{4, 9, 23}, 16)
+//	nearest, _ := db.EAKNN("museums", 12, 8*3600, 4)
+//
+// The heavy lifting lives in the internal packages: timetable (network
+// model), gtfs (feed I/O), synth (city generator), order + ttl (Timetable
+// Labeling), csa (Connection Scan oracle), sqldb (SQL engine with simulated
+// storage devices) and core (the PTLDB tables and queries).
+package ptldb
+
+import (
+	"fmt"
+	"time"
+
+	"ptldb/internal/core"
+	"ptldb/internal/csa"
+	"ptldb/internal/gtfs"
+	"ptldb/internal/order"
+	"ptldb/internal/sqldb"
+	"ptldb/internal/sqldb/storage"
+	"ptldb/internal/synth"
+	"ptldb/internal/timetable"
+	"ptldb/internal/ttl"
+)
+
+// Re-exported model types.
+type (
+	// StopID identifies a stop; Time is seconds after midnight.
+	StopID = timetable.StopID
+	// Time is a timestamp in seconds relative to the service-day start.
+	Time = timetable.Time
+	// Network is a schedule-based transportation network.
+	Network = timetable.Timetable
+	// Connection is one elementary vehicle movement.
+	Connection = timetable.Connection
+	// Result is one kNN / one-to-many answer.
+	Result = core.Result
+	// CityProfile describes a synthetic dataset modelled on the paper's
+	// Table 7.
+	CityProfile = synth.Profile
+)
+
+// Infinity is a timestamp greater than every reachable arrival.
+const Infinity = timetable.Infinity
+
+// Profiles lists the eleven synthetic city profiles of the paper's Table 7.
+func Profiles() []CityProfile { return synth.Profiles }
+
+// GenerateCity builds the synthetic network for one of the paper's datasets
+// at the given scale (1.0 = the published |V| and |E|).
+func GenerateCity(name string, scale float64, seed int64) (*Network, error) {
+	p, err := synth.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Generate(p, synth.Options{Scale: scale, Seed: seed}), nil
+}
+
+// LoadGTFS reads a GTFS directory into a network. The second result is the
+// number of degenerate (non-positive-duration) connections skipped.
+func LoadGTFS(dir string) (*Network, int, error) {
+	feed, err := gtfs.Load(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	return feed.Timetable()
+}
+
+// Config tunes database creation and opening.
+type Config struct {
+	// Device selects the simulated storage device: "hdd", "ssd" (default)
+	// or "ram".
+	Device string
+	// PoolPages is the buffer-pool size in 8 KiB pages (default 131072).
+	PoolPages int
+	// BucketSeconds is the kNN/one-to-many grouping granularity
+	// (default 3600, the paper's one-hour buckets).
+	BucketSeconds int32
+	// Ordering selects the TTL vertex order: "neighbor-degree" (default),
+	// "degree", "hub-usage" (sampled-journey betweenness, slower to compute
+	// but usually smallest labels) or "random".
+	Ordering string
+	// Seed feeds the "random" ordering.
+	Seed int64
+}
+
+func (c Config) device() (storage.DeviceModel, error) {
+	switch c.Device {
+	case "", "ssd":
+		return storage.SSD, nil
+	case "hdd":
+		return storage.HDD, nil
+	case "ram":
+		return storage.RAM, nil
+	default:
+		return storage.DeviceModel{}, fmt.Errorf("ptldb: unknown device %q (want hdd, ssd or ram)", c.Device)
+	}
+}
+
+// DB is an open PTLDB database.
+type DB struct {
+	store *core.Store
+	db    *sqldb.DB
+}
+
+// Create preprocesses tt (TTL labels under the configured vertex order,
+// dummy-tuple augmentation, lout/lin tables) into a new database directory
+// and returns it opened. Preprocessing time is the paper's Table 7 metric;
+// see PreprocessStats for the breakdown.
+func Create(dir string, tt *Network, cfg Config) (*DB, error) {
+	db, _, err := CreateWithStats(dir, tt, cfg)
+	return db, err
+}
+
+// PreprocessStats reports how Create spent its time and what it built.
+type PreprocessStats struct {
+	OrderTime     time.Duration
+	LabelTime     time.Duration
+	AugmentTime   time.Duration
+	LoadTime      time.Duration
+	LabelTuples   int // before augmentation
+	DummyTuples   int
+	TuplesPerStop int // |HL|/|V| after label construction, the Table 7 metric
+}
+
+// CreateWithStats is Create returning the preprocessing breakdown.
+func CreateWithStats(dir string, tt *Network, cfg Config) (*DB, PreprocessStats, error) {
+	var stats PreprocessStats
+	dev, err := cfg.device()
+	if err != nil {
+		return nil, stats, err
+	}
+
+	start := time.Now()
+	var ord order.Order
+	switch cfg.Ordering {
+	case "", "neighbor-degree":
+		ord = order.ByNeighborDegree(tt)
+	case "degree":
+		ord = order.ByDegree(tt)
+	case "hub-usage":
+		samples := tt.NumStops() / 10
+		if samples < 32 {
+			samples = 32
+		}
+		ord = order.ByHubUsage(tt, samples, cfg.Seed)
+	case "random":
+		ord = order.Random(tt.NumStops(), cfg.Seed)
+	default:
+		return nil, stats, fmt.Errorf("ptldb: unknown ordering %q", cfg.Ordering)
+	}
+	stats.OrderTime = time.Since(start)
+
+	start = time.Now()
+	labels := ttl.Build(tt, ord)
+	stats.LabelTime = time.Since(start)
+	stats.LabelTuples = labels.NumTuples()
+	stats.TuplesPerStop = labels.TuplesPerStop()
+
+	start = time.Now()
+	labels.Augment()
+	stats.AugmentTime = time.Since(start)
+	stats.DummyTuples = labels.NumDummies()
+
+	start = time.Now()
+	sdb, err := sqldb.Open(dir, sqldb.Options{Device: dev, PoolPages: cfg.PoolPages})
+	if err != nil {
+		return nil, stats, err
+	}
+	store, err := core.Build(sdb, labels, core.BuildOptions{
+		BucketSeconds: cfg.BucketSeconds,
+		Stops:         tt.Stops(),
+	})
+	if err != nil {
+		sdb.Close()
+		return nil, stats, err
+	}
+	if err := sdb.Flush(); err != nil {
+		sdb.Close()
+		return nil, stats, err
+	}
+	stats.LoadTime = time.Since(start)
+	return &DB{store: store, db: sdb}, stats, nil
+}
+
+// Open attaches to a database directory previously built with Create,
+// selecting the (possibly different) simulated device for this session —
+// the paper benchmarks the same data on an HDD and an SSD.
+func Open(dir string, cfg Config) (*DB, error) {
+	dev, err := cfg.device()
+	if err != nil {
+		return nil, err
+	}
+	sdb, err := sqldb.Open(dir, sqldb.Options{Device: dev, PoolPages: cfg.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	store, err := core.Open(sdb)
+	if err != nil {
+		sdb.Close()
+		return nil, err
+	}
+	return &DB{store: store, db: sdb}, nil
+}
+
+// Close flushes and closes the database.
+func (d *DB) Close() error { return d.db.Close() }
+
+// EarliestArrival answers EA(s, g, t): the earliest arrival at g over
+// journeys leaving s no sooner than t. ok is false when no journey exists.
+func (d *DB) EarliestArrival(s, g StopID, t Time) (arr Time, ok bool, err error) {
+	return d.store.EarliestArrival(s, g, t)
+}
+
+// LatestDeparture answers LD(s, g, t): the latest departure from s arriving
+// at g no later than t.
+func (d *DB) LatestDeparture(s, g StopID, t Time) (dep Time, ok bool, err error) {
+	return d.store.LatestDeparture(s, g, t)
+}
+
+// ShortestDuration answers SD(s, g, t, tEnd): the minimum journey duration
+// within the window.
+func (d *DB) ShortestDuration(s, g StopID, t, tEnd Time) (dur Time, ok bool, err error) {
+	return d.store.ShortestDuration(s, g, t, tEnd)
+}
+
+// AddTargetSet registers a named set of target stops (e.g. stops near
+// points of interest) and materializes the kNN and one-to-many tables for k
+// up to kmax.
+func (d *DB) AddTargetSet(name string, targets []StopID, kmax int) error {
+	if err := d.store.AddTargetSet(name, targets, kmax); err != nil {
+		return err
+	}
+	return d.db.Flush()
+}
+
+// TargetSets lists the target sets registered under this DB's timetable
+// version.
+func (d *DB) TargetSets() map[string]core.TargetSetMeta {
+	return d.store.TargetSets()
+}
+
+// AddVersion loads a second timetable (e.g. the weekend schedule) as a named
+// version with its own lout/lin tables — the paper's Section 3.1 approach to
+// period-dependent timetables. The network must have the same stops.
+func (d *DB) AddVersion(name string, tt2 *Network) error {
+	labels := ttl.Build(tt2, order.ByNeighborDegree(tt2)).Augment()
+	if err := d.store.AddVersion(name, labels); err != nil {
+		return err
+	}
+	return d.db.Flush()
+}
+
+// Version returns a handle answering queries against the named timetable
+// version ("base" is the version Create loaded). Handles share the
+// underlying database and may be used concurrently.
+func (d *DB) Version(name string) (*DB, error) {
+	st, err := d.store.Version(name)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{store: st, db: d.db}, nil
+}
+
+// Versions lists the available timetable versions.
+func (d *DB) Versions() []string { return d.store.Versions() }
+
+// BuildPathTables materializes the expanded journey of every label tuple
+// into paths_out/paths_in tables, enabling JourneyFromDB. This implements
+// the paper's Section 3.1 suggestion of storing expanded paths in the
+// database instead of the TTL pivot columns. The original network must be
+// supplied; expect preprocessing-scale running time.
+func (d *DB) BuildPathTables(tt *Network) error {
+	if err := d.store.BuildPathTables(tt); err != nil {
+		return err
+	}
+	return d.db.Flush()
+}
+
+// JourneyFromDB answers EA(s, g, t) and reconstructs the itinerary's stop
+// and trip sequence entirely from database tables (one witness query plus at
+// most two path lookups). Requires BuildPathTables. The reported departure
+// is the label's guaranteed departure; the first physical boarding may be
+// slightly later when waiting at s is optimal.
+func (d *DB) JourneyFromDB(s, g StopID, t Time) (core.DBJourney, bool, error) {
+	return d.store.EarliestArrivalJourneyDB(s, g, t)
+}
+
+// EAKNN answers EA-kNN(q, T, t, k): the k target stops of set reachable
+// from q (departing >= t) with the earliest arrivals.
+func (d *DB) EAKNN(set string, q StopID, t Time, k int) ([]Result, error) {
+	return d.store.EAKNN(set, q, t, k)
+}
+
+// LDKNN answers LD-kNN(q, T, t, k): the k target stops with the latest
+// feasible departures from q arriving by t.
+func (d *DB) LDKNN(set string, q StopID, t Time, k int) ([]Result, error) {
+	return d.store.LDKNN(set, q, t, k)
+}
+
+// EAKNNNaive runs the paper's unoptimized Code 2 baseline.
+func (d *DB) EAKNNNaive(set string, q StopID, t Time, k int) ([]Result, error) {
+	return d.store.EAKNNNaive(set, q, t, k)
+}
+
+// LDKNNNaive runs the LD analogue of the Code 2 baseline.
+func (d *DB) LDKNNNaive(set string, q StopID, t Time, k int) ([]Result, error) {
+	return d.store.LDKNNNaive(set, q, t, k)
+}
+
+// EAOTM answers EA-OTM(q, T, t): the earliest arrival at every reachable
+// target of the set.
+func (d *DB) EAOTM(set string, q StopID, t Time) ([]Result, error) {
+	return d.store.EAOTM(set, q, t)
+}
+
+// LDOTM answers LD-OTM(q, T, t): the latest departure toward every target
+// reachable by t.
+func (d *DB) LDOTM(set string, q StopID, t Time) ([]Result, error) {
+	return d.store.LDOTM(set, q, t)
+}
+
+// DropCaches empties the buffer pool, emulating the paper's cold-start
+// protocol before each experiment.
+func (d *DB) DropCaches() error { return d.db.DropCaches() }
+
+// Stats reports I/O statistics of the session.
+type Stats struct {
+	// SimulatedIO is the total simulated device time charged so far.
+	SimulatedIO time.Duration
+	// CacheHits and CacheMisses count buffer-pool accesses.
+	CacheHits, CacheMisses uint64
+	// SizeOnDisk is the total bytes of all table files.
+	SizeOnDisk int64
+}
+
+// Stats returns the session's I/O statistics.
+func (d *DB) Stats() (Stats, error) {
+	h, m := d.db.Pool().Stats()
+	size, err := d.db.SizeOnDisk()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		SimulatedIO: d.db.Clock().Elapsed(),
+		CacheHits:   h,
+		CacheMisses: m,
+		SizeOnDisk:  size,
+	}, nil
+}
+
+// ResetIOClock zeroes the simulated-device clock (used around measured
+// query batches).
+func (d *DB) ResetIOClock() { d.db.Clock().Reset() }
+
+// Store exposes the underlying PTLDB store for advanced use (raw SQL, table
+// inspection).
+func (d *DB) Store() *core.Store { return d.store }
+
+// Stop resolves a stop's stored metadata (name, coordinates) from the
+// database's stops table.
+func (d *DB) Stop(v StopID) (timetable.Stop, bool, error) { return d.store.Stop(v) }
+
+// Journey is a reconstructed itinerary.
+type Journey struct {
+	Legs      []Connection
+	Transfers int
+}
+
+// EarliestArrivalJourney reconstructs a concrete EA-optimal itinerary on the
+// original network (PTLDB stores timestamps only; the paper suggests storing
+// expanded paths in the database for this purpose).
+func EarliestArrivalJourney(tt *Network, s, g StopID, t Time) (Journey, bool) {
+	legs, ok := csa.EarliestArrivalJourney(tt, s, g, t)
+	if !ok {
+		return Journey{}, false
+	}
+	return Journey{Legs: legs, Transfers: csa.Transfers(legs)}, true
+}
+
+// LatestDepartureJourney reconstructs a concrete LD-optimal itinerary.
+func LatestDepartureJourney(tt *Network, s, g StopID, t Time) (Journey, bool) {
+	legs, ok := csa.LatestDepartureJourney(tt, s, g, t)
+	if !ok {
+		return Journey{}, false
+	}
+	return Journey{Legs: legs, Transfers: csa.Transfers(legs)}, true
+}

@@ -1,0 +1,181 @@
+package ptldb
+
+import (
+	"testing"
+)
+
+func buildSmallCity(t *testing.T) (*Network, *DB) {
+	t.Helper()
+	tt, err := GenerateCity("Salt Lake City", 0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Create(t.TempDir(), tt, Config{Device: "ram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return tt, db
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	tt, db := buildSmallCity(t)
+
+	// A couple of point queries at the start of service.
+	s, g := StopID(0), StopID(tt.NumStops()-1)
+	arr, okEA, err := db.EarliestArrival(s, g, tt.MinTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okEA {
+		dep, okLD, err := db.LatestDeparture(s, g, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okLD || dep < tt.MinTime() || dep > arr {
+			t.Errorf("LD(%d,%d,%v) = %v, %v", s, g, arr, dep, okLD)
+		}
+		dur, okSD, err := db.ShortestDuration(s, g, tt.MinTime(), arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okSD || dur <= 0 || dur > arr-tt.MinTime() {
+			t.Errorf("SD = %v, %v", dur, okSD)
+		}
+		// The reconstructed journey realizes the EA timestamp.
+		j, ok := EarliestArrivalJourney(tt, s, g, tt.MinTime())
+		if !ok || j.Legs[len(j.Legs)-1].Arr != arr {
+			t.Errorf("journey arrival %v, EA %v", j.Legs[len(j.Legs)-1].Arr, arr)
+		}
+	}
+
+	// Target sets and kNN.
+	targets := []StopID{1, 3, 5, 7, 11, 13}
+	if err := db.AddTargetSet("poi", targets, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.TargetSets()["poi"]; !ok {
+		t.Error("target set not listed")
+	}
+	res, err := db.EAKNN("poi", s, tt.MinTime(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := db.EAKNNNaive("poi", s, tt.MinTime(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(naive) {
+		t.Errorf("optimized (%d results) and naive (%d) disagree", len(res), len(naive))
+	}
+	for i := range res {
+		if res[i].When != naive[i].When {
+			t.Errorf("position %d: optimized %v vs naive %v", i, res[i], naive[i])
+		}
+	}
+	otm, err := db.EAOTM("poi", s, tt.MinTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(otm) < len(res) {
+		t.Errorf("OTM returned fewer targets (%d) than 3-NN (%d)", len(otm), len(res))
+	}
+
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SizeOnDisk <= 0 || st.CacheHits == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFacadeReopenAcrossDevices(t *testing.T) {
+	tt, err := GenerateCity("Austin", 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	db, err := Create(dir, tt, Config{Device: "ram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr1, ok1, err := db.EarliestArrival(0, 5, tt.MinTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dev := range []string{"hdd", "ssd"} {
+		db2, err := Open(dir, Config{Device: dev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr2, ok2, err := db2.EarliestArrival(0, 5, tt.MinTime())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok1 != ok2 || arr1 != arr2 {
+			t.Errorf("%s: EA = %v,%v, want %v,%v", dev, arr2, ok2, arr1, ok1)
+		}
+		if err := db2.DropCaches(); err != nil {
+			t.Fatal(err)
+		}
+		db2.ResetIOClock()
+		if _, _, err := db2.EarliestArrival(0, 5, tt.MinTime()); err != nil {
+			t.Fatal(err)
+		}
+		st, err := db2.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.SimulatedIO <= 0 {
+			t.Errorf("%s: no simulated I/O charged on a cold query", dev)
+		}
+		db2.Close()
+	}
+}
+
+func TestCreateWithStats(t *testing.T) {
+	tt, err := GenerateCity("Denver", 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, stats, err := CreateWithStats(t.TempDir(), tt, Config{Device: "ram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if stats.LabelTuples <= 0 || stats.TuplesPerStop <= 0 || stats.DummyTuples <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.LabelTime <= 0 || stats.LoadTime <= 0 {
+		t.Errorf("timings = %+v", stats)
+	}
+	// The paper reports dummies as a small fraction of all tuples.
+	frac := float64(stats.DummyTuples) / float64(stats.LabelTuples+stats.DummyTuples)
+	if frac > 0.35 {
+		t.Errorf("dummy fraction %.2f unexpectedly high", frac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := GenerateCity("Nowhere", 1, 1); err == nil {
+		t.Error("unknown city accepted")
+	}
+	tt, _ := GenerateCity("Austin", 0.005, 1)
+	if _, err := Create(t.TempDir(), tt, Config{Device: "floppy"}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if _, err := Create(t.TempDir(), tt, Config{Ordering: "alphabetical"}); err == nil {
+		t.Error("unknown ordering accepted")
+	}
+	if _, err := Open(t.TempDir(), Config{}); err == nil {
+		t.Error("opening an empty directory succeeded")
+	}
+	if len(Profiles()) != 11 {
+		t.Errorf("Profiles() returned %d entries", len(Profiles()))
+	}
+}
