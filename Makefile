@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check build test race bench-concurrency
+
+# The pre-merge gate: vet + build + full suite under the race detector.
+check:
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Concurrency scaling of the sharded buffer pool (see BENCH_concurrency.json).
+# Each benchmark sweeps g=1,4,8 client goroutines internally.
+bench-concurrency:
+	$(GO) test -run '^$$' -bench 'BenchmarkConcurrent' -benchtime 1s .

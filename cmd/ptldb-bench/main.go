@@ -24,14 +24,15 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 0.05, "dataset scale relative to the paper (0 < scale <= 1)")
-		queries = flag.Int("queries", 200, "queries per experiment (paper: 1000)")
-		cities  = flag.String("cities", "", "comma-separated dataset names (default: all 11)")
-		exps    = flag.String("exp", "all", "comma-separated experiment ids or 'all': "+strings.Join(bench.ExperimentIDs, ","))
-		cache   = flag.String("cache", "", "database cache directory (default: $TMPDIR/ptldb-bench-cache)")
-		seed    = flag.Int64("seed", 1, "workload and generator seed")
-		out     = flag.String("o", "", "write the report to a file instead of stdout")
-		quiet   = flag.Bool("q", false, "suppress progress output")
+		scale    = flag.Float64("scale", 0.05, "dataset scale relative to the paper (0 < scale <= 1)")
+		queries  = flag.Int("queries", 200, "queries per experiment (paper: 1000)")
+		cities   = flag.String("cities", "", "comma-separated dataset names (default: all 11)")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids or 'all': "+strings.Join(bench.ExperimentIDs, ","))
+		cache    = flag.String("cache", "", "database cache directory (default: $TMPDIR/ptldb-bench-cache)")
+		seed     = flag.Int64("seed", 1, "workload and generator seed")
+		parallel = flag.Int("parallel", 1, "goroutines issuing queries concurrently (sim device time is divided by N)")
+		out      = flag.String("o", "", "write the report to a file instead of stdout")
+		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 		Queries:  *queries,
 		Seed:     *seed,
 		CacheDir: *cache,
+		Parallel: *parallel,
 	}
 	if *cities != "" {
 		for _, c := range strings.Split(*cities, ",") {

@@ -1,0 +1,128 @@
+package ptldb
+
+// Concurrency benchmarks for the sharded buffer pool and plan-cached query
+// path. Each benchmark sweeps the number of goroutines issuing queries
+// (g=1,4,8 — the "concurrent clients" axis) via b.SetParallelism, so the
+// sweep is meaningful even on a single-core host; -cpu additionally varies
+// GOMAXPROCS as usual:
+//
+//	go test -bench 'BenchmarkConcurrent' .
+//
+// The warm-pool benchmarks measure lock-contention scaling: every page is
+// resident, so the only shared state on the hot path is the pool shards
+// (frame pin/unpin) and the statement cache. The cold-pool benchmark opens
+// the database on a simulated HDD with RealLatency and a pool smaller than
+// the working set, so most queries perform device reads that consume real
+// wall-clock time — goroutines overlap those reads because the pool issues
+// them outside its shard locks (the pre-sharded pool held its one lock
+// across every read, serializing them).
+//
+// Measured results are recorded in BENCH_concurrency.json.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// goroutineCounts is the client-concurrency sweep recorded in
+// BENCH_concurrency.json (16 shows where scaling saturates against the
+// host's CPU-per-query floor).
+var goroutineCounts = []int{1, 4, 8, 16}
+
+// benchWarm runs enough random queries that every label page is resident
+// before the timed section (the bench dataset spans a few dozen pages).
+func benchWarm(b *testing.B, n int, fn func(i int) error) {
+	b.Helper()
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchParallel runs fn from g goroutines per GOMAXPROCS.
+func benchParallel(b *testing.B, g int, fn func(i int) error) {
+	b.Helper()
+	var next atomic.Int64
+	b.SetParallelism(g)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := fn(int(next.Add(1))); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentV2V issues EA vertex-to-vertex queries from parallel
+// goroutines over a warm RAM-device pool.
+func BenchmarkConcurrentV2V(b *testing.B) {
+	tt, _ := benchSetup(b)
+	db := benchOpen(b, "ram")
+	const pool = 4096
+	src, dst, starts, _ := benchWorkload(tt, pool)
+	query := func(i int) error {
+		j := i % pool
+		_, _, err := db.EarliestArrival(src[j], dst[j], starts[j])
+		return err
+	}
+	benchWarm(b, 256, query)
+	for _, g := range goroutineCounts {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			benchParallel(b, g, query)
+		})
+	}
+}
+
+// BenchmarkConcurrentKNN issues optimized EA-kNN (k = 4, D = 0.01) queries
+// from parallel goroutines over a warm RAM-device pool.
+func BenchmarkConcurrentKNN(b *testing.B) {
+	tt, _ := benchSetup(b)
+	db := benchOpen(b, "ram")
+	set := benchEnsureSet(b, db, tt, 0.01, 4)
+	const pool = 4096
+	src, _, starts, _ := benchWorkload(tt, pool)
+	query := func(i int) error {
+		j := i % pool
+		_, err := db.EAKNN(set, src[j], starts[j], 4)
+		return err
+	}
+	benchWarm(b, 256, query)
+	for _, g := range goroutineCounts {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			benchParallel(b, g, query)
+		})
+	}
+}
+
+// BenchmarkConcurrentV2VColdIO is the I/O-overlap benchmark: a 16-page pool
+// over a working set several times larger, on a simulated HDD whose charges
+// consume real wall-clock time. Most queries miss, and the misses sleep;
+// the speedup across goroutine counts is the degree to which the pool lets
+// concurrent device reads overlap.
+func BenchmarkConcurrentV2VColdIO(b *testing.B) {
+	tt, dir := benchSetup(b)
+	db, err := Open(dir, Config{Device: "hdd", PoolPages: 16, RealLatency: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	const pool = 4096
+	src, dst, starts, _ := benchWorkload(tt, pool)
+	query := func(i int) error {
+		j := i % pool
+		_, _, err := db.EarliestArrival(src[j], dst[j], starts[j])
+		return err
+	}
+	for _, g := range goroutineCounts {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			if err := db.DropCaches(); err != nil {
+				b.Fatal(err)
+			}
+			benchParallel(b, g, query)
+		})
+	}
+}

@@ -50,7 +50,7 @@ func (w *Workspace) AblationBucket() (*Table, error) {
 			return nil, err
 		}
 		wl := w.NewWorkload(ds, w.cfg.Queries)
-		ea, err := MeasureQueries(db, w.cfg.Queries, func(i int) error {
+		ea, err := w.measure(db, w.cfg.Queries, func(i int) error {
 			_, err := db.EAKNN(set, wl.Sources[i], wl.Starts[i], 4)
 			return err
 		})
@@ -58,7 +58,7 @@ func (w *Workspace) AblationBucket() (*Table, error) {
 			db.Close()
 			return nil, err
 		}
-		ld, err := MeasureQueries(db, w.cfg.Queries, func(i int) error {
+		ld, err := w.measure(db, w.cfg.Queries, func(i int) error {
 			_, err := db.LDKNN(set, wl.Sources[i], wl.Ends[i], 4)
 			return err
 		})
@@ -324,7 +324,7 @@ func (w *Workspace) AblationEngine() (*Table, error) {
 	ttlEA := measure(func(i int) {
 		labels.EarliestArrival(wl.Sources[i], wl.Goals[i], wl.Starts[i])
 	})
-	dbEA, err := MeasureQueries(db, n, func(i int) error {
+	dbEA, err := w.measure(db, n, func(i int) error {
 		_, _, err := db.EarliestArrival(wl.Sources[i], wl.Goals[i], wl.Starts[i])
 		return err
 	})

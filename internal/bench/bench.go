@@ -21,6 +21,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ptldb"
@@ -42,6 +44,11 @@ type Config struct {
 	CacheDir string
 	// PoolPages overrides the buffer-pool size.
 	PoolPages int
+	// Parallel is the number of goroutines issuing queries concurrently
+	// (default 1, the paper's sequential protocol). With N > 1 the simulated
+	// device time is divided by N, modelling N independent device channels —
+	// concurrent queries overlap their I/O in the sharded buffer pool.
+	Parallel int
 }
 
 // Defaults fills unset fields: scale 0.05, 200 queries, all cities, a cache
@@ -63,6 +70,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.CacheDir == "" {
 		c.CacheDir = filepath.Join(os.TempDir(), "ptldb-bench-cache")
+	}
+	if c.Parallel == 0 {
+		c.Parallel = 1
 	}
 	return c
 }
@@ -247,6 +257,18 @@ func (w *Workspace) NewWorkload(ds *Dataset, n int) Workload {
 // MeasureQueries runs fn once per workload entry after a cold start and
 // returns the average time per query: wall clock plus simulated device time.
 func MeasureQueries(db *ptldb.DB, n int, fn func(i int) error) (time.Duration, error) {
+	return MeasureQueriesParallel(db, n, 1, fn)
+}
+
+// MeasureQueriesParallel is MeasureQueries with the n queries spread over
+// `parallel` goroutines. The simulated device time is divided by the
+// parallelism: the sharded buffer pool performs device reads outside its
+// locks, so concurrent queries overlap their I/O as if each goroutine had
+// its own device channel.
+func MeasureQueriesParallel(db *ptldb.DB, n, parallel int, fn func(i int) error) (time.Duration, error) {
+	if parallel < 1 {
+		parallel = 1
+	}
 	if err := db.DropCaches(); err != nil {
 		return 0, err
 	}
@@ -256,9 +278,38 @@ func MeasureQueries(db *ptldb.DB, n int, fn func(i int) error) (time.Duration, e
 		return 0, err
 	}
 	start := time.Now()
-	for i := 0; i < n; i++ {
-		if err := fn(i); err != nil {
-			return 0, err
+	if parallel == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+			once sync.Once
+			ferr error
+		)
+		wg.Add(parallel)
+		for g := 0; g < parallel; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					if err := fn(i); err != nil {
+						once.Do(func() { ferr = err })
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if ferr != nil {
+			return 0, ferr
 		}
 	}
 	wall := time.Since(start)
@@ -266,6 +317,11 @@ func MeasureQueries(db *ptldb.DB, n int, fn func(i int) error) (time.Duration, e
 	if err != nil {
 		return 0, err
 	}
-	total := wall + (st1.SimulatedIO - st0.SimulatedIO)
+	total := wall + (st1.SimulatedIO-st0.SimulatedIO)/time.Duration(parallel)
 	return total / time.Duration(n), nil
+}
+
+// measure runs fn through the workspace's configured parallelism.
+func (w *Workspace) measure(db *ptldb.DB, n int, fn func(i int) error) (time.Duration, error) {
+	return MeasureQueriesParallel(db, n, w.cfg.Parallel, fn)
 }

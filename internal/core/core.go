@@ -75,6 +75,10 @@ type Store struct {
 	DB      *sqldb.DB
 	meta    Meta
 	version string
+
+	// Code 1 statements of the bound version, parsed once at Build/Open/
+	// Version so steady-state v2v queries never touch the SQL parser.
+	v2vEA, v2vLD, v2vSD *sqldb.Stmt
 }
 
 // vm returns the metadata of the bound version.
@@ -102,6 +106,9 @@ func (s *Store) Version(name string) (*Store, error) {
 	}
 	v := *s
 	v.version = name
+	if err := v.prepareStatements(); err != nil {
+		return nil, err
+	}
 	return &v, nil
 }
 
@@ -239,6 +246,9 @@ func Build(db *sqldb.DB, labels *ttl.Labels, opts BuildOptions) (*Store, error) 
 	if err := metaTbl.Insert(sqltypes.Row{sqltypes.NewInt(0), sqltypes.NewText(string(blob))}); err != nil {
 		return nil, err
 	}
+	if err := s.prepareStatements(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -317,7 +327,11 @@ func Open(db *sqldb.DB) (*Store, error) {
 			TargetSets: legacy.TargetSets,
 		}}
 	}
-	return &Store{DB: db, meta: meta, version: BaseVersion}, nil
+	s := &Store{DB: db, meta: meta, version: BaseVersion}
+	if err := s.prepareStatements(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Meta returns the store metadata.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ptldb/internal/sqldb"
 	"ptldb/internal/sqldb/exec"
 	"ptldb/internal/sqldb/sqltypes"
 	"ptldb/internal/timetable"
@@ -240,9 +241,29 @@ GROUP BY v2
 ORDER BY MAX(td) DESC, v2`
 )
 
+// prepared returns the shared prepared statement for the formatted SQL,
+// parsing it at most once per database via the plan cache.
+func (s *Store) prepared(format string, a ...any) (*sqldb.Stmt, error) {
+	return s.DB.CachedPrepare(fmt.Sprintf(format, a...))
+}
+
+// prepareStatements parses the bound version's Code 1 statements once;
+// after this, steady-state v2v queries execute with zero SQL parses.
+func (s *Store) prepareStatements() error {
+	var err error
+	if s.v2vEA, err = s.prepared(sqlV2VEA, s.loutTable(), s.linTable()); err != nil {
+		return err
+	}
+	if s.v2vLD, err = s.prepared(sqlV2VLD, s.loutTable(), s.linTable()); err != nil {
+		return err
+	}
+	s.v2vSD, err = s.prepared(sqlV2VSD, s.loutTable(), s.linTable())
+	return err
+}
+
 // queryScalar runs a statement whose result is a single one-column row.
-func (s *Store) queryScalar(q string, params ...sqltypes.Value) (timetable.Time, bool, error) {
-	rel, err := s.DB.Query(q, params...)
+func (s *Store) queryScalar(st *sqldb.Stmt, params ...sqltypes.Value) (timetable.Time, bool, error) {
+	rel, err := st.Query(params...)
 	if err != nil {
 		return 0, false, err
 	}
@@ -263,26 +284,26 @@ func (s *Store) queryScalar(q string, params ...sqltypes.Value) (timetable.Time,
 // EarliestArrival answers EA(s, g, t) with the paper's Code 1. ok is false
 // when no journey exists.
 func (s *Store) EarliestArrival(src, dst timetable.StopID, t timetable.Time) (arr timetable.Time, ok bool, err error) {
-	return s.queryScalar(fmt.Sprintf(sqlV2VEA, s.loutTable(), s.linTable()),
+	return s.queryScalar(s.v2vEA,
 		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)), sqltypes.NewInt(int64(t)))
 }
 
 // LatestDeparture answers LD(s, g, t) with Code 1.
 func (s *Store) LatestDeparture(src, dst timetable.StopID, t timetable.Time) (dep timetable.Time, ok bool, err error) {
-	return s.queryScalar(fmt.Sprintf(sqlV2VLD, s.loutTable(), s.linTable()),
+	return s.queryScalar(s.v2vLD,
 		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)), sqltypes.NewInt(int64(t)))
 }
 
 // ShortestDuration answers SD(s, g, t, tEnd) with Code 1.
 func (s *Store) ShortestDuration(src, dst timetable.StopID, t, tEnd timetable.Time) (dur timetable.Time, ok bool, err error) {
-	return s.queryScalar(fmt.Sprintf(sqlV2VSD, s.loutTable(), s.linTable()),
+	return s.queryScalar(s.v2vSD,
 		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)),
 		sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(tEnd)))
 }
 
 // queryResults runs a statement returning (stop, time) rows.
-func (s *Store) queryResults(q string, params ...sqltypes.Value) ([]Result, error) {
-	rel, err := s.DB.Query(q, params...)
+func (s *Store) queryResults(st *sqldb.Stmt, params ...sqltypes.Value) ([]Result, error) {
+	rel, err := st.Query(params...)
 	if err != nil {
 		return nil, err
 	}
@@ -321,7 +342,11 @@ func (s *Store) EAKNNNaive(set string, q timetable.StopID, t timetable.Time, k i
 	if err := s.checkK(set, k); err != nil {
 		return nil, err
 	}
-	return s.queryResults(fmt.Sprintf(sqlKNNNaiveEA, s.setTable("ea_knn_naive", set), s.loutTable()),
+	st, err := s.prepared(sqlKNNNaiveEA, s.setTable("ea_knn_naive", set), s.loutTable())
+	if err != nil {
+		return nil, err
+	}
+	return s.queryResults(st,
 		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
 }
 
@@ -331,7 +356,11 @@ func (s *Store) LDKNNNaive(set string, q timetable.StopID, t timetable.Time, k i
 	if err := s.checkK(set, k); err != nil {
 		return nil, err
 	}
-	return s.queryResults(fmt.Sprintf(sqlKNNNaiveLD, s.setTable("ld_knn_naive", set), s.loutTable()),
+	st, err := s.prepared(sqlKNNNaiveLD, s.setTable("ld_knn_naive", set), s.loutTable())
+	if err != nil {
+		return nil, err
+	}
+	return s.queryResults(st,
 		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
 }
 
@@ -340,7 +369,11 @@ func (s *Store) EAKNN(set string, q timetable.StopID, t timetable.Time, k int) (
 	if err := s.checkK(set, k); err != nil {
 		return nil, err
 	}
-	return s.queryResults(fmt.Sprintf(sqlKNNEA, s.setTable("knn_ea", set), s.meta.BucketSeconds, s.loutTable()),
+	st, err := s.prepared(sqlKNNEA, s.setTable("knn_ea", set), s.meta.BucketSeconds, s.loutTable())
+	if err != nil {
+		return nil, err
+	}
+	return s.queryResults(st,
 		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
 }
 
@@ -349,7 +382,11 @@ func (s *Store) LDKNN(set string, q timetable.StopID, t timetable.Time, k int) (
 	if err := s.checkK(set, k); err != nil {
 		return nil, err
 	}
-	return s.queryResults(fmt.Sprintf(sqlKNNLD, s.setTable("knn_ld", set), s.meta.BucketSeconds, s.loutTable()),
+	st, err := s.prepared(sqlKNNLD, s.setTable("knn_ld", set), s.meta.BucketSeconds, s.loutTable())
+	if err != nil {
+		return nil, err
+	}
+	return s.queryResults(st,
 		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
 }
 
@@ -359,7 +396,11 @@ func (s *Store) EAOTM(set string, q timetable.StopID, t timetable.Time) ([]Resul
 	if _, ok := s.vm().TargetSets[set]; !ok {
 		return nil, fmt.Errorf("core: unknown target set %q", set)
 	}
-	return s.queryResults(fmt.Sprintf(sqlOTMEA, s.setTable("otm_ea", set), s.meta.BucketSeconds, s.loutTable()),
+	st, err := s.prepared(sqlOTMEA, s.setTable("otm_ea", set), s.meta.BucketSeconds, s.loutTable())
+	if err != nil {
+		return nil, err
+	}
+	return s.queryResults(st,
 		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)))
 }
 
@@ -368,7 +409,11 @@ func (s *Store) LDOTM(set string, q timetable.StopID, t timetable.Time) ([]Resul
 	if _, ok := s.vm().TargetSets[set]; !ok {
 		return nil, fmt.Errorf("core: unknown target set %q", set)
 	}
-	return s.queryResults(fmt.Sprintf(sqlOTMLD, s.setTable("otm_ld", set), s.meta.BucketSeconds, s.loutTable()),
+	st, err := s.prepared(sqlOTMLD, s.setTable("otm_ld", set), s.meta.BucketSeconds, s.loutTable())
+	if err != nil {
+		return nil, err
+	}
+	return s.queryResults(st,
 		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)))
 }
 

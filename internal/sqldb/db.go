@@ -56,6 +56,14 @@ type DB struct {
 
 	mu     sync.RWMutex
 	tables map[string]*Table
+
+	// Plan cache for CachedPrepare: parsed SELECTs keyed by their SQL text.
+	// stmtMisses counts sql.Parse calls made through the cache, so tests can
+	// assert the steady state parses nothing.
+	stmtMu     sync.Mutex
+	stmts      map[string]*Stmt
+	stmtHits   uint64
+	stmtMisses uint64
 }
 
 // Open opens (creating if needed) the database in dir.
@@ -74,6 +82,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		dev:    opts.Device,
 		pool:   storage.NewPool(opts.PoolPages),
 		tables: map[string]*Table{},
+		stmts:  map[string]*Stmt{},
 	}
 	cat, err := os.ReadFile(db.catalogPath())
 	if err != nil {
@@ -390,9 +399,49 @@ func (db *DB) Prepare(query string) (*Stmt, error) {
 	return &Stmt{db: db, sel: sel}, nil
 }
 
-// Query executes the prepared statement.
+// Query executes the prepared statement. The statement is immutable after
+// Prepare (execution never mutates the AST), so one Stmt may be executed
+// from many goroutines concurrently.
 func (s *Stmt) Query(params ...sqltypes.Value) (*exec.Relation, error) {
 	return exec.Run(s.sel, catalogAdapter{s.db}, params)
+}
+
+// CachedPrepare returns a shared prepared statement for query, parsing the
+// text at most once per DB. Table names resolve against the catalog at
+// execution time, so cached statements stay valid across table churn. It is
+// safe for concurrent use; the returned Stmt may be executed concurrently.
+func (db *DB) CachedPrepare(query string) (*Stmt, error) {
+	db.stmtMu.Lock()
+	if st, ok := db.stmts[query]; ok {
+		db.stmtHits++
+		db.stmtMu.Unlock()
+		return st, nil
+	}
+	db.stmtMu.Unlock()
+	// Parse outside the lock: a slow parse of one novel statement must not
+	// block cache hits on the hot path.
+	st, err := db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	if prev, ok := db.stmts[query]; ok {
+		// Lost a parse race; both Stmts are equivalent, keep the first.
+		db.stmtHits++
+		return prev, nil
+	}
+	db.stmtMisses++
+	db.stmts[query] = st
+	return st, nil
+}
+
+// StmtCacheStats reports plan-cache hits and misses. Each miss corresponds
+// to exactly one sql.Parse call issued through CachedPrepare.
+func (db *DB) StmtCacheStats() (hits, misses uint64) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	return db.stmtHits, db.stmtMisses
 }
 
 // catalogAdapter exposes DB tables to the executor.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // PageSize is the unit of I/O, matching PostgreSQL's default block size.
@@ -14,15 +16,18 @@ type PageID uint32
 
 // PagedFile is a page-granular view of an on-disk file. All physical reads
 // and writes flow through it so the device model sees every access. It is
-// safe for concurrent use.
+// safe for concurrent use: the mutex only guards the page count and the
+// sequential-access detector, while the transfers themselves use pread/
+// pwrite outside any lock so concurrent page I/O overlaps.
 type PagedFile struct {
 	mu       sync.Mutex
 	f        *os.File
 	pages    PageID
 	dev      DeviceModel
 	clock    *Clock
-	lastRead PageID // for sequential-access detection
-	id       int    // pool key component, assigned by the buffer pool
+	lastRead PageID        // for sequential-access detection
+	reads    atomic.Uint64 // device reads issued (test observability)
+	id       int           // pool key component, assigned by the buffer pool
 }
 
 // OpenPagedFile opens (creating if necessary) the file at path. Device
@@ -51,6 +56,9 @@ func (p *PagedFile) NumPages() PageID {
 	return p.pages
 }
 
+// Reads returns the number of device page reads issued so far.
+func (p *PagedFile) Reads() uint64 { return p.reads.Load() }
+
 // Allocate extends the file by one zero page and returns its id.
 func (p *PagedFile) Allocate() (PageID, error) {
 	p.mu.Lock()
@@ -63,24 +71,37 @@ func (p *PagedFile) Allocate() (PageID, error) {
 	return id, nil
 }
 
+// charge accrues d on the virtual clock and, for real-latency devices,
+// also consumes it in wall-clock time.
+func (p *PagedFile) charge(d time.Duration) {
+	p.clock.Charge(d)
+	if p.dev.RealLatency && d > 0 {
+		time.Sleep(d)
+	}
+}
+
 // ReadPage fills buf (len PageSize) with page id and charges the device
 // model: a sequential read when id follows the previous read, a random read
-// otherwise.
+// otherwise. The transfer itself runs outside the file lock, so concurrent
+// reads of different pages overlap.
 func (p *PagedFile) ReadPage(id PageID, buf []byte) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if id >= p.pages {
+		p.mu.Unlock()
 		return fmt.Errorf("storage: read past end: page %d of %d", id, p.pages)
+	}
+	seq := p.lastRead != ^PageID(0) && id == p.lastRead+1
+	p.lastRead = id
+	p.mu.Unlock()
+	p.reads.Add(1)
+	if seq {
+		p.charge(p.dev.SeqRead)
+	} else {
+		p.charge(p.dev.RandRead)
 	}
 	if _, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
-	if p.lastRead != ^PageID(0) && id == p.lastRead+1 {
-		p.clock.Charge(p.dev.SeqRead)
-	} else {
-		p.clock.Charge(p.dev.RandRead)
-	}
-	p.lastRead = id
 	return nil
 }
 
@@ -88,14 +109,15 @@ func (p *PagedFile) ReadPage(id PageID, buf []byte) error {
 // charges the device write cost.
 func (p *PagedFile) WritePage(id PageID, buf []byte) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if id >= p.pages {
+		p.mu.Unlock()
 		return fmt.Errorf("storage: write past end: page %d of %d", id, p.pages)
 	}
+	p.mu.Unlock()
+	p.charge(p.dev.Write)
 	if _, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
-	p.clock.Charge(p.dev.Write)
 	return nil
 }
 

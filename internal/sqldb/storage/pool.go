@@ -2,7 +2,9 @@ package storage
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is the shared buffer pool: a fixed number of page frames cached over
@@ -11,20 +13,38 @@ import (
 // evaluation; DropCaches emulates the paper's "restart the server and clear
 // the operating system's cache" step.
 //
-// The pool itself is safe for concurrent use. The bytes of a pinned frame
-// may be read concurrently; mutating them is only safe while the caller is
-// the sole writer (PTLDB's workload is bulk-load-then-read-only, matching
-// the paper).
+// The pool is sharded by frame-key hash — max(8, GOMAXPROCS) shards, each
+// with its own mutex, frame table and LRU list — so unrelated page accesses
+// never contend on a shared lock. Device reads happen outside the shard
+// lock under a per-frame load latch: on a miss the frame is installed in a
+// "loading" state, the shard lock is dropped, the page is read from the
+// device, and the result (bytes or error) is published to every goroutine
+// that coalesced on the frame in the meantime. Concurrent misses on
+// different pages therefore overlap their I/O; concurrent misses on the
+// same page trigger exactly one device read.
+//
+// The bytes of a pinned frame may be read concurrently; mutating them is
+// only safe while the caller is the sole writer (PTLDB's workload is
+// bulk-load-then-read-only, matching the paper).
 type Pool struct {
+	shards []poolShard
+
+	nextFileID atomic.Int64
+
+	hits, misses atomic.Uint64
+
+	// loadHook, when non-nil, runs after a loading frame is installed and
+	// before its device read. Tests use it to coordinate concurrent misses.
+	loadHook func(key frameKey)
+}
+
+// poolShard is one independently locked slice of the pool.
+type poolShard struct {
 	mu       sync.Mutex
 	capacity int
 	frames   map[frameKey]*Frame
-	// LRU list of unpinned frames; head is least recently used.
+	// LRU list of unpinned resident frames; head is least recently used.
 	lruHead, lruTail *Frame
-
-	nextFileID int
-
-	hits, misses uint64
 }
 
 type frameKey struct {
@@ -34,14 +54,27 @@ type frameKey struct {
 
 // Frame is one pinned buffer-pool page. Callers must Unpin it when done and
 // MarkDirty after modifying its Data.
+//
+// Lifecycle: loading (installed pinned, ready open) → resident (ready
+// closed, loadErr nil) → evicted (removed from the shard table once
+// unpinned). A failed load is published by closing ready with loadErr set
+// and detaching the frame, so every coalesced waiter observes the error and
+// a later Get retries the read from scratch.
 type Frame struct {
 	key   frameKey
 	file  *PagedFile
+	shard *poolShard
+
+	// ready is closed once data is valid or loadErr is set; loadErr must
+	// only be read after ready is closed.
+	ready   chan struct{}
+	loadErr error
+
 	data  [PageSize]byte
 	pins  int
 	dirty bool
 
-	prev, next *Frame // LRU links, valid only while unpinned
+	prev, next *Frame // LRU links, valid only while unpinned and resident
 }
 
 // Data returns the page bytes. The slice is valid while the frame is pinned.
@@ -53,53 +86,91 @@ func (f *Frame) MarkDirty() { f.dirty = true }
 // Page returns the page id this frame caches.
 func (f *Frame) Page() PageID { return f.key.page }
 
-// NewPool creates a pool with room for capacity frames (minimum 8).
+// NewPool creates a pool with room for capacity frames (minimum 8), split
+// over max(8, GOMAXPROCS) shards. The capacity bounds the resident set;
+// frames pinned concurrently beyond a shard's slice are allowed as a
+// temporary overflow and trimmed back by later allocations.
 func NewPool(capacity int) *Pool {
 	if capacity < 8 {
 		capacity = 8
 	}
-	return &Pool{capacity: capacity, frames: make(map[frameKey]*Frame, capacity)}
+	nShards := runtime.GOMAXPROCS(0)
+	if nShards < 8 {
+		nShards = 8
+	}
+	perShard := (capacity + nShards - 1) / nShards
+	if perShard < 2 {
+		perShard = 2
+	}
+	p := &Pool{shards: make([]poolShard, nShards)}
+	for i := range p.shards {
+		p.shards[i] = poolShard{
+			capacity: perShard,
+			frames:   make(map[frameKey]*Frame, perShard),
+		}
+	}
+	return p
+}
+
+// shard maps a frame key to its home shard by hash.
+func (p *Pool) shard(key frameKey) *poolShard {
+	h := uint64(key.file)*0x9E3779B97F4A7C15 + uint64(key.page)
+	h ^= h >> 33
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return &p.shards[h%uint64(len(p.shards))]
 }
 
 // Register assigns the pool-local id of a file. It must be called once per
 // file before the first Get.
 func (p *Pool) Register(f *PagedFile) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.nextFileID++
-	f.id = p.nextFileID
+	f.id = int(p.nextFileID.Add(1))
 }
 
 // Get pins the frame holding page id of file f, reading it from the device
-// on a miss.
+// on a miss. Concurrent Gets for the same uncached page coalesce into one
+// device read; all callers receive the same frame (or the same read error).
 func (p *Pool) Get(f *PagedFile, id PageID) (*Frame, error) {
 	key := frameKey{file: f.id, page: id}
-	p.mu.Lock()
-	if fr, ok := p.frames[key]; ok {
-		p.hits++
+	sh := p.shard(key)
+	sh.mu.Lock()
+	if fr, ok := sh.frames[key]; ok {
 		if fr.pins == 0 {
-			p.lruRemove(fr)
+			sh.lruRemove(fr)
 		}
 		fr.pins++
-		p.mu.Unlock()
+		sh.mu.Unlock()
+		p.hits.Add(1)
+		<-fr.ready // immediate for resident frames
+		if fr.loadErr != nil {
+			// The loader detached the frame; our pin dies with it.
+			return nil, fr.loadErr
+		}
 		return fr, nil
 	}
-	p.misses++
-	fr, err := p.allocFrameLocked(f, key)
+	// Miss: install a loading frame (the latch), then read the device with
+	// the shard lock dropped so misses on other pages proceed in parallel.
+	fr, err := sh.installLocked(f, key)
 	if err != nil {
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, err
 	}
-	// Read outside the pool lock would allow higher concurrency but would
-	// need per-frame latches; the evaluation workload is latency-bound, not
-	// throughput-bound, so the simple protocol is kept.
-	if err := f.ReadPage(id, fr.data[:]); err != nil {
-		fr.pins = 0
-		delete(p.frames, key)
-		p.mu.Unlock()
-		return nil, err
+	sh.mu.Unlock()
+	p.misses.Add(1)
+	if p.loadHook != nil {
+		p.loadHook(key)
 	}
-	p.mu.Unlock()
+	if rerr := f.ReadPage(id, fr.data[:]); rerr != nil {
+		// Publish the failure to every waiter coalesced on this frame and
+		// detach it so subsequent Gets retry the read.
+		sh.mu.Lock()
+		delete(sh.frames, key)
+		sh.mu.Unlock()
+		fr.loadErr = rerr
+		close(fr.ready)
+		return nil, rerr
+	}
+	close(fr.ready)
 	return fr, nil
 }
 
@@ -110,61 +181,79 @@ func (p *Pool) NewPage(f *PagedFile) (*Frame, error) {
 		return nil, err
 	}
 	key := frameKey{file: f.id, page: id}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	fr, err := p.allocFrameLocked(f, key)
+	sh := p.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fr, err := sh.installLocked(f, key)
 	if err != nil {
 		return nil, err
 	}
 	fr.dirty = true
+	close(fr.ready) // a fresh page is valid (zeroed) immediately
 	return fr, nil
 }
 
-// allocFrameLocked finds a free frame (evicting if needed), installs it in
-// the table pinned once, and returns it. Caller holds p.mu.
-func (p *Pool) allocFrameLocked(f *PagedFile, key frameKey) (*Frame, error) {
-	for len(p.frames) >= p.capacity {
-		victim := p.lruHead
+// installLocked finds room in the shard (evicting unpinned frames while at
+// capacity), installs a new loading frame pinned once, and returns it. When
+// every resident frame is pinned the shard overflows temporarily instead of
+// failing: pinned frames must live somewhere, and later allocations trim
+// the shard back to capacity. Caller holds sh.mu.
+func (sh *poolShard) installLocked(f *PagedFile, key frameKey) (*Frame, error) {
+	for len(sh.frames) >= sh.capacity {
+		victim := sh.lruHead
 		if victim == nil {
-			return nil, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", p.capacity)
+			break // all pinned: allow temporary overflow
 		}
-		p.lruRemove(victim)
-		delete(p.frames, victim.key)
+		sh.lruRemove(victim)
+		delete(sh.frames, victim.key)
 		if victim.dirty {
 			if err := victim.file.WritePage(victim.key.page, victim.data[:]); err != nil {
 				return nil, err
 			}
 		}
 	}
-	fr := &Frame{key: key, file: f, pins: 1}
-	p.frames[key] = fr
+	fr := &Frame{key: key, file: f, shard: sh, pins: 1, ready: make(chan struct{})}
+	sh.frames[key] = fr
 	return fr, nil
 }
 
 // Unpin releases one pin. Unpinned frames become eviction candidates.
 func (p *Pool) Unpin(fr *Frame) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := fr.shard
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if fr.pins <= 0 {
 		panic("storage: Unpin of unpinned frame")
 	}
 	fr.pins--
-	if fr.pins == 0 {
-		p.lruAppend(fr)
+	if fr.pins == 0 && sh.frames[fr.key] == fr {
+		sh.lruAppend(fr)
+		// Trim pinned-overflow back toward capacity. Only clean frames are
+		// evicted here (Unpin cannot report a write-back error); dirty
+		// overflow is trimmed by the next allocation in this shard.
+		for len(sh.frames) > sh.capacity && sh.lruHead != nil && !sh.lruHead.dirty {
+			victim := sh.lruHead
+			sh.lruRemove(victim)
+			delete(sh.frames, victim.key)
+		}
 	}
 }
 
 // FlushAll writes every dirty frame back to its file.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, fr := range p.frames {
-		if fr.dirty {
-			if err := fr.file.WritePage(fr.key.page, fr.data[:]); err != nil {
-				return err
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.dirty {
+				if err := fr.file.WritePage(fr.key.page, fr.data[:]); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				fr.dirty = false
 			}
-			fr.dirty = false
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -172,50 +261,76 @@ func (p *Pool) FlushAll() error {
 // DropCaches flushes and evicts every frame, emulating a cold server start.
 // It fails if any frame is still pinned.
 func (p *Pool) DropCaches() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, fr := range p.frames {
-		if fr.pins > 0 {
-			return fmt.Errorf("storage: DropCaches with pinned page %d", fr.key.page)
-		}
-		if fr.dirty {
-			if err := fr.file.WritePage(fr.key.page, fr.data[:]); err != nil {
-				return err
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.pins > 0 {
+				sh.mu.Unlock()
+				return fmt.Errorf("storage: DropCaches with pinned page %d", fr.key.page)
+			}
+			if fr.dirty {
+				if err := fr.file.WritePage(fr.key.page, fr.data[:]); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
 			}
 		}
+		sh.frames = make(map[frameKey]*Frame, sh.capacity)
+		sh.lruHead, sh.lruTail = nil, nil
+		sh.mu.Unlock()
 	}
-	p.frames = make(map[frameKey]*Frame, p.capacity)
-	p.lruHead, p.lruTail = nil, nil
 	return nil
 }
 
-// Stats reports hit/miss counters since creation.
+// Stats reports hit/miss counters since creation. A Get that coalesces on
+// an in-flight load counts as a hit; only the loader counts a miss, so
+// misses equals the number of device reads issued through the pool.
 func (p *Pool) Stats() (hits, misses uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits, p.misses
+	return p.hits.Load(), p.misses.Load()
 }
 
-func (p *Pool) lruAppend(fr *Frame) {
-	fr.prev, fr.next = p.lruTail, nil
-	if p.lruTail != nil {
-		p.lruTail.next = fr
-	} else {
-		p.lruHead = fr
+// NumFrames returns the number of resident frames across all shards.
+func (p *Pool) NumFrames() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += len(sh.frames)
+		sh.mu.Unlock()
 	}
-	p.lruTail = fr
+	return n
 }
 
-func (p *Pool) lruRemove(fr *Frame) {
+// Capacity returns the total frame capacity across all shards.
+func (p *Pool) Capacity() int {
+	n := 0
+	for i := range p.shards {
+		n += p.shards[i].capacity
+	}
+	return n
+}
+
+func (sh *poolShard) lruAppend(fr *Frame) {
+	fr.prev, fr.next = sh.lruTail, nil
+	if sh.lruTail != nil {
+		sh.lruTail.next = fr
+	} else {
+		sh.lruHead = fr
+	}
+	sh.lruTail = fr
+}
+
+func (sh *poolShard) lruRemove(fr *Frame) {
 	if fr.prev != nil {
 		fr.prev.next = fr.next
 	} else {
-		p.lruHead = fr.next
+		sh.lruHead = fr.next
 	}
 	if fr.next != nil {
 		fr.next.prev = fr.prev
 	} else {
-		p.lruTail = fr.prev
+		sh.lruTail = fr.prev
 	}
 	fr.prev, fr.next = nil, nil
 }

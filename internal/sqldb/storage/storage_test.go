@@ -184,7 +184,11 @@ func TestPoolDropCaches(t *testing.T) {
 	}
 }
 
-func TestPoolExhaustion(t *testing.T) {
+// TestPoolPinnedOverflow pins more frames than the pool's capacity: the
+// sharded pool admits them as a temporary overflow (pinned frames must live
+// somewhere) and trims the resident set back toward capacity once they are
+// unpinned and fresh allocations force eviction.
+func TestPoolPinnedOverflow(t *testing.T) {
 	var clock Clock
 	f, err := OpenPagedFile(filepath.Join(t.TempDir(), "x.pg"), RAM, &clock)
 	if err != nil {
@@ -193,22 +197,35 @@ func TestPoolExhaustion(t *testing.T) {
 	defer f.Close()
 	pool := NewPool(8)
 	pool.Register(f)
+	cap := pool.Capacity()
 	var frames []*Frame
-	for i := 0; i < 8; i++ {
+	for i := 0; i < 2*cap; i++ {
 		fr, err := pool.NewPage(f)
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("NewPage %d with pinned overflow: %v", i, err)
 		}
 		frames = append(frames, fr)
 	}
-	if _, err := pool.NewPage(f); err == nil {
-		t.Error("NewPage with all frames pinned succeeded")
+	if n := pool.NumFrames(); n != 2*cap {
+		t.Errorf("NumFrames = %d, want %d pinned frames resident", n, 2*cap)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
 	}
 	for _, fr := range frames {
 		pool.Unpin(fr)
 	}
-	if _, err := pool.NewPage(f); err != nil {
-		t.Errorf("NewPage after unpin: %v", err)
+	// Eviction churn (re-reads far exceeding capacity) must trim the
+	// resident set back under the configured capacity.
+	for i := 0; i < 4*cap; i++ {
+		fr, err := pool.Get(f, PageID(i%(2*cap)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(fr)
+	}
+	if n := pool.NumFrames(); n > cap {
+		t.Errorf("NumFrames = %d after churn, want <= capacity %d", n, cap)
 	}
 }
 

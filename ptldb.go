@@ -97,19 +97,29 @@ type Config struct {
 	Ordering string
 	// Seed feeds the "random" ordering.
 	Seed int64
+	// RealLatency makes the simulated device consume real wall-clock time
+	// for every charge instead of only advancing the I/O clock. Concurrency
+	// benchmarks use this to observe device reads overlapping across
+	// goroutines; it has no effect on query answers.
+	RealLatency bool
 }
 
 func (c Config) device() (storage.DeviceModel, error) {
+	var dev storage.DeviceModel
 	switch c.Device {
 	case "", "ssd":
-		return storage.SSD, nil
+		dev = storage.SSD
 	case "hdd":
-		return storage.HDD, nil
+		dev = storage.HDD
 	case "ram":
-		return storage.RAM, nil
+		dev = storage.RAM
 	default:
 		return storage.DeviceModel{}, fmt.Errorf("ptldb: unknown device %q (want hdd, ssd or ram)", c.Device)
 	}
+	if c.RealLatency {
+		dev = dev.WithRealLatency()
+	}
+	return dev, nil
 }
 
 // DB is an open PTLDB database.

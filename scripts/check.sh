@@ -1,0 +1,13 @@
+#!/bin/sh
+# Full pre-merge gate: vet, build, and the whole test suite under the race
+# detector. Also available as `make check`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "== OK"
