@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race bench-concurrency
+.PHONY: check build test race bench-concurrency bench-quick
 
 # The pre-merge gate: vet + build + full suite under the race detector.
 check:
@@ -19,3 +19,9 @@ race:
 # Each benchmark sweeps g=1,4,8 client goroutines internally.
 bench-concurrency:
 	$(GO) test -run '^$$' -bench 'BenchmarkConcurrent' -benchtime 1s .
+
+# Smoke run of the fused-vs-general executor benchmarks (see BENCH_exec.json):
+# a few iterations each, enough to catch fused-path fallbacks or crashes
+# without the full measurement cost.
+bench-quick:
+	$(GO) test -run '^$$' -bench 'BenchmarkFusedExec' -benchtime 5x .

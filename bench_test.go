@@ -136,6 +136,7 @@ func benchEnsureSet(b *testing.B, db *DB, tt *Network, d float64, kmax int) stri
 // and wall + simulated device time as sim-ms/op.
 func runQueries(b *testing.B, db *DB, fn func(i int) error) {
 	b.Helper()
+	b.ReportAllocs()
 	if err := db.DropCaches(); err != nil {
 		b.Fatal(err)
 	}

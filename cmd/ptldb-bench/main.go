@@ -31,6 +31,7 @@ func main() {
 		cache    = flag.String("cache", "", "database cache directory (default: $TMPDIR/ptldb-bench-cache)")
 		seed     = flag.Int64("seed", 1, "workload and generator seed")
 		parallel = flag.Int("parallel", 1, "goroutines issuing queries concurrently (sim device time is divided by N)")
+		fused    = flag.String("fused", "on", "fused label-query execution: on or off (ablation)")
 		out      = flag.String("o", "", "write the report to a file instead of stdout")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
@@ -42,6 +43,13 @@ func main() {
 		Seed:     *seed,
 		CacheDir: *cache,
 		Parallel: *parallel,
+	}
+	switch *fused {
+	case "on":
+	case "off":
+		cfg.FusedOff = true
+	default:
+		fatal(fmt.Errorf("-fused must be on or off, got %q", *fused))
 	}
 	if *cities != "" {
 		for _, c := range strings.Split(*cities, ",") {

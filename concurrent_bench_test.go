@@ -44,6 +44,7 @@ func benchWarm(b *testing.B, n int, fn func(i int) error) {
 // benchParallel runs fn from g goroutines per GOMAXPROCS.
 func benchParallel(b *testing.B, g int, fn func(i int) error) {
 	b.Helper()
+	b.ReportAllocs()
 	var next atomic.Int64
 	b.SetParallelism(g)
 	b.ResetTimer()

@@ -1,0 +1,66 @@
+package ptldb
+
+// BenchmarkFusedExec measures the fused label-query pipeline against the
+// general tuple-at-a-time executor on the same database directory — the
+// before/after numbers recorded in BENCH_exec.json. Both handles run on the
+// warm RAM device so the delta is pure executor CPU and allocation.
+
+import "testing"
+
+func BenchmarkFusedExec(b *testing.B) {
+	tt, dir := benchSetup(b)
+	const pool = 4096
+	src, dst, starts, ends := benchWorkload(tt, pool)
+
+	for _, path := range []string{"fused", "general"} {
+		db, err := Open(dir, Config{Device: "ram", DisableFusedExec: path == "general"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		set := benchEnsureSet(b, db, tt, 0.01, 4)
+
+		b.Run("V2V-EA/"+path, func(b *testing.B) {
+			runQueries(b, db, func(i int) error {
+				j := i % pool
+				_, _, err := db.EarliestArrival(src[j], dst[j], starts[j])
+				return err
+			})
+		})
+		b.Run("V2V-SD/"+path, func(b *testing.B) {
+			runQueries(b, db, func(i int) error {
+				j := i % pool
+				_, _, err := db.ShortestDuration(src[j], dst[j], starts[j], ends[j])
+				return err
+			})
+		})
+		b.Run("KNNNaive-EA/"+path, func(b *testing.B) {
+			runQueries(b, db, func(i int) error {
+				_, err := db.EAKNNNaive(set, src[i%pool], starts[i%pool], 4)
+				return err
+			})
+		})
+		b.Run("KNN-EA/"+path, func(b *testing.B) {
+			runQueries(b, db, func(i int) error {
+				_, err := db.EAKNN(set, src[i%pool], starts[i%pool], 4)
+				return err
+			})
+		})
+		b.Run("OTM-LD/"+path, func(b *testing.B) {
+			runQueries(b, db, func(i int) error {
+				_, err := db.LDOTM(set, src[i%pool], ends[i%pool])
+				return err
+			})
+		})
+
+		// Sanity: the intended executor served this handle. hits may be 0
+		// when -bench filters out every sub-benchmark of this path.
+		if hits, fallbacks := db.Store().DB.FusedStats(); path == "fused" && fallbacks != 0 {
+			b.Fatalf("fused handle: hits=%d fallbacks=%d, want fallbacks=0", hits, fallbacks)
+		} else if path == "general" && hits != 0 {
+			b.Fatalf("general handle recorded %d fused executions", hits)
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package ptldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// fusedBattery replays a fixed seeded battery of all seven query types and
+// returns one printable record per query, so two executors can be compared
+// answer-by-answer.
+func fusedBattery(t *testing.T, db *DB, tt *Network) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	n := tt.NumStops()
+	span := int(tt.MaxTime() - tt.MinTime())
+	randTime := func() Time { return tt.MinTime() + Time(rng.Intn(span+1)) }
+	var out []string
+
+	for i := 0; i < 40; i++ {
+		s, g := StopID(rng.Intn(n)), StopID(rng.Intn(n))
+		t0 := randTime()
+		arr, ok, err := db.EarliestArrival(s, g, t0)
+		if err != nil {
+			t.Fatalf("EA(%d,%d,%d): %v", s, g, t0, err)
+		}
+		out = append(out, fmt.Sprintf("EA %d %d %d -> %d %v", s, g, t0, arr, ok))
+
+		dep, ok, err := db.LatestDeparture(s, g, t0)
+		if err != nil {
+			t.Fatalf("LD(%d,%d,%d): %v", s, g, t0, err)
+		}
+		out = append(out, fmt.Sprintf("LD %d %d %d -> %d %v", s, g, t0, dep, ok))
+
+		t1 := t0 + Time(rng.Intn(span+1))
+		dur, ok, err := db.ShortestDuration(s, g, t0, t1)
+		if err != nil {
+			t.Fatalf("SD(%d,%d,%d,%d): %v", s, g, t0, t1, err)
+		}
+		out = append(out, fmt.Sprintf("SD %d %d %d %d -> %d %v", s, g, t0, t1, dur, ok))
+	}
+
+	for i := 0; i < 15; i++ {
+		q := StopID(rng.Intn(n))
+		t0 := randTime()
+		k := 1 + rng.Intn(4)
+		for _, m := range []struct {
+			name string
+			fn   func() ([]Result, error)
+		}{
+			{"EAKNNNaive", func() ([]Result, error) { return db.EAKNNNaive("poi", q, t0, k) }},
+			{"LDKNNNaive", func() ([]Result, error) { return db.LDKNNNaive("poi", q, t0, k) }},
+			{"EAKNN", func() ([]Result, error) { return db.EAKNN("poi", q, t0, k) }},
+			{"LDKNN", func() ([]Result, error) { return db.LDKNN("poi", q, t0, k) }},
+			{"EAOTM", func() ([]Result, error) { return db.EAOTM("poi", q, t0) }},
+			{"LDOTM", func() ([]Result, error) { return db.LDOTM("poi", q, t0) }},
+		} {
+			res, err := m.fn()
+			if err != nil {
+				t.Fatalf("%s(%d,%d,%d): %v", m.name, q, t0, k, err)
+			}
+			out = append(out, fmt.Sprintf("%s %d %d %d -> %v", m.name, q, t0, k, res))
+		}
+	}
+	return out
+}
+
+// TestFusedMatchesGeneralExecutor builds one database, runs the battery with
+// the fused path enabled (the default), reopens the same directory with
+// DisableFusedExec, reruns the identical battery, and requires every answer
+// to match. The FusedStats counters prove which executor actually served
+// each handle.
+func TestFusedMatchesGeneralExecutor(t *testing.T) {
+	tt, err := GenerateCity("Austin", 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	fdb, err := Create(dir, tt, Config{Device: "ram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tt.NumStops()
+	targets := []StopID{StopID(1 % n), StopID(2 % n), StopID(5 % n), StopID(n - 1)}
+	if err := fdb.AddTargetSet("poi", targets, 4); err != nil {
+		fdb.Close()
+		t.Fatal(err)
+	}
+	fused := fusedBattery(t, fdb, tt)
+	hits, fallbacks := fdb.Store().DB.FusedStats()
+	if hits == 0 {
+		t.Error("fused handle recorded no fused executions")
+	}
+	if fallbacks != 0 {
+		t.Errorf("fused handle hit %d runtime fallbacks, want 0", fallbacks)
+	}
+	if err := fdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gdb, err := Open(dir, Config{Device: "ram", DisableFusedExec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gdb.Close()
+	general := fusedBattery(t, gdb, tt)
+	if hits, _ := gdb.Store().DB.FusedStats(); hits != 0 {
+		t.Errorf("DisableFusedExec handle recorded %d fused executions, want 0", hits)
+	}
+
+	if len(fused) != len(general) {
+		t.Fatalf("battery sizes differ: %d vs %d", len(fused), len(general))
+	}
+	for i := range fused {
+		if fused[i] != general[i] {
+			t.Errorf("answer %d differs:\n  fused:   %s\n  general: %s", i, fused[i], general[i])
+		}
+	}
+}

@@ -39,7 +39,9 @@ func (w *Workspace) AblationBucket() (*Table, error) {
 			}
 			db.Close()
 		}
-		db, err := ptldb.Open(dir, ptldb.Config{Device: "hdd", PoolPages: w.cfg.PoolPages})
+		db, err := ptldb.Open(dir, ptldb.Config{
+			Device: "hdd", PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff,
+		})
 		if err != nil {
 			return nil, err
 		}

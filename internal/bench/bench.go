@@ -49,6 +49,9 @@ type Config struct {
 	// device time is divided by N, modelling N independent device channels —
 	// concurrent queries overlap their I/O in the sharded buffer pool.
 	Parallel int
+	// FusedOff disables the fused label-query execution path, running every
+	// query through the general SQL executor (the -fused=off ablation).
+	FusedOff bool
 }
 
 // Defaults fills unset fields: scale 0.05, 200 queries, all cities, a cache
@@ -160,7 +163,9 @@ func (w *Workspace) Dataset(city string) (*Dataset, error) {
 		return ds, nil
 	}
 	w.logf("preprocessing %s: %d stops, %d connections", city, tt.NumStops(), tt.NumConnections())
-	db, stats, err := ptldb.CreateWithStats(dir, tt, ptldb.Config{Device: "ram", PoolPages: w.cfg.PoolPages})
+	db, stats, err := ptldb.CreateWithStats(dir, tt, ptldb.Config{
+		Device: "ram", PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +195,9 @@ func sanitize(s string) string {
 
 // Open opens a dataset's database on the given simulated device.
 func (w *Workspace) Open(ds *Dataset, device string) (*ptldb.DB, error) {
-	return ptldb.Open(ds.Dir, ptldb.Config{Device: device, PoolPages: w.cfg.PoolPages})
+	return ptldb.Open(ds.Dir, ptldb.Config{
+		Device: device, PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff,
+	})
 }
 
 // setName derives the stored name of a target set for a density and kmax.

@@ -441,3 +441,48 @@ func expColumn(ts []targetTuple, get func(targetTuple) timetable.Time) sqltypes.
 	}
 	return sqltypes.NewIntArray(a)
 }
+
+// ensureLabelOrder establishes the (hub, td, ta) lexicographic order of one
+// stop's label arrays in place. TTL construction already emits tuples sorted
+// by (Hub, Dep), so the verification pass is the common case and the sort
+// runs only for labels from other producers (e.g. hand-built tables in
+// tests). The fused executor's merge join relies on this order and falls
+// back to a hash join when a label is found unsorted at query time.
+func ensureLabelOrder(hubs, tds, tas []int64) {
+	sorted := true
+	for i := 1; i < len(hubs); i++ {
+		if hubs[i] < hubs[i-1] ||
+			(hubs[i] == hubs[i-1] && (tds[i] < tds[i-1] ||
+				(tds[i] == tds[i-1] && tas[i] < tas[i-1]))) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	idx := make([]int, len(hubs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if hubs[i] != hubs[j] {
+			return hubs[i] < hubs[j]
+		}
+		if tds[i] != tds[j] {
+			return tds[i] < tds[j]
+		}
+		return tas[i] < tas[j]
+	})
+	apply := func(col []int64) {
+		tmp := make([]int64, len(col))
+		for a, i := range idx {
+			tmp[a] = col[i]
+		}
+		copy(col, tmp)
+	}
+	apply(hubs)
+	apply(tds)
+	apply(tas)
+}

@@ -281,6 +281,9 @@ func (s *Store) loadLabelTable(name string, side [][]ttl.Tuple, vm *VersionMeta)
 				vm.MaxTime = t.Arr
 			}
 		}
+		// The fused executor's merge join requires hub-sorted labels; verify
+		// (and if needed re-establish) the order before the row is frozen.
+		ensureLabelOrder(hubs, tds, tas)
 		err := tbl.Insert(sqltypes.Row{
 			sqltypes.NewInt(int64(v)),
 			sqltypes.NewIntArray(hubs),

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ptldb/internal/timetable"
+)
+
+// TestPreparedStatementsFuse asserts that every Code 1–4 statement the store
+// issues compiles to a fused plan, and that running the full query battery
+// never bails out to the tuple-at-a-time executor.
+func TestPreparedStatementsFuse(t *testing.T) {
+	st, _ := paperStore(t)
+	if err := st.AddTargetSet("poi", []timetable.StopID{4, 6}, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	if !st.v2vEA.Fused() || !st.v2vLD.Fused() || !st.v2vSD.Fused() {
+		t.Errorf("v2v statements fused = %v, %v, %v; want all true",
+			st.v2vEA.Fused(), st.v2vLD.Fused(), st.v2vSD.Fused())
+	}
+
+	knn := []struct {
+		name   string
+		format string
+		args   []any
+	}{
+		{"knn-naive-ea", sqlKNNNaiveEA, []any{st.setTable("ea_knn_naive", "poi"), st.loutTable()}},
+		{"knn-naive-ld", sqlKNNNaiveLD, []any{st.setTable("ld_knn_naive", "poi"), st.loutTable()}},
+		{"knn-ea", sqlKNNEA, []any{st.setTable("knn_ea", "poi"), st.meta.BucketSeconds, st.loutTable()}},
+		{"knn-ld", sqlKNNLD, []any{st.setTable("knn_ld", "poi"), st.meta.BucketSeconds, st.loutTable()}},
+		{"otm-ea", sqlOTMEA, []any{st.setTable("otm_ea", "poi"), st.meta.BucketSeconds, st.loutTable()}},
+		{"otm-ld", sqlOTMLD, []any{st.setTable("otm_ld", "poi"), st.meta.BucketSeconds, st.loutTable()}},
+	}
+	for _, q := range knn {
+		stmt, err := st.prepared(q.format, q.args...)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", q.name, err)
+		}
+		if !stmt.Fused() {
+			t.Errorf("%s: statement did not fuse", q.name)
+		}
+	}
+
+	queryBattery(t, st)
+	hits, fallbacks := st.DB.FusedStats()
+	if hits == 0 {
+		t.Error("query battery recorded no fused executions")
+	}
+	if fallbacks != 0 {
+		t.Errorf("query battery hit %d runtime fallbacks, want 0", fallbacks)
+	}
+}
+
+func TestEnsureLabelOrder(t *testing.T) {
+	// Already ordered: left byte-for-byte intact.
+	hubs := []int64{1, 1, 2, 2, 2, 5}
+	tds := []int64{3, 7, 0, 0, 9, 4}
+	tas := []int64{9, 2, 1, 3, 0, 8}
+	wantH := append([]int64(nil), hubs...)
+	wantD := append([]int64(nil), tds...)
+	wantA := append([]int64(nil), tas...)
+	ensureLabelOrder(hubs, tds, tas)
+	for i := range hubs {
+		if hubs[i] != wantH[i] || tds[i] != wantD[i] || tas[i] != wantA[i] {
+			t.Fatalf("sorted input was reordered at %d", i)
+		}
+	}
+
+	// Random input: sorted lexicographically by (hub, td, ta) afterwards,
+	// and the multiset of (hub, td, ta) triples is preserved.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(30)
+		h := make([]int64, n)
+		d := make([]int64, n)
+		a := make([]int64, n)
+		type triple struct{ h, d, a int64 }
+		var want []triple
+		for i := 0; i < n; i++ {
+			h[i] = int64(rng.Intn(5))
+			d[i] = int64(rng.Intn(10))
+			a[i] = int64(rng.Intn(10))
+			want = append(want, triple{h[i], d[i], a[i]})
+		}
+		ensureLabelOrder(h, d, a)
+		for i := 1; i < n; i++ {
+			if h[i] < h[i-1] ||
+				(h[i] == h[i-1] && (d[i] < d[i-1] || (d[i] == d[i-1] && a[i] < a[i-1]))) {
+				t.Fatalf("trial %d: not sorted at %d: %v %v %v", trial, i, h, d, a)
+			}
+		}
+		var got []triple
+		for i := 0; i < n; i++ {
+			got = append(got, triple{h[i], d[i], a[i]})
+		}
+		less := func(s []triple) func(i, j int) bool {
+			return func(i, j int) bool {
+				if s[i].h != s[j].h {
+					return s[i].h < s[j].h
+				}
+				if s[i].d != s[j].d {
+					return s[i].d < s[j].d
+				}
+				return s[i].a < s[j].a
+			}
+		}
+		sort.Slice(want, less(want))
+		sort.Slice(got, less(got))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: triples not preserved: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}

@@ -11,11 +11,13 @@ package sqldb
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ptldb/internal/sqldb/exec"
 	"ptldb/internal/sqldb/sql"
@@ -45,6 +47,10 @@ type Options struct {
 	// = 1 GiB, a laptop-scale stand-in for the paper's 8 GiB
 	// shared_buffers).
 	PoolPages int
+	// DisableFusedExec turns off the fused execution path for the label-query
+	// shapes (Codes 1–4); every statement then runs on the general executor.
+	// Used by the -fused=off benchmark ablation and by differential tests.
+	DisableFusedExec bool
 }
 
 // DB is one open database directory.
@@ -53,6 +59,8 @@ type DB struct {
 	dev   storage.DeviceModel
 	clock storage.Clock
 	pool  *storage.Pool
+
+	noFused bool
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -64,6 +72,11 @@ type DB struct {
 	stmts      map[string]*Stmt
 	stmtHits   uint64
 	stmtMisses uint64
+
+	// Fused-path counters: statements served by a FusedPlan vs. runtime
+	// bailouts (ErrNotFused) that re-ran on the general executor.
+	fusedHits      atomic.Uint64
+	fusedFallbacks atomic.Uint64
 }
 
 // Open opens (creating if needed) the database in dir.
@@ -78,11 +91,12 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("sqldb: %w", err)
 	}
 	db := &DB{
-		dir:    dir,
-		dev:    opts.Device,
-		pool:   storage.NewPool(opts.PoolPages),
-		tables: map[string]*Table{},
-		stmts:  map[string]*Stmt{},
+		dir:     dir,
+		dev:     opts.Device,
+		pool:    storage.NewPool(opts.PoolPages),
+		noFused: opts.DisableFusedExec,
+		tables:  map[string]*Table{},
+		stmts:   map[string]*Stmt{},
 	}
 	cat, err := os.ReadFile(db.catalogPath())
 	if err != nil {
@@ -386,24 +400,53 @@ func (db *DB) QueryTraced(query string, params ...sqltypes.Value) (*exec.Relatio
 
 // Stmt is a prepared statement: parsed once, executable many times.
 type Stmt struct {
-	db  *DB
-	sel *sql.Select
+	db    *DB
+	sel   *sql.Select
+	fused *exec.FusedPlan // non-nil when the statement matched a fused shape
 }
 
-// Prepare parses a SELECT for repeated execution.
+// Prepare parses a SELECT for repeated execution, recognizing the fused
+// label-query shapes (Codes 1–4) unless the DB disables them.
 func (db *DB) Prepare(query string) (*Stmt, error) {
 	sel, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, sel: sel}, nil
+	st := &Stmt{db: db, sel: sel}
+	if !db.noFused {
+		st.fused = exec.Fuse(sel)
+	}
+	return st, nil
 }
 
+// Fused reports whether the statement compiled to a fused plan.
+func (s *Stmt) Fused() bool { return s.fused != nil }
+
 // Query executes the prepared statement. The statement is immutable after
-// Prepare (execution never mutates the AST), so one Stmt may be executed
-// from many goroutines concurrently.
+// Prepare (execution never mutates the AST or the fused plan), so one Stmt
+// may be executed from many goroutines concurrently. A fused plan that bails
+// at runtime (ErrNotFused — unexpected parameter types or table layout)
+// falls back to the general executor, which owns the semantics of every
+// case the fused path does not cover.
 func (s *Stmt) Query(params ...sqltypes.Value) (*exec.Relation, error) {
+	if s.fused != nil {
+		rel, err := s.fused.Run(catalogAdapter{s.db}, params)
+		if err == nil {
+			s.db.fusedHits.Add(1)
+			return rel, nil
+		}
+		if !errors.Is(err, exec.ErrNotFused) {
+			return nil, err
+		}
+		s.db.fusedFallbacks.Add(1)
+	}
 	return exec.Run(s.sel, catalogAdapter{s.db}, params)
+}
+
+// FusedStats reports how many prepared-statement executions were served by
+// the fused path and how many bailed out to the general executor.
+func (db *DB) FusedStats() (hits, fallbacks uint64) {
+	return db.fusedHits.Load(), db.fusedFallbacks.Load()
 }
 
 // CachedPrepare returns a shared prepared statement for query, parsing the

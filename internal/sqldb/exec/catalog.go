@@ -21,3 +21,43 @@ type Table interface {
 	// Scan calls fn for every row in primary-key order.
 	Scan(fn func(sqltypes.Row) error) error
 }
+
+// RowScratch holds reusable row-decoding buffers for ScratchTable calls.
+// A scratch belongs to one query execution; it must not be shared across
+// goroutines.
+type RowScratch struct {
+	Buf   []byte       // encoded-row payload buffer
+	Row   sqltypes.Row // decoded value headers
+	Arena []int64      // backing store for decoded BIGINT[] values
+}
+
+// ScratchTable is an optional Table extension the fused executor uses to
+// run the label hot path without per-row allocations.
+type ScratchTable interface {
+	// LookupPKScratch is LookupPK decoding into s's buffers. The returned
+	// row (aliasing s.Row) is only valid until the next call with the same
+	// scratch. Array values are carved out of s.Arena, which is append-only
+	// for the scratch's lifetime, so they STAY valid across calls — the
+	// fused operators retain label arrays for the whole query.
+	LookupPKScratch(key []int64, s *RowScratch) (sqltypes.Row, bool, error)
+	// ScanScratch is Scan reusing s for every row: the callback row, its
+	// arrays and the arena are all recycled between rows, so fn must not
+	// retain any of them past its return.
+	ScanScratch(s *RowScratch, fn func(sqltypes.Row) error) error
+}
+
+// lookupPKScratch uses the scratch fast path when tbl supports it.
+func lookupPKScratch(tbl Table, key []int64, s *RowScratch) (sqltypes.Row, bool, error) {
+	if st, ok := tbl.(ScratchTable); ok {
+		return st.LookupPKScratch(key, s)
+	}
+	return tbl.LookupPK(key)
+}
+
+// scanScratch uses the scratch fast path when tbl supports it.
+func scanScratch(tbl Table, s *RowScratch, fn func(sqltypes.Row) error) error {
+	if st, ok := tbl.(ScratchTable); ok {
+		return st.ScanScratch(s, fn)
+	}
+	return tbl.Scan(fn)
+}

@@ -114,6 +114,7 @@ func (r *runner) evalSelect(sel *sql.Select, scope *cteScope) (*Relation, error)
 		}
 	}
 
+	var keys []sqltypes.Row
 	if len(sel.OrderBy) > 0 {
 		exprs := make([]sql.Expr, len(sel.OrderBy))
 		for i, oi := range sel.OrderBy {
@@ -123,7 +124,7 @@ func (r *runner) evalSelect(sel *sql.Select, scope *cteScope) (*Relation, error)
 		if err != nil {
 			return nil, err
 		}
-		keys := make([]sqltypes.Row, len(out.Rows))
+		keys = make([]sqltypes.Row, len(out.Rows))
 		for i, row := range out.Rows {
 			key := make(sqltypes.Row, len(comps))
 			for j, c := range comps {
@@ -135,38 +136,140 @@ func (r *runner) evalSelect(sel *sql.Select, scope *cteScope) (*Relation, error)
 			}
 			keys[i] = key
 		}
-		if err := sortRows(out.Rows, keys, sel.OrderBy); err != nil {
-			return nil, err
-		}
 	}
-	if sel.Limit != nil {
-		if err := r.applyLimit(out, sel.Limit); err != nil {
-			return nil, err
-		}
+	if err := r.orderAndLimit(out, keys, sel.OrderBy, sel.Limit); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-func (r *runner) applyLimit(rel *Relation, limit sql.Expr) error {
+// limitCount evaluates a LIMIT expression, returning -1 when it is absent.
+func (r *runner) limitCount(limit sql.Expr) (int, error) {
+	if limit == nil {
+		return -1, nil
+	}
 	ce := &compileEnv{params: r.params}
 	c, err := ce.compile(limit)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	v, err := c(nil)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	n, err := v.AsInt()
 	if err != nil {
-		return fmt.Errorf("exec: LIMIT: %w", err)
+		return 0, fmt.Errorf("exec: LIMIT: %w", err)
 	}
 	if n < 0 {
-		return fmt.Errorf("exec: negative LIMIT %d", n)
+		return 0, fmt.Errorf("exec: negative LIMIT %d", n)
 	}
-	if int(n) < len(rel.Rows) {
+	return int(n), nil
+}
+
+// orderAndLimit applies a statement's ORDER BY (keys are parallel to
+// rel.Rows; may be nil when orderBy is empty) and LIMIT. When a LIMIT
+// bounds an ordered result below its size, a bounded top-k selection
+// replaces the full sort, so kNN-style queries stop sorting at k.
+func (r *runner) orderAndLimit(rel *Relation, keys []sqltypes.Row, orderBy []sql.OrderItem, limit sql.Expr) error {
+	n, err := r.limitCount(limit)
+	if err != nil {
+		return err
+	}
+	if len(orderBy) > 0 {
+		if n >= 0 && n < len(rel.Rows) {
+			return topKRows(rel, keys, orderBy, n)
+		}
+		if err := sortRows(rel.Rows, keys, orderBy); err != nil {
+			return err
+		}
+	}
+	if n >= 0 && n < len(rel.Rows) {
 		rel.Rows = rel.Rows[:n]
 	}
+	return nil
+}
+
+// topKRows replaces rel.Rows with the n first rows of the stable sort by
+// keys, without sorting the rest: a bounded heap of row indices whose root
+// is the worst kept row. Ties break on the original index, which makes the
+// order total and the result identical to sortRows + truncate.
+func topKRows(rel *Relation, keys []sqltypes.Row, orderBy []sql.OrderItem, n int) error {
+	if len(rel.Rows) != len(keys) {
+		return fmt.Errorf("exec: internal: %d rows but %d sort keys", len(rel.Rows), len(keys))
+	}
+	if n == 0 {
+		rel.Rows = rel.Rows[:0]
+		return nil
+	}
+	var cmpErr error
+	less := func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		for j := range orderBy {
+			c, err := sqltypes.Compare(ka[j], kb[j])
+			if err != nil {
+				cmpErr = err
+				return false
+			}
+			if c != 0 {
+				if orderBy[j].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return a < b
+	}
+	worse := func(a, b int) bool { return less(b, a) }
+	h := make([]int, 0, n)
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse(h[i], h[parent]) {
+				break
+			}
+			h[i], h[parent] = h[parent], h[i]
+			i = parent
+		}
+	}
+	siftDown := func(i int) {
+		for {
+			l, rc := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && worse(h[l], h[m]) {
+				m = l
+			}
+			if rc < len(h) && worse(h[rc], h[m]) {
+				m = rc
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i := range rel.Rows {
+		if len(h) < n {
+			h = append(h, i)
+			siftUp(len(h) - 1)
+		} else if less(i, h[0]) {
+			h[0] = i
+			siftDown(0)
+		}
+		if cmpErr != nil {
+			return cmpErr
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return less(h[a], h[b]) })
+	if cmpErr != nil {
+		return cmpErr
+	}
+	out := make([]sqltypes.Row, len(h))
+	for i, j := range h {
+		out[i] = rel.Rows[j]
+	}
+	rel.Rows = out
 	return nil
 }
 
@@ -238,23 +341,16 @@ func (r *runner) evalCore(core *sql.SelectCore, orderBy []sql.OrderItem, limit s
 		return nil, err
 	}
 
-	if len(orderBy) > 0 {
+	if len(orderBy) > 0 && !hasAgg {
 		// Grouped cores computed their keys per group (possibly zero of
 		// them); everything else sorts on per-row keys.
-		if !hasAgg {
-			orderKeys, err = r.plainOrderKeys(orderBy, input, out, hasUnnest)
-			if err != nil {
-				return nil, err
-			}
-		}
-		if err := sortRows(out.Rows, orderKeys, orderBy); err != nil {
+		orderKeys, err = r.plainOrderKeys(orderBy, input, out, hasUnnest)
+		if err != nil {
 			return nil, err
 		}
 	}
-	if limit != nil {
-		if err := r.applyLimit(out, limit); err != nil {
-			return nil, err
-		}
+	if err := r.orderAndLimit(out, orderKeys, orderBy, limit); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -386,8 +386,6 @@ func (r *runner) compilePred(pred sql.Expr, schema Schema) (func(sqltypes.Row) (
 
 // hashJoin joins two materialized relations on the equality conjuncts whose
 // sides split across them, degenerating to a cross product when none apply.
-// hashJoin joins two materialized relations on the equality conjuncts whose
-// sides split across them, degenerating to a cross product when none apply.
 // A non-nil pred (the residual WHERE) filters joined rows before they are
 // materialized — the paper's Code 1 joins two unnested labels and keeps
 // only a small fraction of the pairs. Single integer join keys (the common

@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"ptldb/internal/sqldb/sqltypes"
+)
+
+// colKey returns a compiledExpr projecting column i.
+func colKey(i int) compiledExpr {
+	return func(row sqltypes.Row) (sqltypes.Value, error) { return row[i], nil }
+}
+
+func oneColRel(name string, vals ...sqltypes.Value) *Relation {
+	rel := &Relation{Schema: Schema{{Name: name}}}
+	for _, v := range vals {
+		rel.Rows = append(rel.Rows, sqltypes.Row{v})
+	}
+	return rel
+}
+
+func TestIntHashJoinBasic(t *testing.T) {
+	r := &runner{}
+	a := oneColRel("x",
+		sqltypes.NewInt(1), sqltypes.NewInt(2), sqltypes.Value{}, sqltypes.NewInt(2))
+	b := oneColRel("y",
+		sqltypes.NewInt(2), sqltypes.NewInt(2), sqltypes.NewInt(3), sqltypes.Value{})
+
+	var pairs [][2]int64
+	done, err := r.intHashJoin(a, b, colKey(0), colKey(0), func(ar, br sqltypes.Row) error {
+		pairs = append(pairs, [2]int64{ar[0].I, br[0].I})
+		return nil
+	})
+	if err != nil || !done {
+		t.Fatalf("intHashJoin: done=%v err=%v, want done on all-int keys", done, err)
+	}
+	// Both NULL keys are skipped; each a-row with key 2 matches both b-rows
+	// with key 2, in b insertion order.
+	want := [][2]int64{{2, 2}, {2, 2}, {2, 2}, {2, 2}}
+	if fmt.Sprint(pairs) != fmt.Sprint(want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestIntHashJoinMixedTypeBailout(t *testing.T) {
+	r := &runner{}
+	ints := oneColRel("x", sqltypes.NewInt(1), sqltypes.NewInt(2))
+
+	// Non-integer key on the build (b) side: bail before emitting anything.
+	bMixed := oneColRel("y", sqltypes.NewInt(1), sqltypes.NewText("oops"))
+	emitted := 0
+	done, err := r.intHashJoin(ints, bMixed, colKey(0), colKey(0), func(ar, br sqltypes.Row) error {
+		emitted++
+		return nil
+	})
+	if err != nil || done {
+		t.Fatalf("build-side bailout: done=%v err=%v, want done=false", done, err)
+	}
+	if emitted != 0 {
+		t.Fatalf("build-side bailout emitted %d rows, want 0", emitted)
+	}
+
+	// Non-integer key on the probe (a) side: the fast path may already have
+	// emitted earlier matches before bailing, so the caller must reset.
+	aMixed := oneColRel("x", sqltypes.NewInt(1), sqltypes.NewText("oops"), sqltypes.NewInt(2))
+	emitted = 0
+	done, err = r.intHashJoin(aMixed, ints, colKey(0), colKey(0), func(ar, br sqltypes.Row) error {
+		emitted++
+		return nil
+	})
+	if err != nil || done {
+		t.Fatalf("probe-side bailout: done=%v err=%v, want done=false", done, err)
+	}
+	if emitted != 1 {
+		t.Fatalf("probe-side bailout emitted %d rows, want the 1 pre-bailout match", emitted)
+	}
+}
+
+// TestHashJoinMixedKeyNoDuplicates drives the bailout through the SQL layer:
+// when intHashJoin gives up mid-probe, hashJoin must discard the partially
+// emitted rows before the generic encoded-key join re-runs, or matches
+// preceding the bailout would appear twice.
+func TestHashJoinMixedKeyNoDuplicates(t *testing.T) {
+	left := &memTable{cols: []string{"k", "v"}, rows: []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewInt(10)},
+		{sqltypes.NewText("x"), sqltypes.NewInt(20)},
+		{sqltypes.NewInt(2), sqltypes.NewInt(30)},
+	}}
+	right := &memTable{cols: []string{"k", "w"}, rows: []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewInt(100)},
+		{sqltypes.NewInt(2), sqltypes.NewInt(200)},
+	}}
+	cat := memCatalog{"lhs": left, "rhs": right}
+	rel := run(t, cat,
+		"SELECT lhs.v, rhs.w FROM lhs, rhs WHERE lhs.k=rhs.k ORDER BY lhs.v")
+	want := [][2]int64{{10, 100}, {30, 200}}
+	if len(rel.Rows) != len(want) {
+		t.Fatalf("got %d rows (%v), want %d", len(rel.Rows), rel.Rows, len(want))
+	}
+	for i, w := range want {
+		if rel.Rows[i][0].I != w[0] || rel.Rows[i][1].I != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, rel.Rows[i], w)
+		}
+	}
+}

@@ -1,0 +1,703 @@
+package exec
+
+// fused_exec.go evaluates a FusedPlan directly over the label tables' typed
+// int64 column vectors. Each Run holds all scratch state locally, so a plan
+// is safe for concurrent use. Every precondition the recognizer could not
+// prove at prepare time — integer parameters, expected table layout,
+// non-NULL arrays of matching lengths — is checked here, and a violation
+// returns ErrNotFused so the caller falls back to the general executor,
+// which reproduces exact general semantics (including errors and the
+// NULL-padding behavior of unequal UNNEST lengths).
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"ptldb/internal/sqldb/sqltypes"
+)
+
+// Run evaluates the fused plan against cat with the given parameters.
+func (p *FusedPlan) Run(cat Catalog, params []sqltypes.Value) (*Relation, error) {
+	switch {
+	case p.v2v != nil:
+		return p.runV2V(cat, params)
+	case p.knn != nil:
+		return p.runKNNNaive(cat, params)
+	case p.cond != nil:
+		return p.runCondensed(cat, params)
+	default:
+		return nil, ErrNotFused
+	}
+}
+
+// fusedInt reads the 1-based parameter n as an integer. Anything else —
+// missing, NULL, float, text — bails to the general executor, which owns
+// the exact semantics (and error messages) of those cases.
+func fusedInt(params []sqltypes.Value, n int) (int64, error) {
+	if n < 1 || n > len(params) || params[n-1].T != sqltypes.Int64 {
+		return 0, ErrNotFused
+	}
+	return params[n-1].I, nil
+}
+
+// label is one stop's hub label as three parallel typed columns.
+type label struct {
+	hubs, tds, tas []int64
+}
+
+// fusedLabel point-looks-up the label of stop v in the named label table,
+// decoding through s's reusable buffers when the table supports it. The
+// returned arrays stay valid for s's lifetime (the scratch arena is append-
+// only). A missing stop yields an empty label; an unexpected table layout
+// yields ErrNotFused.
+func fusedLabel(cat Catalog, table string, v int64, s *RowScratch) (label, error) {
+	tb, ok := cat.Table(table)
+	if !ok {
+		return label{}, ErrNotFused
+	}
+	cols := tb.Columns()
+	vIdx, hubsIdx, tdsIdx, tasIdx := -1, -1, -1, -1
+	for i, c := range cols {
+		switch {
+		case strings.EqualFold(c, "v"):
+			vIdx = i
+		case strings.EqualFold(c, "hubs"):
+			hubsIdx = i
+		case strings.EqualFold(c, "tds"):
+			tdsIdx = i
+		case strings.EqualFold(c, "tas"):
+			tasIdx = i
+		}
+	}
+	if vIdx < 0 || hubsIdx < 0 || tdsIdx < 0 || tasIdx < 0 {
+		return label{}, ErrNotFused
+	}
+	pk := tb.PKCols()
+	if len(pk) != 1 || pk[0] != vIdx {
+		return label{}, ErrNotFused
+	}
+	key := [1]int64{v}
+	row, found, err := lookupPKScratch(tb, key[:], s)
+	if err != nil {
+		return label{}, err
+	}
+	if !found {
+		return label{}, nil
+	}
+	hv, dv, av := row[hubsIdx], row[tdsIdx], row[tasIdx]
+	if hv.T != sqltypes.IntArray || dv.T != sqltypes.IntArray || av.T != sqltypes.IntArray ||
+		len(hv.A) != len(dv.A) || len(hv.A) != len(av.A) {
+		return label{}, ErrNotFused
+	}
+	return label{hubs: hv.A, tds: dv.A, tas: av.A}, nil
+}
+
+// hubSorted reports whether the label is sorted by (hub, td) — the order
+// core.ensureLabelOrder establishes at build time, which enables the merge
+// join.
+func hubSorted(l label) bool {
+	for i := 1; i < len(l.hubs); i++ {
+		if l.hubs[i] < l.hubs[i-1] ||
+			(l.hubs[i] == l.hubs[i-1] && l.tds[i] < l.tds[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runEnd returns the end of the equal-hub run starting at i.
+func runEnd(hubs []int64, i int) int {
+	j := i + 1
+	for j < len(hubs) && hubs[j] == hubs[i] {
+		j++
+	}
+	return j
+}
+
+// --- Code 1: vertex-to-vertex ------------------------------------------------
+
+func (p *FusedPlan) runV2V(cat Catalog, params []sqltypes.Value) (*Relation, error) {
+	f := p.v2v
+	outV, err := fusedInt(params, f.outVParam)
+	if err != nil {
+		return nil, err
+	}
+	inV, err := fusedInt(params, f.inVParam)
+	if err != nil {
+		return nil, err
+	}
+	t, err := fusedInt(params, f.tParam)
+	if err != nil {
+		return nil, err
+	}
+	var tEnd int64
+	if f.op == 'S' {
+		tEnd, err = fusedInt(params, f.tEndParam)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var scratch RowScratch
+	out, err := fusedLabel(cat, f.outTable, outV, &scratch)
+	if err != nil {
+		return nil, err
+	}
+	in, err := fusedLabel(cat, f.inTable, inV, &scratch)
+	if err != nil {
+		return nil, err
+	}
+
+	const unset = math.MaxInt64
+	best := int64(unset)
+	hasBest := false
+	fold := func(v int64) {
+		if f.op == 'L' {
+			if !hasBest || v > best {
+				best, hasBest = v, true
+			}
+		} else {
+			if !hasBest || v < best {
+				best, hasBest = v, true
+			}
+		}
+	}
+
+	if hubSorted(out) && hubSorted(in) {
+		// Merge join over equal-hub runs. Within a run the in side is sorted
+		// by td, so a suffix minimum over its ta column answers "best arrival
+		// among connections departing the hub no earlier than x" with one
+		// binary search per out tuple.
+		var suffix []int64
+		i, j := 0, 0
+		for i < len(out.hubs) && j < len(in.hubs) {
+			switch {
+			case out.hubs[i] < in.hubs[j]:
+				i = runEnd(out.hubs, i)
+			case out.hubs[i] > in.hubs[j]:
+				j = runEnd(in.hubs, j)
+			default:
+				ie, je := runEnd(out.hubs, i), runEnd(in.hubs, j)
+				n := je - j
+				if cap(suffix) < n+1 {
+					suffix = make([]int64, n+1)
+				}
+				suffix = suffix[:n+1]
+				suffix[n] = unset
+				for x := n - 1; x >= 0; x-- {
+					ta := in.tas[j+x]
+					switch f.op {
+					case 'L':
+						if ta > t {
+							ta = unset
+						}
+					case 'S':
+						if ta > tEnd {
+							ta = unset
+						}
+					}
+					if ta < suffix[x+1] {
+						suffix[x] = ta
+					} else {
+						suffix[x] = suffix[x+1]
+					}
+				}
+				inTds := in.tds[j:je]
+				search := func(outTa int64) int {
+					return sort.Search(n, func(x int) bool { return inTds[x] >= outTa })
+				}
+				switch f.op {
+				case 'E':
+					for x := i; x < ie; x++ {
+						if out.tds[x] < t {
+							continue
+						}
+						if s := suffix[search(out.tas[x])]; s != unset {
+							fold(s)
+						}
+					}
+				case 'L':
+					// Out tds ascend within the run: the first qualifying
+					// tuple from the back is the run's best departure.
+					for x := ie - 1; x >= i; x-- {
+						if hasBest && out.tds[x] <= best {
+							break
+						}
+						if suffix[search(out.tas[x])] != unset {
+							fold(out.tds[x])
+							break
+						}
+					}
+				case 'S':
+					for x := i; x < ie; x++ {
+						if out.tds[x] < t {
+							continue
+						}
+						if s := suffix[search(out.tas[x])]; s != unset {
+							fold(s - out.tds[x])
+						}
+					}
+				}
+				i, j = ie, je
+			}
+		}
+	} else {
+		// Unsorted label (foreign data, or order not re-established): int-
+		// keyed hash join with the predicates applied directly.
+		byHub := make(map[int64][]int32, len(in.hubs))
+		for idx := range in.hubs {
+			byHub[in.hubs[idx]] = append(byHub[in.hubs[idx]], int32(idx))
+		}
+		for x := range out.hubs {
+			if f.op != 'L' && out.tds[x] < t {
+				continue
+			}
+			for _, idx := range byHub[out.hubs[x]] {
+				if out.tas[x] > in.tds[idx] {
+					continue
+				}
+				switch f.op {
+				case 'E':
+					fold(in.tas[idx])
+				case 'L':
+					if in.tas[idx] <= t {
+						fold(out.tds[x])
+					}
+				case 'S':
+					if in.tas[idx] <= tEnd {
+						fold(in.tas[idx] - out.tds[x])
+					}
+				}
+			}
+		}
+	}
+
+	// MIN/MAX with no GROUP BY over empty input yields one NULL row.
+	v := sqltypes.Null
+	if hasBest {
+		v = sqltypes.NewInt(best)
+	}
+	return &Relation{Schema: p.schema, Rows: []sqltypes.Row{{v}}}, nil
+}
+
+// --- shared result shaping ---------------------------------------------------
+
+// kEntry is one (target, aggregate) result of a grouped query.
+type kEntry struct {
+	v, val int64
+}
+
+// topKEntries orders the accumulator by (val, v) — val descending when desc —
+// and keeps the first k entries when limited. The bounded variant maintains
+// a k-sized heap whose root is the worst kept entry, matching the general
+// executor's stable sort + truncate exactly (the (val, v) key is a total
+// order, so stability never matters).
+func topKEntries(acc map[int64]int64, k int, limited, desc bool) []kEntry {
+	less := func(a, b kEntry) bool {
+		if a.val != b.val {
+			if desc {
+				return a.val > b.val
+			}
+			return a.val < b.val
+		}
+		return a.v < b.v
+	}
+	if !limited || k >= len(acc) {
+		out := make([]kEntry, 0, len(acc))
+		for v, val := range acc {
+			out = append(out, kEntry{v, val})
+		}
+		sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+		return out
+	}
+	if k <= 0 {
+		return nil
+	}
+	// h[0] is the worst kept entry under less.
+	h := make([]kEntry, 0, k)
+	worse := func(a, b kEntry) bool { return less(b, a) }
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse(h[i], h[parent]) {
+				break
+			}
+			h[i], h[parent] = h[parent], h[i]
+			i = parent
+		}
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && worse(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && worse(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for v, val := range acc {
+		e := kEntry{v, val}
+		if len(h) < k {
+			h = append(h, e)
+			siftUp(len(h) - 1)
+		} else if less(e, h[0]) {
+			h[0] = e
+			siftDown(0)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return less(h[i], h[j]) })
+	return h
+}
+
+func entriesToRows(schema Schema, entries []kEntry) *Relation {
+	rows := make([]sqltypes.Row, len(entries))
+	for i, e := range entries {
+		rows[i] = sqltypes.Row{sqltypes.NewInt(e.v), sqltypes.NewInt(e.val)}
+	}
+	return &Relation{Schema: schema, Rows: rows}
+}
+
+func foldMin(acc map[int64]int64, v, val int64) {
+	if cur, ok := acc[v]; !ok || val < cur {
+		acc[v] = val
+	}
+}
+
+func foldMax(acc map[int64]int64, v, val int64) {
+	if cur, ok := acc[v]; !ok || val > cur {
+		acc[v] = val
+	}
+}
+
+// --- Code 2: naive kNN -------------------------------------------------------
+
+func (p *FusedPlan) runKNNNaive(cat Catalog, params []sqltypes.Value) (*Relation, error) {
+	f := p.knn
+	q, err := fusedInt(params, f.qParam)
+	if err != nil {
+		return nil, err
+	}
+	t, err := fusedInt(params, f.tParam)
+	if err != nil {
+		return nil, err
+	}
+	k64, err := fusedInt(params, f.kParam)
+	if err != nil {
+		return nil, err
+	}
+	if k64 < 0 {
+		return nil, ErrNotFused // general path owns the negative-LIMIT error
+	}
+	k := int(k64)
+	if k == 0 {
+		return &Relation{Schema: p.schema}, nil
+	}
+	// Separate scratches: the label's arrays are retained across the scan
+	// below, while the scan recycles its scratch (arena included) per row.
+	var lookupScratch, rowScratch RowScratch
+	lab, err := fusedLabel(cat, f.lout, q, &lookupScratch)
+	if err != nil {
+		return nil, err
+	}
+
+	tb, ok := cat.Table(f.naive)
+	if !ok {
+		return nil, ErrNotFused
+	}
+	cols := tb.Columns()
+	hubIdx, tdIdx, vsIdx, tasIdx := -1, -1, -1, -1
+	for i, c := range cols {
+		switch {
+		case strings.EqualFold(c, "hub"):
+			hubIdx = i
+		case strings.EqualFold(c, "td"):
+			tdIdx = i
+		case strings.EqualFold(c, "vs"):
+			vsIdx = i
+		case strings.EqualFold(c, "tas"):
+			tasIdx = i
+		}
+	}
+	if hubIdx < 0 || tdIdx < 0 || vsIdx < 0 || tasIdx < 0 {
+		return nil, ErrNotFused
+	}
+
+	acc := make(map[int64]int64)
+	if f.ea {
+		// A naive row joins some label tuple iff the label's earliest
+		// arrival at the row's hub (among departures >= t) is <= the row's
+		// departure; MIN(n2.ta) is independent of which tuple joined.
+		minTa := make(map[int64]int64)
+		for i := range lab.hubs {
+			if lab.tds[i] >= t {
+				foldMin(minTa, lab.hubs[i], lab.tas[i])
+			}
+		}
+		if len(minTa) == 0 {
+			return &Relation{Schema: p.schema}, nil
+		}
+		err = scanScratch(tb, &rowScratch, func(row sqltypes.Row) error {
+			hv, dv, vv, av := row[hubIdx], row[tdIdx], row[vsIdx], row[tasIdx]
+			if hv.T != sqltypes.Int64 || dv.T != sqltypes.Int64 ||
+				vv.T != sqltypes.IntArray || av.T != sqltypes.IntArray ||
+				len(vv.A) != len(av.A) {
+				return ErrNotFused
+			}
+			if m, ok := minTa[hv.I]; !ok || dv.I < m {
+				return nil
+			}
+			kl := k
+			if kl > len(vv.A) {
+				kl = len(vv.A)
+			}
+			for j := 0; j < kl; j++ {
+				foldMin(acc, vv.A[j], av.A[j])
+			}
+			return nil
+		})
+	} else {
+		// LD aggregates MAX(n1.td) over joining label tuples, so build a
+		// per-hub prefix-max of td over tuples sorted by ta: the best
+		// departure among tuples arriving at the hub by a given time.
+		type hubList struct {
+			tas, maxTd []int64
+		}
+		byHub := make(map[int64]*hubList)
+		for i := range lab.hubs {
+			l := byHub[lab.hubs[i]]
+			if l == nil {
+				l = &hubList{}
+				byHub[lab.hubs[i]] = l
+			}
+			l.tas = append(l.tas, lab.tas[i])
+			l.maxTd = append(l.maxTd, lab.tds[i])
+		}
+		if len(byHub) == 0 {
+			return &Relation{Schema: p.schema}, nil
+		}
+		for _, l := range byHub {
+			sort.Sort(&taTdPairs{l.tas, l.maxTd})
+			for i := 1; i < len(l.maxTd); i++ {
+				if l.maxTd[i-1] > l.maxTd[i] {
+					l.maxTd[i] = l.maxTd[i-1]
+				}
+			}
+		}
+		err = scanScratch(tb, &rowScratch, func(row sqltypes.Row) error {
+			hv, dv, vv, av := row[hubIdx], row[tdIdx], row[vsIdx], row[tasIdx]
+			if hv.T != sqltypes.Int64 || dv.T != sqltypes.Int64 ||
+				vv.T != sqltypes.IntArray || av.T != sqltypes.IntArray ||
+				len(vv.A) != len(av.A) {
+				return ErrNotFused
+			}
+			l := byHub[hv.I]
+			if l == nil {
+				return nil
+			}
+			pos := sort.Search(len(l.tas), func(i int) bool { return l.tas[i] > dv.I })
+			if pos == 0 {
+				return nil
+			}
+			maxTd := l.maxTd[pos-1]
+			kl := k
+			if kl > len(vv.A) {
+				kl = len(vv.A)
+			}
+			for j := 0; j < kl; j++ {
+				if av.A[j] <= t {
+					foldMax(acc, vv.A[j], maxTd)
+				}
+			}
+			return nil
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return entriesToRows(p.schema, topKEntries(acc, k, true, !f.ea)), nil
+}
+
+// taTdPairs sorts parallel (ta, td) slices by ta.
+type taTdPairs struct {
+	tas, tds []int64
+}
+
+func (p *taTdPairs) Len() int           { return len(p.tas) }
+func (p *taTdPairs) Less(i, j int) bool { return p.tas[i] < p.tas[j] }
+func (p *taTdPairs) Swap(i, j int) {
+	p.tas[i], p.tas[j] = p.tas[j], p.tas[i]
+	p.tds[i], p.tds[j] = p.tds[j], p.tds[i]
+}
+
+// --- Codes 3 and 4: condensed kNN and one-to-many ----------------------------
+
+// condRow is one memoized condensed-table lookup: the typed arm arrays, or
+// found=false for an absent (hub, bucket) key.
+type condRow struct {
+	found              bool
+	topV, topVal       []int64
+	expTd, expV, expTa []int64
+}
+
+func (p *FusedPlan) runCondensed(cat Catalog, params []sqltypes.Value) (*Relation, error) {
+	f := p.cond
+	q, err := fusedInt(params, f.qParam)
+	if err != nil {
+		return nil, err
+	}
+	t, err := fusedInt(params, f.tParam)
+	if err != nil {
+		return nil, err
+	}
+	k, limited := 0, false
+	if f.kParam > 0 {
+		k64, err := fusedInt(params, f.kParam)
+		if err != nil {
+			return nil, err
+		}
+		if k64 < 0 {
+			return nil, ErrNotFused // general path owns the negative-LIMIT error
+		}
+		k, limited = int(k64), true
+		if k == 0 {
+			return &Relation{Schema: p.schema}, nil
+		}
+	}
+	// One scratch serves the label and every aux lookup: all retained
+	// arrays live in the append-only arena.
+	var scratch RowScratch
+	lab, err := fusedLabel(cat, f.lout, q, &scratch)
+	if err != nil {
+		return nil, err
+	}
+
+	tb, ok := cat.Table(f.aux)
+	if !ok {
+		return nil, ErrNotFused
+	}
+	cols := tb.Columns()
+	idxOf := func(name string) int {
+		for i, c := range cols {
+			if strings.EqualFold(c, name) {
+				return i
+			}
+		}
+		return -1
+	}
+	hubIdx := idxOf("hub")
+	bucketIdx := idxOf(f.bucketCol)
+	topVIdx := idxOf(f.topV)
+	topValIdx := idxOf(f.topVal)
+	expTdIdx := idxOf(f.expTd)
+	expVIdx := idxOf(f.expV)
+	expTaIdx := idxOf(f.expTa)
+	if hubIdx < 0 || bucketIdx < 0 || topVIdx < 0 || topValIdx < 0 ||
+		expTdIdx < 0 || expVIdx < 0 || expTaIdx < 0 {
+		return nil, ErrNotFused
+	}
+	pk := tb.PKCols()
+	if len(pk) != 2 || pk[0] != hubIdx || pk[1] != bucketIdx {
+		return nil, ErrNotFused
+	}
+
+	cache := make(map[[2]int64]*condRow)
+	var keyBuf [2]int64
+	lookup := func(hub, bucket int64) (*condRow, error) {
+		key := [2]int64{hub, bucket}
+		if c, ok := cache[key]; ok {
+			return c, nil
+		}
+		keyBuf = key
+		row, found, err := lookupPKScratch(tb, keyBuf[:], &scratch)
+		if err != nil {
+			return nil, err
+		}
+		c := &condRow{found: found}
+		if found {
+			tv, tval := row[topVIdx], row[topValIdx]
+			etd, ev, eta := row[expTdIdx], row[expVIdx], row[expTaIdx]
+			if tv.T != sqltypes.IntArray || tval.T != sqltypes.IntArray ||
+				etd.T != sqltypes.IntArray || ev.T != sqltypes.IntArray ||
+				eta.T != sqltypes.IntArray ||
+				len(tv.A) != len(tval.A) ||
+				len(etd.A) != len(ev.A) || len(etd.A) != len(eta.A) {
+				return nil, ErrNotFused
+			}
+			c.topV, c.topVal = tv.A, tval.A
+			c.expTd, c.expV, c.expTa = etd.A, ev.A, eta.A
+		}
+		cache[key] = c
+		return c, nil
+	}
+
+	sliceLen := func(n int) int {
+		if limited && k < n {
+			return k
+		}
+		return n
+	}
+
+	acc := make(map[int64]int64)
+	if f.ea {
+		// Per label tuple departing >= t: probe (hub, FLOOR(ta/width)),
+		// fold the top-k arm unconditionally and the expanded arm where the
+		// tuple's arrival reaches the connection's departure. The arms'
+		// inner ORDER BY/LIMIT never affect the outer re-grouped top-k.
+		for i := range lab.hubs {
+			if lab.tds[i] < t {
+				continue
+			}
+			ta := lab.tas[i]
+			c, err := lookup(lab.hubs[i], ta/f.width)
+			if err != nil {
+				return nil, err
+			}
+			if !c.found {
+				continue
+			}
+			for x := 0; x < sliceLen(len(c.topV)); x++ {
+				foldMin(acc, c.topV[x], c.topVal[x])
+			}
+			for x := range c.expTd {
+				if ta <= c.expTd[x] {
+					foldMin(acc, c.expV[x], c.expTa[x])
+				}
+			}
+		}
+	} else {
+		// LD probes one bucket, FLOOR(t/width), per hub: the top-k arm
+		// qualifies connections departing no earlier than the tuple's
+		// arrival, the expanded arm additionally bounds the connection's
+		// arrival by t; both fold the tuple's departure time.
+		bucket := t / f.width
+		for i := range lab.hubs {
+			td, ta := lab.tds[i], lab.tas[i]
+			c, err := lookup(lab.hubs[i], bucket)
+			if err != nil {
+				return nil, err
+			}
+			if !c.found {
+				continue
+			}
+			for x := 0; x < sliceLen(len(c.topV)); x++ {
+				if c.topVal[x] >= ta {
+					foldMax(acc, c.topV[x], td)
+				}
+			}
+			for x := range c.expTd {
+				if c.expTd[x] >= ta && c.expTa[x] <= t {
+					foldMax(acc, c.expV[x], td)
+				}
+			}
+		}
+	}
+	return entriesToRows(p.schema, topKEntries(acc, k, limited, !f.ea)), nil
+}

@@ -246,6 +246,96 @@ func EncodeRow(buf []byte, r Row) []byte {
 	return buf
 }
 
+// DecodeRowInto parses a row previously written by EncodeRow, reusing
+// caller-owned buffers: the returned Row occupies row's capacity when it
+// suffices, and every BIGINT[] value is carved out of arena, which is
+// returned grown. The arena is append-only — growing it reallocates but
+// never overwrites, so array slices from earlier calls stay valid as long
+// as the caller keeps passing the returned arena back in. Truncating the
+// arena between calls (arena[:0]) recycles the backing and clobbers all
+// previously decoded arrays; only do that when nothing is retained.
+func DecodeRowInto(buf []byte, row Row, arena []int64) (Row, []int64, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, arena, fmt.Errorf("sqltypes: corrupt row header")
+	}
+	buf = buf[k:]
+	var r Row
+	if uint64(cap(row)) >= n {
+		r = row[:n]
+	} else {
+		r = make(Row, n)
+	}
+	for i := range r {
+		if len(buf) == 0 {
+			return nil, arena, fmt.Errorf("sqltypes: truncated row at value %d", i)
+		}
+		t := Type(buf[0])
+		buf = buf[1:]
+		switch t {
+		case NullType:
+			r[i] = Null
+		case Int64:
+			v, k := binary.Varint(buf)
+			if k <= 0 {
+				return nil, arena, fmt.Errorf("sqltypes: corrupt int at value %d", i)
+			}
+			buf = buf[k:]
+			r[i] = NewInt(v)
+		case Float64:
+			if len(buf) < 8 {
+				return nil, arena, fmt.Errorf("sqltypes: corrupt float at value %d", i)
+			}
+			r[i] = NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+			buf = buf[8:]
+		case Text:
+			ln, k := binary.Uvarint(buf)
+			if k <= 0 || uint64(len(buf)-k) < ln {
+				return nil, arena, fmt.Errorf("sqltypes: corrupt text at value %d", i)
+			}
+			r[i] = NewText(string(buf[k : k+int(ln)]))
+			buf = buf[k+int(ln):]
+		case IntArray:
+			ln, k := binary.Uvarint(buf)
+			if k <= 0 {
+				return nil, arena, fmt.Errorf("sqltypes: corrupt array at value %d", i)
+			}
+			buf = buf[k:]
+			if free := cap(arena) - len(arena); free < int(ln) {
+				grown := 2 * cap(arena)
+				if grown < len(arena)+int(ln) {
+					grown = len(arena) + int(ln)
+				}
+				if grown < 64 {
+					grown = 64
+				}
+				na := make([]int64, len(arena), grown)
+				copy(na, arena)
+				arena = na
+			}
+			a := arena[len(arena) : len(arena)+int(ln) : len(arena)+int(ln)]
+			arena = arena[:len(arena)+int(ln)]
+			prev := int64(0)
+			for j := range a {
+				d, k := binary.Varint(buf)
+				if k <= 0 {
+					return nil, arena, fmt.Errorf("sqltypes: corrupt array element %d of value %d", j, i)
+				}
+				buf = buf[k:]
+				prev += d
+				a[j] = prev
+			}
+			r[i] = NewIntArray(a)
+		default:
+			return nil, arena, fmt.Errorf("sqltypes: unknown type tag %d at value %d", t, i)
+		}
+	}
+	if len(buf) != 0 {
+		return nil, arena, fmt.Errorf("sqltypes: %d trailing bytes after row", len(buf))
+	}
+	return r, arena, nil
+}
+
 // DecodeRow parses a row previously written by EncodeRow.
 func DecodeRow(buf []byte) (Row, error) {
 	n, k := binary.Uvarint(buf)

@@ -207,3 +207,66 @@ func TestCompareArraysEqualPrefixLonger(t *testing.T) {
 		t.Errorf("Compare longer-vs-prefix = %d, %v", got, err)
 	}
 }
+
+func TestDecodeRowInto(t *testing.T) {
+	rows := []Row{
+		{NewInt(1), NewIntArray([]int64{3, 1, 4, 1, 5}), NewIntArray([]int64{9, 2, 6})},
+		{NewInt(2), NewIntArray(nil), NewIntArray([]int64{-7})},
+		{Null, NewText("x"), NewFloat(2.5)},
+	}
+
+	// Reused buffers round-trip every row; the arena is append-only, so
+	// arrays decoded in earlier calls keep their contents afterwards.
+	var scratchRow Row
+	var arena []int64
+	var decoded []Row
+	for i, r := range rows {
+		buf := EncodeRow(nil, r)
+		got, grown, err := DecodeRowInto(buf, scratchRow, arena)
+		if err != nil {
+			t.Fatalf("row %d: DecodeRowInto: %v", i, err)
+		}
+		scratchRow, arena = got, grown
+		if len(got) != len(r) {
+			t.Fatalf("row %d: got %d values, want %d", i, len(got), len(r))
+		}
+		for j := range r {
+			if !reflect.DeepEqual(normalize(got[j]), normalize(r[j])) {
+				t.Errorf("row %d value %d: got %+v, want %+v", i, j, got[j], r[j])
+			}
+		}
+		// Keep only the array values: the Row header is recycled next call.
+		keep := make(Row, len(got))
+		copy(keep, got)
+		decoded = append(decoded, keep)
+	}
+	for i, r := range rows {
+		for j := range r {
+			if r[j].T != IntArray {
+				continue
+			}
+			if !reflect.DeepEqual(normalize(decoded[i][j]), normalize(r[j])) {
+				t.Errorf("retained row %d value %d clobbered: got %+v, want %+v",
+					i, j, decoded[i][j], r[j])
+			}
+		}
+	}
+
+	// Truncating the arena recycles the backing store.
+	buf := EncodeRow(nil, rows[0])
+	got, grown, err := DecodeRowInto(buf, scratchRow, arena[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown) == 0 || &grown[0] != &arena[:1][0] {
+		t.Error("truncated arena did not reuse its backing store")
+	}
+	if got[1].A[0] != 3 {
+		t.Errorf("reuse decode got %v", got[1].A)
+	}
+
+	// Corrupt input is rejected like DecodeRow.
+	if _, _, err := DecodeRowInto(buf[:len(buf)-1], nil, nil); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+}

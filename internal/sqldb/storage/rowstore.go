@@ -127,6 +127,11 @@ func (rs *RowStore) write(b []byte) error {
 
 // Read returns the payload at loc.
 func (rs *RowStore) Read(loc Locator) ([]byte, error) {
+	return rs.ReadInto(loc, nil)
+}
+
+// ReadInto is Read reusing buf's capacity for the payload when it suffices.
+func (rs *RowStore) ReadInto(loc Locator, buf []byte) ([]byte, error) {
 	page, off := loc.Page, loc.Off
 	// Parse the length prefix (validating loc.Len).
 	var prefix [binary.MaxVarintLen64]byte
@@ -138,7 +143,12 @@ func (rs *RowStore) Read(loc Locator) ([]byte, error) {
 	if k <= 0 || uint32(ln) != loc.Len {
 		return nil, fmt.Errorf("storage: locator length mismatch at page %d off %d", page, off)
 	}
-	out := make([]byte, ln)
+	var out []byte
+	if uint64(cap(buf)) >= ln {
+		out = buf[:ln]
+	} else {
+		out = make([]byte, ln)
+	}
 	if err := rs.copyFrom(page, off+uint32(k), out); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"ptldb/internal/sqldb/exec"
 	"ptldb/internal/sqldb/sqltypes"
 	"ptldb/internal/sqldb/storage"
 )
@@ -162,6 +163,85 @@ func (t *Table) LookupPK(keyVals []int64) (sqltypes.Row, bool, error) {
 		return nil, false, fmt.Errorf("sqldb: %s: %w", t.def.Name, err)
 	}
 	return row, true, nil
+}
+
+// LookupPKScratch implements exec.ScratchTable: LookupPK decoding into s's
+// reusable buffers. The returned row is valid until the next call with the
+// same scratch; its array values live in s.Arena, which only ever grows, so
+// they remain valid for the scratch's lifetime.
+func (t *Table) LookupPKScratch(keyVals []int64, s *exec.RowScratch) (sqltypes.Row, bool, error) {
+	if len(keyVals) != len(t.pkCols) {
+		return nil, false, fmt.Errorf("sqldb: %s: lookup with %d key values, PK has %d columns",
+			t.def.Name, len(keyVals), len(t.pkCols))
+	}
+	if len(t.pkCols) == 0 {
+		return nil, false, fmt.Errorf("sqldb: %s has no primary key", t.def.Name)
+	}
+	t.lookups.Add(1)
+	var key storage.Key
+	copy(key[:], keyVals)
+	loc, ok, err := t.idx.Get(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	data, err := t.heap.ReadInto(loc, s.Buf)
+	if err != nil {
+		return nil, false, err
+	}
+	s.Buf = data
+	row, arena, err := sqltypes.DecodeRowInto(data, s.Row, s.Arena)
+	if err != nil {
+		return nil, false, fmt.Errorf("sqldb: %s: %w", t.def.Name, err)
+	}
+	s.Row, s.Arena = row, arena
+	return row, true, nil
+}
+
+// ScanScratch implements exec.ScratchTable: Scan reusing s's buffers —
+// including the arena — for every row, so the callback must not retain the
+// row or any of its array values.
+func (t *Table) ScanScratch(s *exec.RowScratch, fn func(sqltypes.Row) error) error {
+	t.scans.Add(1)
+	decode := func(data []byte) (sqltypes.Row, error) {
+		row, arena, err := sqltypes.DecodeRowInto(data, s.Row, s.Arena[:0])
+		if err != nil {
+			return nil, err
+		}
+		s.Row, s.Arena = row, arena
+		return row, nil
+	}
+	if len(t.pkCols) == 0 {
+		return t.heap.Scan(func(_ storage.Locator, data []byte) error {
+			row, err := decode(data)
+			if err != nil {
+				return err
+			}
+			return fn(row)
+		})
+	}
+	cur, err := t.idx.SeekFirst()
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	for cur.Valid() {
+		data, err := t.heap.ReadInto(cur.Locator(), s.Buf)
+		if err != nil {
+			return err
+		}
+		s.Buf = data
+		row, err := decode(data)
+		if err != nil {
+			return err
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+		if err := cur.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Scan calls fn for every row. Tables with a primary key iterate in key

@@ -102,6 +102,11 @@ type Config struct {
 	// benchmarks use this to observe device reads overlapping across
 	// goroutines; it has no effect on query answers.
 	RealLatency bool
+	// DisableFusedExec turns off the fused execution path for the label
+	// queries (Codes 1–4), forcing every statement through the general SQL
+	// executor. The ptldb-bench -fused=off ablation and the differential
+	// tests use this; it has no effect on query answers.
+	DisableFusedExec bool
 }
 
 func (c Config) device() (storage.DeviceModel, error) {
@@ -188,7 +193,9 @@ func CreateWithStats(dir string, tt *Network, cfg Config) (*DB, PreprocessStats,
 	stats.DummyTuples = labels.NumDummies()
 
 	start = time.Now()
-	sdb, err := sqldb.Open(dir, sqldb.Options{Device: dev, PoolPages: cfg.PoolPages})
+	sdb, err := sqldb.Open(dir, sqldb.Options{
+		Device: dev, PoolPages: cfg.PoolPages, DisableFusedExec: cfg.DisableFusedExec,
+	})
 	if err != nil {
 		return nil, stats, err
 	}
@@ -216,7 +223,9 @@ func Open(dir string, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	sdb, err := sqldb.Open(dir, sqldb.Options{Device: dev, PoolPages: cfg.PoolPages})
+	sdb, err := sqldb.Open(dir, sqldb.Options{
+		Device: dev, PoolPages: cfg.PoolPages, DisableFusedExec: cfg.DisableFusedExec,
+	})
 	if err != nil {
 		return nil, err
 	}

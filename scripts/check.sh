@@ -10,4 +10,6 @@ echo "== go build ./..."
 go build ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== bench smoke (fused executor, 5 iterations)"
+go test -run '^$' -bench 'BenchmarkFusedExec' -benchtime 5x .
 echo "== OK"
