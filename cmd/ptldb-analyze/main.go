@@ -1,0 +1,100 @@
+// ptldb-analyze runs PTLDB's project-specific static-analysis suite (see
+// internal/analysis and DESIGN.md §8) over module packages and exits non-zero
+// if any checker reports a finding.
+//
+// Usage:
+//
+//	ptldb-analyze [-json] [-checkers name,name] [packages]
+//
+// Packages default to ./... relative to the current directory; patterns are
+// directories relative to the module, with /... for recursion. -json emits
+// the findings as a JSON array for CI consumption.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ptldb/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	names := flag.String("checkers", "",
+		"comma-separated subset of checkers to run (default all: "+strings.Join(analysis.CheckerNames(), ",")+")")
+	flag.Parse()
+
+	if err := run(*jsonOut, *names, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "ptldb-analyze:", err)
+		os.Exit(2)
+	}
+}
+
+func run(jsonOut bool, names string, patterns []string) error {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	checkers, err := selectCheckers(names)
+	if err != nil {
+		return err
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		return err
+	}
+	findings := analysis.Run(pkgs, checkers)
+	if jsonOut {
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "ptldb-analyze: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+	return nil
+}
+
+// selectCheckers resolves the -checkers flag against the default suite.
+func selectCheckers(names string) ([]analysis.Checker, error) {
+	all := analysis.Checkers()
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]analysis.Checker{}
+	for _, c := range all {
+		byName[c.Name()] = c
+	}
+	var out []analysis.Checker
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown checker %q (have %s)", name, strings.Join(analysis.CheckerNames(), ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

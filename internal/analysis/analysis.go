@@ -1,0 +1,183 @@
+// Package analysis is PTLDB's project-specific static-analysis suite. It
+// type-checks the module from source with nothing but the standard library
+// (go/parser + go/types + the source importer) and runs checkers that lock in
+// the invariants the hot paths depend on but the type system cannot see:
+//
+//   - sqlcheck: every string constant reaching Prepare/CachedPrepare/Query/
+//     Exec is parsed at lint time with internal/sqldb/sql, and statements
+//     reaching core's prepared() helper must additionally compile with
+//     exec.Fuse — SQL drift in the paper's Codes 1–4 becomes a lint failure
+//     instead of a runtime ErrNotFused fallback.
+//   - lockcheck: no device I/O or blocking channel operations while a
+//     buffer-pool shard mutex (a mutex field annotated "lockcheck:shard") is
+//     held, and every Lock has an Unlock on all return paths.
+//   - atomiccheck: a field accessed through sync/atomic anywhere must be
+//     accessed atomically everywhere.
+//   - arenacheck: slices carved out of exec.RowScratch's append-only Arena
+//     must not be stored in struct fields, returned, or sent on channels.
+//   - errcheck: no silently discarded error results in internal/sqldb and
+//     internal/sqldb/storage.
+//
+// Checkers identify project constructs by convention (method names, the
+// Arena field name, the lockcheck:shard field annotation) rather than by
+// type identity, so each checker is exercised by a small self-contained
+// golden-file corpus under testdata/ (see the analysistest package).
+//
+// A finding can be waived with a directive comment on the offending line or
+// the line directly above it:
+//
+//	//lint:ignore <checker> <reason>
+//
+// The reason is mandatory: a waiver without a written justification is
+// itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one checker diagnostic at a source position.
+type Finding struct {
+	Pos     token.Position `json:"pos"`
+	Checker string         `json:"checker"`
+	Message string         `json:"message"`
+}
+
+// String formats the finding like a compiler diagnostic.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Checker, f.Message)
+}
+
+// Checker is one analysis pass over a type-checked package.
+type Checker interface {
+	Name() string
+	Check(p *Package) []Finding
+}
+
+// Checkers returns the full PTLDB suite with its production scoping:
+// errcheck is limited to the storage engine, where a swallowed error means
+// silent data loss; every other checker runs module-wide.
+func Checkers() []Checker {
+	return []Checker{
+		NewSQLCheck(),
+		NewLockCheck(),
+		NewAtomicCheck(),
+		NewArenaCheck(),
+		NewErrCheck("ptldb/internal/sqldb"),
+	}
+}
+
+// CheckerNames returns the names of the default suite, for -checkers help.
+func CheckerNames() []string {
+	var names []string
+	for _, c := range Checkers() {
+		names = append(names, c.Name())
+	}
+	return names
+}
+
+// Run executes the checkers over the packages, drops findings waived by
+// lint:ignore directives, and returns the rest sorted by position. Malformed
+// directives (no checker name or no reason) are themselves findings.
+func Run(pkgs []*Package, checkers []Checker) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		dirs, bad := p.directives()
+		out = append(out, bad...)
+		for _, c := range checkers {
+			for _, f := range c.Check(p) {
+				if dirs.waived(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Checker < b.Checker
+	})
+	return out
+}
+
+// --- lint:ignore directives --------------------------------------------------
+
+// directiveKey locates one waiver: a checker name on one line of one file.
+type directiveKey struct {
+	file    string
+	line    int
+	checker string
+}
+
+type directiveSet map[directiveKey]bool
+
+// waived reports whether f is covered by a directive on its line or the line
+// directly above it.
+func (d directiveSet) waived(f Finding) bool {
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if d[directiveKey{f.Pos.Filename, line, f.Checker}] {
+			return true
+		}
+	}
+	return false
+}
+
+const directivePrefix = "lint:ignore"
+
+// directives scans the package's comments for lint:ignore waivers. A
+// directive must name a checker and give a reason; anything else is reported.
+func (p *Package) directives() (directiveSet, []Finding) {
+	set := directiveSet{}
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:     pos,
+						Checker: "directive",
+						Message: "malformed lint:ignore: want \"lint:ignore <checker> <reason>\"",
+					})
+					continue
+				}
+				set[directiveKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// --- small shared AST helpers ------------------------------------------------
+
+// calleeName returns the bare name a call is made through: the method name
+// for x.M(...), the function name for F(...), "" otherwise.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// arenaCheck polices the fused executor's scratch-arena contract (DESIGN.md
+// §7): RowScratch.Arena is an append-only []int64 that Reset truncates to
+// zero length between queries, so any slice carved out of it is valid only
+// until the next Reset. Such slices must stay function-local inside the
+// executor: storing one in a struct field, returning it, assigning it to a
+// package variable, or sending it on a channel lets it outlive Reset and
+// silently alias rows of a later query.
+//
+// The check is a per-function taint analysis. Taint sources are selector
+// reads of a field named Arena whose type is a slice; taint propagates
+// through slice expressions, append, local-variable assignment, and
+// composite literals containing tainted elements. Indexing a tainted slice
+// yields a scalar and is always safe. The sanctioned write-back
+// "s.Arena = append(s.Arena, ...)" (the arena's own growth protocol) is
+// explicitly allowed.
+type arenaCheck struct{}
+
+// NewArenaCheck returns the arenacheck checker.
+func NewArenaCheck() Checker { return arenaCheck{} }
+
+func (arenaCheck) Name() string { return "arenacheck" }
+
+// arenaFieldName is the conventional name of the arena backing slice.
+const arenaFieldName = "Arena"
+
+func (c arenaCheck) Check(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := &arenaFunc{pkg: p, tainted: map[types.Object]bool{}}
+			// Two passes: the first discovers tainted locals (assignments
+			// can precede or follow uses in source order within loops), the
+			// second reports sinks.
+			a.propagate(fd.Body)
+			a.propagate(fd.Body)
+			a.findSinks(fd.Body)
+			out = append(out, a.findings...)
+		}
+	}
+	for i := range out {
+		out[i].Checker = c.Name()
+	}
+	return out
+}
+
+// arenaFunc is the per-function taint state.
+type arenaFunc struct {
+	pkg      *Package
+	tainted  map[types.Object]bool // locals holding arena-derived slices
+	findings []Finding
+}
+
+// isArenaExpr reports whether e evaluates to an arena-derived slice.
+func (a *arenaFunc) isArenaExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if x.Sel.Name != arenaFieldName {
+			return false
+		}
+		tv, ok := a.pkg.Info.Types[e]
+		if !ok {
+			return false
+		}
+		_, isSlice := tv.Type.Underlying().(*types.Slice)
+		return isSlice
+	case *ast.Ident:
+		obj := a.pkg.Info.Uses[x]
+		return obj != nil && a.tainted[obj]
+	case *ast.SliceExpr:
+		return a.isArenaExpr(x.X)
+	case *ast.CallExpr:
+		// append(tainted, ...) and append(x, tainted...) stay tainted;
+		// so do conversions of a tainted slice.
+		if calleeName(x) == "append" && len(x.Args) > 0 {
+			for _, arg := range x.Args {
+				if a.isArenaExpr(arg) {
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if a.isArenaExpr(elt) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// propagate walks the body once, marking locals assigned arena-derived
+// values as tainted.
+func (a *arenaFunc) propagate(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := a.pkg.Info.Defs[id]
+			if obj == nil {
+				obj = a.pkg.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if a.isArenaExpr(asg.Rhs[i]) {
+				a.tainted[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+func (a *arenaFunc) report(n ast.Node, format string, args ...any) {
+	a.findings = append(a.findings, Finding{
+		Pos:     a.pkg.Fset.Position(n.Pos()),
+		Checker: "arenacheck",
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// findSinks reports arena-derived slices escaping the function.
+func (a *arenaFunc) findSinks(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if !a.isArenaExpr(x.Rhs[i]) {
+					continue
+				}
+				switch target := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					// s.Arena = append(s.Arena, ...) is the arena's own
+					// growth protocol; any other field store escapes.
+					if target.Sel.Name == arenaFieldName {
+						continue
+					}
+					if obj := a.pkg.Info.Uses[target.Sel]; obj != nil && isStructField(obj) {
+						a.report(x, "arena-derived slice stored in struct field %s: it aliases RowScratch.Arena and dies at the next Reset", target.Sel.Name)
+					} else {
+						a.report(x, "arena-derived slice stored through %s: it aliases RowScratch.Arena and dies at the next Reset", types.ExprString(target))
+					}
+				case *ast.Ident:
+					// Package-level variable?
+					obj := a.pkg.Info.Uses[target]
+					if obj == nil {
+						obj = a.pkg.Info.Defs[target]
+					}
+					if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Parent() == a.pkg.Pkg.Scope() {
+						a.report(x, "arena-derived slice stored in package variable %s: it aliases RowScratch.Arena and dies at the next Reset", v.Name())
+					}
+				case *ast.IndexExpr:
+					// m[k] = tainted or s[i] = tainted: storing into a
+					// container whose lifetime is unknown — escape.
+					a.report(x, "arena-derived slice stored into %s: it aliases RowScratch.Arena and dies at the next Reset", types.ExprString(target))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if a.isArenaExpr(res) {
+					a.report(res, "arena-derived slice returned: it aliases RowScratch.Arena and dies at the next Reset")
+				}
+			}
+		case *ast.SendStmt:
+			if a.isArenaExpr(x.Value) {
+				a.report(x, "arena-derived slice sent on a channel: it aliases RowScratch.Arena and dies at the next Reset")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicCheck enforces all-or-nothing atomicity per field: once any code in
+// the package passes &x.f to a sync/atomic function, every other access to
+// that field must also go through sync/atomic. A plain read racing an
+// atomic.AddInt64 is exactly the kind of bug the race detector only catches
+// when the schedule cooperates; this makes it a deterministic lint failure.
+//
+// The check is package-local and field-precise: the tainting access and the
+// offending access must name the same struct field (the same types.Object).
+// Taking the field's address for the purpose of an atomic call is sanctioned;
+// any other address-of, read, or write of the field is a finding.
+type atomicCheck struct{}
+
+// NewAtomicCheck returns the atomiccheck checker.
+func NewAtomicCheck() Checker { return atomicCheck{} }
+
+func (atomicCheck) Name() string { return "atomiccheck" }
+
+func (c atomicCheck) Check(p *Package) []Finding {
+	// Pass 1: fields used atomically anywhere in the package, plus the set
+	// of identifier uses that are sanctioned (they appear inside &f passed
+	// to a sync/atomic call).
+	atomicFields := map[types.Object]token.Pos{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Uses[sel.Sel]
+				if obj == nil || !isStructField(obj) {
+					continue
+				}
+				if _, seen := atomicFields[obj]; !seen {
+					atomicFields[obj] = call.Pos()
+				}
+				sanctioned[sel.Sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those fields is a finding.
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || sanctioned[sel.Sel] {
+				return true
+			}
+			first, tainted := atomicFields[obj]
+			if !tainted {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:     p.Fset.Position(sel.Pos()),
+				Checker: c.Name(),
+				Message: fmt.Sprintf("non-atomic access to field %s, which is accessed with sync/atomic at line %d: mixing the two races",
+					obj.Name(), p.Fset.Position(first).Line),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isAtomicCall reports whether call targets a function in sync/atomic.
+func isAtomicCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isStructField reports whether obj is a struct field variable.
+func isStructField(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField()
+}

@@ -1,0 +1,66 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ptldb/internal/analysis"
+	"ptldb/internal/analysis/analysistest"
+)
+
+func corpus(name string) string { return filepath.Join("testdata", "src", name) }
+
+func TestSQLCheck(t *testing.T) {
+	analysistest.Run(t, corpus("sqlcheck"), analysis.NewSQLCheck())
+}
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, corpus("lockcheck"), analysis.NewLockCheck())
+}
+
+func TestAtomicCheck(t *testing.T) {
+	analysistest.Run(t, corpus("atomiccheck"), analysis.NewAtomicCheck())
+}
+
+func TestArenaCheck(t *testing.T) {
+	analysistest.Run(t, corpus("arenacheck"), analysis.NewArenaCheck())
+}
+
+func TestErrCheck(t *testing.T) {
+	analysistest.Run(t, corpus("errcheck"), analysis.NewErrCheck())
+}
+
+// TestCleanCorpus runs every checker (errcheck unscoped) over the negative
+// corpus, which must come out without a single finding.
+func TestCleanCorpus(t *testing.T) {
+	analysistest.Run(t, corpus("clean"),
+		analysis.NewSQLCheck(),
+		analysis.NewLockCheck(),
+		analysis.NewAtomicCheck(),
+		analysis.NewArenaCheck(),
+		analysis.NewErrCheck(),
+	)
+}
+
+// TestModuleClean is the lint gate as a test: the production suite over the
+// whole module must report zero findings.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module typecheck is slow; run without -short")
+	}
+	root := filepath.Join("..", "..")
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, f := range analysis.Run(pkgs, analysis.Checkers()) {
+		t.Errorf("%s", f)
+	}
+}

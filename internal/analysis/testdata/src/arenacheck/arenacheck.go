@@ -1,0 +1,68 @@
+// Package arenacheck is the golden corpus for the arenacheck checker: a
+// local rowScratch stands in for exec.RowScratch (the checker matches the
+// Arena field by name), with every escape class seeded and the sanctioned
+// patterns (growth protocol, scalar reads, copy-out) kept clean.
+package arenacheck
+
+type rowScratch struct {
+	Arena []int64
+}
+
+type cursor struct {
+	held []int64
+}
+
+var leaked []int64
+
+func carve(s *rowScratch, n int) []int64 {
+	start := len(s.Arena)
+	for i := 0; i < n; i++ {
+		s.Arena = append(s.Arena, 0) // ok: the arena's own growth protocol
+	}
+	return s.Arena[start:] // want `arena-derived slice returned`
+}
+
+func stash(s *rowScratch, c *cursor) {
+	c.held = s.Arena[:4] // want `arena-derived slice stored in struct field held`
+}
+
+func stashGlobal(s *rowScratch) {
+	leaked = append(s.Arena, 1) // want `arena-derived slice stored in package variable leaked`
+}
+
+func send(s *rowScratch, ch chan []int64) {
+	ch <- s.Arena[1:2] // want `arena-derived slice sent on a channel`
+}
+
+func stashInMap(s *rowScratch, m map[string][]int64) {
+	m["rows"] = s.Arena[:2] // want `arena-derived slice stored into m\["rows"\]`
+}
+
+func viaLocal(s *rowScratch) []int64 {
+	tmp := s.Arena[2:8]
+	view := tmp[1:]
+	return view // want `arena-derived slice returned`
+}
+
+// Scalars read out of the arena are values, not aliases: always safe.
+func scalar(s *rowScratch) int64 {
+	v := s.Arena[3]
+	return v
+}
+
+// Copying out of the arena is the sanctioned way to let row data escape.
+func copyOut(s *rowScratch) []int64 {
+	out := make([]int64, 4)
+	copy(out, s.Arena[:4])
+	return out
+}
+
+// Function-local iteration over an arena view is fine.
+func sum(s *rowScratch) int64 {
+	view := s.Arena[:]
+	var total int64
+	for _, v := range view {
+		total += v
+	}
+	return total
+}

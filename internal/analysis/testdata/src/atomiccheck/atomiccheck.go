@@ -1,0 +1,40 @@
+// Package atomiccheck is the golden corpus for the atomiccheck checker: the
+// hits field is managed with sync/atomic, so every plain access to it is a
+// seeded race; total is never atomic and plain accesses stay clean.
+package atomiccheck
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.hits // want `non-atomic access to field hits, which is accessed with sync/atomic at line \d+`
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want `non-atomic access to field hits, which is accessed with sync/atomic at line \d+`
+}
+
+func (c *counter) racyIncrement() {
+	c.hits++ // want `non-atomic access to field hits, which is accessed with sync/atomic at line \d+`
+}
+
+// total is never touched atomically, so plain accesses are fine.
+func (c *counter) addTotal(n int64) {
+	c.total += n
+}
+
+func (c *counter) readTotal() int64 {
+	return c.total
+}

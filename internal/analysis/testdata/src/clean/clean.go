@@ -1,0 +1,67 @@
+// Package clean is the negative corpus: a miniature, disciplined version of
+// the pool/metrics/SQL plumbing that every checker runs over and must leave
+// without a single finding.
+package clean
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+type db struct{}
+
+func (db) CachedPrepare(q string) error { return nil }
+
+type pagedFile struct{}
+
+func (pagedFile) WritePage(page int, data []byte) error { return nil }
+
+type shard struct {
+	mu     sync.Mutex // lockcheck:shard
+	frames map[int][]byte
+	ops    int64
+}
+
+// get follows the pool discipline: critical sections touch only memory, the
+// device write happens between them, and the op counter is atomic
+// everywhere.
+func get(sh *shard, f pagedFile, page int) ([]byte, error) {
+	sh.mu.Lock()
+	data, ok := sh.frames[page]
+	sh.mu.Unlock()
+	if ok {
+		atomic.AddInt64(&sh.ops, 1)
+		return data, nil
+	}
+	buf := make([]byte, 8)
+	if err := f.WritePage(page, buf); err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	sh.frames[page] = buf
+	sh.mu.Unlock()
+	atomic.AddInt64(&sh.ops, 1)
+	return buf, nil
+}
+
+func ops(sh *shard) int64 { return atomic.LoadInt64(&sh.ops) }
+
+// prepare interpolates a table name exactly the way core does; the constant
+// format parses after verb substitution.
+func prepare(d db, table string) error {
+	return d.CachedPrepare(fmt.Sprintf("SELECT a FROM %s", table))
+}
+
+type rowScratch struct {
+	Arena []int64
+}
+
+// materialize grows the arena and copies the view out before returning it.
+func materialize(s *rowScratch, vals []int64) []int64 {
+	start := len(s.Arena)
+	s.Arena = append(s.Arena, vals...)
+	out := make([]int64, len(vals))
+	copy(out, s.Arena[start:])
+	return out
+}

@@ -1,0 +1,44 @@
+// Package errcheck is the golden corpus for the errcheck checker: bare call
+// statements that drop an error are seeded findings; explicit blank
+// assignment, defer, go statements, and in-memory writers are the sanctioned
+// exemptions.
+package errcheck
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type file struct{}
+
+func (file) Close() error                { return nil }
+func (file) Write(p []byte) (int, error) { return len(p), nil }
+func (file) Len() int                    { return 0 }
+
+func discard(f file) {
+	f.Close()    // want `error result of f\.Close is discarded`
+	f.Write(nil) // want `error result of f\.Write is discarded`
+}
+
+func fine(f file) error {
+	f.Len()         // ok: no error result
+	_ = f.Close()   // ok: discard is explicit and visible
+	defer f.Close() // ok: defer cannot consume results
+	go f.Close()    // ok: go cannot consume results
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writers(f file) string {
+	var b strings.Builder
+	var buf bytes.Buffer
+	b.WriteString("in-memory")    // ok: strings.Builder never fails
+	buf.WriteByte('x')            // ok: bytes.Buffer never fails
+	fmt.Fprintf(&b, "%d", 1)      // ok: Fprintf into an in-memory writer
+	fmt.Fprintln(os.Stderr, "hi") // want `error result of fmt\.Fprintln is discarded`
+	return b.String() + buf.String()
+}

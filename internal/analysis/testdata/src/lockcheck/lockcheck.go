@@ -1,0 +1,165 @@
+// Package lockcheck is the golden corpus for the lockcheck checker: a
+// miniature buffer-pool shard (annotated mutex) plus an ordinary registry
+// mutex, with both rule families seeded — I/O and channel operations under a
+// shard lock, and unbalanced Lock/Unlock paths.
+package lockcheck
+
+import "sync"
+
+type pagedFile struct{}
+
+func (pagedFile) WritePage(page int, data []byte) error { return nil }
+func (pagedFile) ReadPage(page int, data []byte) error  { return nil }
+
+type shard struct {
+	mu     sync.Mutex // lockcheck:shard
+	frames map[int][]byte
+	file   pagedFile
+}
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+// --- rule A: nothing slow while a shard mutex is held ---
+
+func flushUnderLock(sh *shard) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for page, data := range sh.frames {
+		if err := sh.file.WritePage(page, data); err != nil { // want `device I/O \(WritePage\) while shard mutex sh\.mu is held`
+			return err
+		}
+	}
+	return nil
+}
+
+func (sh *shard) writeAll() error {
+	for page, data := range sh.frames {
+		if err := sh.file.WritePage(page, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func flushViaHelper(sh *shard) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.writeAll() // want `call to writeAll, which may perform device I/O or block on a channel, while shard mutex sh\.mu is held`
+}
+
+func waitUnderLock(sh *shard, ready chan struct{}) {
+	sh.mu.Lock()
+	<-ready // want `channel receive while shard mutex sh\.mu is held`
+	sh.mu.Unlock()
+}
+
+func sendUnderLock(sh *shard, ch chan int) {
+	sh.mu.Lock()
+	ch <- 1 // want `channel send while shard mutex sh\.mu is held`
+	sh.mu.Unlock()
+}
+
+func selectUnderLock(sh *shard, ch chan int) {
+	sh.mu.Lock()
+	select { // want `select \(blocking channel operation\) while shard mutex sh\.mu is held`
+	case <-ch:
+	default:
+	}
+	sh.mu.Unlock()
+}
+
+// --- rule B: every Lock has an Unlock on every path ---
+
+func missingUnlock(r *registry, key string) int {
+	r.mu.Lock()
+	if v, ok := r.items[key]; ok {
+		return v // want `return with r\.mu locked \(Lock at line \d+\): missing Unlock on this path`
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+func unbalancedIf(r *registry, cond bool) {
+	r.mu.Lock()
+	if cond { // want `branches disagree on held locks`
+		r.mu.Unlock()
+	}
+}
+
+func lockSkewInLoop(r *registry, keys []string) {
+	for range keys { // want `lock state changes across one loop iteration`
+		r.mu.Lock()
+	}
+}
+
+func doubleLock(r *registry) {
+	r.mu.Lock()
+	r.mu.Lock() // want `second Lock of r\.mu while already held \(Lock at line \d+\): deadlock`
+	r.mu.Unlock()
+}
+
+func forgotten(r *registry) {
+	r.mu.Lock()
+	r.items["x"] = 1
+} // want `function ends with r\.mu still locked \(Lock at line \d+\)`
+
+// --- disciplined patterns that must stay clean ---
+
+func cleanDefer(sh *shard, key int) []byte {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.frames[key]
+}
+
+// The pinned-victim protocol: device I/O strictly between the critical
+// sections, never inside one.
+func cleanWriteBack(sh *shard, page int) error {
+	sh.mu.Lock()
+	data := sh.frames[page]
+	sh.mu.Unlock()
+	if err := sh.file.WritePage(page, data); err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	delete(sh.frames, page)
+	sh.mu.Unlock()
+	return nil
+}
+
+func cleanEarlyReturn(r *registry, key string) int {
+	r.mu.Lock()
+	if v, ok := r.items[key]; ok {
+		r.mu.Unlock()
+		return v
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+func cleanDeferredClosure(r *registry) {
+	r.mu.Lock()
+	defer func() {
+		r.items["done"] = 1
+		r.mu.Unlock()
+	}()
+	r.items["x"] = 1
+}
+
+// A mutex without the shard annotation may guard I/O: only the pool shards
+// carry the no-I/O contract.
+func cleanNonShardIO(r *registry, f pagedFile) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return f.WritePage(0, nil)
+}
+
+// close(ch) is a non-blocking channel operation and is how the pool
+// publishes frame-load completion under the latch.
+func cleanCloseUnderLock(sh *shard, ready chan struct{}) {
+	sh.mu.Lock()
+	close(ready)
+	sh.mu.Unlock()
+}
