@@ -26,6 +26,13 @@ import (
 // The bytes of a pinned frame may be read concurrently; mutating them is
 // only safe while the caller is the sole writer (PTLDB's workload is
 // bulk-load-then-read-only, matching the paper).
+//
+// Write-back follows the same no-I/O-under-lock discipline as loads
+// (enforced by lockcheck, see DESIGN.md §8): eviction and flushing pin their
+// dirty victims under the shard lock, drop the lock, write the pages back,
+// and then relock to unpin and complete (or cancel) the eviction. A
+// concurrent Get that re-pins a victim mid-write-back simply keeps the frame
+// resident.
 type Pool struct {
 	shards []poolShard
 
@@ -40,7 +47,7 @@ type Pool struct {
 
 // poolShard is one independently locked slice of the pool.
 type poolShard struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // lockcheck:shard
 	capacity int
 	frames   map[frameKey]*Frame
 	// LRU list of unpinned resident frames; head is least recently used.
@@ -148,30 +155,35 @@ func (p *Pool) Get(f *PagedFile, id PageID) (*Frame, error) {
 		}
 		return fr, nil
 	}
-	// Miss: install a loading frame (the latch), then read the device with
-	// the shard lock dropped so misses on other pages proceed in parallel.
-	fr, err := sh.installLocked(f, key)
-	if err != nil {
-		sh.mu.Unlock()
-		return nil, err
-	}
+	// Miss: install a loading frame (the latch), then do all device work —
+	// victim write-back and the page read — with the shard lock dropped so
+	// misses on other pages proceed in parallel.
+	fr, victims := sh.installLocked(f, key)
 	sh.mu.Unlock()
+	if werr := p.writeBack(victims, true); werr != nil {
+		return nil, p.failLoad(fr, werr)
+	}
 	p.misses.Add(1)
 	if p.loadHook != nil {
 		p.loadHook(key)
 	}
 	if rerr := f.ReadPage(id, fr.data[:]); rerr != nil {
-		// Publish the failure to every waiter coalesced on this frame and
-		// detach it so subsequent Gets retry the read.
-		sh.mu.Lock()
-		delete(sh.frames, key)
-		sh.mu.Unlock()
-		fr.loadErr = rerr
-		close(fr.ready)
-		return nil, rerr
+		return nil, p.failLoad(fr, rerr)
 	}
 	close(fr.ready)
 	return fr, nil
+}
+
+// failLoad publishes a load failure to every waiter coalesced on fr and
+// detaches the frame so subsequent Gets retry from scratch.
+func (p *Pool) failLoad(fr *Frame, err error) error {
+	sh := fr.shard
+	sh.mu.Lock()
+	delete(sh.frames, fr.key)
+	sh.mu.Unlock()
+	fr.loadErr = err
+	close(fr.ready)
+	return err
 }
 
 // NewPage allocates a fresh page in f and returns it pinned and zeroed.
@@ -183,38 +195,74 @@ func (p *Pool) NewPage(f *PagedFile) (*Frame, error) {
 	key := frameKey{file: f.id, page: id}
 	sh := p.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	fr, err := sh.installLocked(f, key)
-	if err != nil {
-		return nil, err
-	}
+	fr, victims := sh.installLocked(f, key)
 	fr.dirty = true
+	sh.mu.Unlock()
+	if werr := p.writeBack(victims, true); werr != nil {
+		return nil, p.failLoad(fr, werr)
+	}
 	close(fr.ready) // a fresh page is valid (zeroed) immediately
 	return fr, nil
 }
 
 // installLocked finds room in the shard (evicting unpinned frames while at
-// capacity), installs a new loading frame pinned once, and returns it. When
+// capacity), installs a new loading frame pinned once, and returns it along
+// with the dirty victims the caller must write back (and thereby evict) once
+// the lock is dropped. Clean victims are evicted immediately; dirty ones are
+// pinned and handed to writeBack so no device I/O happens under sh.mu. When
 // every resident frame is pinned the shard overflows temporarily instead of
-// failing: pinned frames must live somewhere, and later allocations trim
-// the shard back to capacity. Caller holds sh.mu.
-func (sh *poolShard) installLocked(f *PagedFile, key frameKey) (*Frame, error) {
-	for len(sh.frames) >= sh.capacity {
+// failing: pinned frames must live somewhere, and later allocations trim the
+// shard back to capacity. Caller holds sh.mu.
+func (sh *poolShard) installLocked(f *PagedFile, key frameKey) (fr *Frame, victims []*Frame) {
+	for len(sh.frames)-len(victims) >= sh.capacity {
 		victim := sh.lruHead
 		if victim == nil {
 			break // all pinned: allow temporary overflow
 		}
 		sh.lruRemove(victim)
-		delete(sh.frames, victim.key)
 		if victim.dirty {
-			if err := victim.file.WritePage(victim.key.page, victim.data[:]); err != nil {
-				return nil, err
+			// Keep the victim resident and pinned until its bytes are safely
+			// on the device; writeBack finishes the eviction.
+			victim.pins++
+			victims = append(victims, victim)
+			continue
+		}
+		delete(sh.frames, victim.key)
+	}
+	fr = &Frame{key: key, file: f, shard: sh, pins: 1, ready: make(chan struct{})}
+	sh.frames[key] = fr
+	return fr, victims
+}
+
+// writeBack writes the pinned victims' pages to their devices — outside any
+// shard lock — then unpins each one. A victim written successfully is marked
+// clean and, when evict is set, removed from its shard; a victim that failed
+// to write or was re-pinned by a concurrent Get stays resident (and, on
+// failure, dirty) so a later flush retries. All victims are unpinned even
+// when a write fails; the first error is returned.
+func (p *Pool) writeBack(victims []*Frame, evict bool) error {
+	var firstErr error
+	for _, v := range victims {
+		err := v.file.WritePage(v.key.page, v.data[:])
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		sh := v.shard
+		sh.mu.Lock()
+		v.pins--
+		if err == nil {
+			v.dirty = false
+		}
+		if v.pins == 0 && sh.frames[v.key] == v {
+			if evict && err == nil {
+				delete(sh.frames, v.key)
+			} else {
+				sh.lruAppend(v)
 			}
 		}
+		sh.mu.Unlock()
 	}
-	fr := &Frame{key: key, file: f, shard: sh, pins: 1, ready: make(chan struct{})}
-	sh.frames[key] = fr
-	return fr, nil
+	return firstErr
 }
 
 // Unpin releases one pin. Unpinned frames become eviction candidates.
@@ -239,28 +287,39 @@ func (p *Pool) Unpin(fr *Frame) {
 	}
 }
 
-// FlushAll writes every dirty frame back to its file.
+// FlushAll writes every dirty frame back to its file. Dirty frames are
+// pinned under the shard lock, written with the lock dropped, and unpinned;
+// frames dirtied concurrently with the flush may be missed, so callers
+// wanting a full sync must quiesce writers first (PTLDB's bulk-load flow
+// does).
 func (p *Pool) FlushAll() error {
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.Lock()
+		var victims []*Frame
 		for _, fr := range sh.frames {
 			if fr.dirty {
-				if err := fr.file.WritePage(fr.key.page, fr.data[:]); err != nil {
-					sh.mu.Unlock()
-					return err
+				if fr.pins == 0 {
+					sh.lruRemove(fr)
 				}
-				fr.dirty = false
+				fr.pins++
+				victims = append(victims, fr)
 			}
 		}
 		sh.mu.Unlock()
+		if err := p.writeBack(victims, false); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // DropCaches flushes and evicts every frame, emulating a cold server start.
-// It fails if any frame is still pinned.
+// It fails if any frame is still pinned or if a write races the drop.
 func (p *Pool) DropCaches() error {
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.Lock()
@@ -270,10 +329,8 @@ func (p *Pool) DropCaches() error {
 				return fmt.Errorf("storage: DropCaches with pinned page %d", fr.key.page)
 			}
 			if fr.dirty {
-				if err := fr.file.WritePage(fr.key.page, fr.data[:]); err != nil {
-					sh.mu.Unlock()
-					return err
-				}
+				sh.mu.Unlock()
+				return fmt.Errorf("storage: DropCaches raced a write to page %d", fr.key.page)
 			}
 		}
 		sh.frames = make(map[frameKey]*Frame, sh.capacity)
