@@ -180,19 +180,19 @@ func (db *DB) openTable(def TableDef) (*Table, error) {
 	db.pool.Register(heapFile)
 	heap, err := storage.OpenRowStore(heapFile, db.pool)
 	if err != nil {
-		heapFile.Close()
+		_ = heapFile.Close() // best-effort cleanup; the open failure wins
 		return nil, err
 	}
 	idxFile, err := storage.OpenPagedFile(filepath.Join(db.dir, name+".idx"), db.dev, &db.clock)
 	if err != nil {
-		heapFile.Close()
+		_ = heapFile.Close()
 		return nil, err
 	}
 	db.pool.Register(idxFile)
 	idx, err := storage.OpenBTree(idxFile, db.pool)
 	if err != nil {
-		heapFile.Close()
-		idxFile.Close()
+		_ = heapFile.Close()
+		_ = idxFile.Close()
 		return nil, err
 	}
 	t := &Table{
@@ -248,13 +248,15 @@ func (db *DB) DropTable(name string) error {
 	if err := db.pool.DropCaches(); err != nil {
 		return err
 	}
-	t.heapFile.Close()
-	t.idxFile.Close()
+	closeErr := firstError(t.heapFile.Close(), t.idxFile.Close())
 	delete(db.tables, name)
 	for _, suffix := range []string{".heap", ".idx"} {
 		if err := os.Remove(filepath.Join(db.dir, name+suffix)); err != nil && !os.IsNotExist(err) {
 			return err
 		}
+	}
+	if closeErr != nil {
+		return closeErr
 	}
 	return db.saveCatalogLocked()
 }
@@ -300,11 +302,21 @@ func (db *DB) Close() error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	var closeErr error
 	for _, t := range db.tables {
-		t.heapFile.Close()
-		t.idxFile.Close()
+		closeErr = firstError(closeErr, t.heapFile.Close(), t.idxFile.Close())
 	}
 	db.tables = map[string]*Table{}
+	return closeErr
+}
+
+// firstError returns the first non-nil error of errs.
+func firstError(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -39,11 +39,11 @@ func OpenPagedFile(path string, dev DeviceModel, clock *Clock) (*PagedFile, erro
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // best-effort cleanup; the stat failure wins
 		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
 	}
 	if st.Size()%PageSize != 0 {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: %s size %d is not page-aligned", path, st.Size())
 	}
 	return &PagedFile{f: f, pages: PageID(st.Size() / PageSize), dev: dev, clock: clock, lastRead: ^PageID(0)}, nil
