@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: check build test race bench-concurrency bench-quick
+.PHONY: check lint build test race bench-concurrency bench-quick
 
-# The pre-merge gate: vet + build + full suite under the race detector.
+# The pre-merge gate: vet + lint + build + full suite under the race detector.
 check:
 	sh scripts/check.sh
+
+# Project-specific static analysis (sqlcheck, lockcheck, atomiccheck,
+# arenacheck, errcheck) — see internal/analysis and DESIGN.md §8.
+lint:
+	$(GO) run ./cmd/ptldb-analyze ./...
 
 build:
 	$(GO) build ./...

@@ -1,15 +1,18 @@
 #!/bin/sh
-# Full pre-merge gate: vet, build, and the whole test suite under the race
-# detector. Also available as `make check`.
+# Full pre-merge gate: vet, project lint, build, and the whole test suite
+# under the race detector with shuffled test order. Also available as
+# `make check`.
 set -eu
 cd "$(dirname "$0")/.."
 
 echo "== go vet ./..."
 go vet ./...
+echo "== ptldb-analyze ./... (project lint)"
+go run ./cmd/ptldb-analyze ./...
 echo "== go build ./..."
 go build ./...
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race -shuffle on ./..."
+go test -race -shuffle on ./...
 echo "== bench smoke (fused executor, 5 iterations)"
 go test -run '^$' -bench 'BenchmarkFusedExec' -benchtime 5x .
 echo "== OK"
