@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint build test race bench-concurrency bench-quick
+.PHONY: check lint build test race bench-concurrency bench-quick bench-build
 
 # The pre-merge gate: vet + lint + build + full suite under the race detector.
 check:
@@ -24,6 +24,13 @@ race:
 # Each benchmark sweeps g=1,4,8 client goroutines internally.
 bench-concurrency:
 	$(GO) test -run '^$$' -bench 'BenchmarkConcurrent' -benchtime 1s .
+
+# Preprocessing scaling: the ptldb-bench "build" experiment sweeps the
+# BuildWorkers knob over fresh builds (see BENCH_build.json), and the
+# serial-vs-parallel TTL benchmark isolates label construction.
+bench-build:
+	$(GO) run ./cmd/ptldb-bench -exp build -cities Austin,Berlin -scale 0.02 -q
+	$(GO) test -run '^$$' -bench 'BenchmarkBuildParallel' -benchtime 1x ./internal/ttl
 
 # Smoke run of the fused-vs-general executor benchmarks (see BENCH_exec.json):
 # a few iterations each, enough to catch fused-path fallbacks or crashes

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,18 +33,47 @@ func main() {
 		cache    = flag.String("cache", "", "database cache directory (default: $TMPDIR/ptldb-bench-cache)")
 		seed     = flag.Int64("seed", 1, "workload and generator seed")
 		parallel = flag.Int("parallel", 1, "goroutines issuing queries concurrently (sim device time is divided by N)")
+		workers  = flag.Int("build-workers", 0, "preprocessing parallelism for database builds (0 = GOMAXPROCS)")
 		fused    = flag.String("fused", "on", "fused label-query execution: on or off (ablation)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		out      = flag.String("o", "", "write the report to a file instead of stdout")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	cfg := bench.Config{
-		Scale:    *scale,
-		Queries:  *queries,
-		Seed:     *seed,
-		CacheDir: *cache,
-		Parallel: *parallel,
+		Scale:        *scale,
+		Queries:      *queries,
+		Seed:         *seed,
+		CacheDir:     *cache,
+		Parallel:     *parallel,
+		BuildWorkers: *workers,
 	}
 	switch *fused {
 	case "on":

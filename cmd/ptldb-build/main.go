@@ -31,6 +31,7 @@ func main() {
 		targets = flag.String("targets", "", "comma-separated density:kmax target sets, e.g. 0.01:16")
 		bucket  = flag.Int("bucket", 3600, "knn/otm bucket width in seconds")
 		ordFlag = flag.String("order", "neighbor-degree", "vertex ordering: neighbor-degree, degree, random")
+		workers = flag.Int("workers", 0, "preprocessing parallelism (0 = GOMAXPROCS); output is identical for every value")
 		list    = flag.Bool("list", false, "list synthetic city profiles and exit")
 	)
 	flag.Parse()
@@ -74,6 +75,7 @@ func main() {
 		BucketSeconds: int32(*bucket),
 		Ordering:      *ordFlag,
 		Seed:          *seed,
+		BuildWorkers:  *workers,
 	})
 	if err != nil {
 		fatal(err)

@@ -38,3 +38,26 @@ func (c *counter) addTotal(n int64) {
 func (c *counter) readTotal() int64 {
 	return c.total
 }
+
+// workPool mirrors the build pool's job counter: workers claim indexes with
+// an atomic increment, so any plain access to next races with the pool.
+type workPool struct {
+	next int64
+	jobs []func() error
+}
+
+func (p *workPool) claim() int {
+	return int(atomic.AddInt64(&p.next, 1)) - 1
+}
+
+func (p *workPool) reset() {
+	atomic.StoreInt64(&p.next, 0)
+}
+
+func (p *workPool) racyProgress() int {
+	return int(p.next) // want `non-atomic access to field next, which is accessed with sync/atomic at line \d+`
+}
+
+func (p *workPool) racySkipTo(n int64) {
+	p.next = n // want `non-atomic access to field next, which is accessed with sync/atomic at line \d+`
+}

@@ -163,3 +163,59 @@ func cleanCloseUnderLock(sh *shard, ready chan struct{}) {
 	close(ready)
 	sh.mu.Unlock()
 }
+
+// --- wave-commit / worker-pool patterns (parallel preprocessing) ---
+
+// collector is the build pool's error slot: workers finish their job first
+// and only report the result under the lock.
+type collector struct {
+	mu  sync.Mutex // lockcheck:shard
+	err error
+}
+
+// The disciplined shape: all work (which may do I/O) happens before the
+// critical section; the lock guards only the first-error record.
+func cleanCollect(c *collector, job func() error) {
+	err := job()
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func cleanFirstError(c *collector) error {
+	c.mu.Lock()
+	err := c.err
+	c.mu.Unlock()
+	return err
+}
+
+// Running the job inside the critical section serializes the pool and holds
+// a shard mutex across whatever the job does — including device I/O.
+func collectUnderLock(c *collector, sh *shard) {
+	c.mu.Lock()
+	if err := sh.writeAll(); err != nil { // want `call to writeAll, which may perform device I/O or block on a channel, while shard mutex c\.mu is held`
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// Publishing a wave result while the commit lock is held deadlocks as soon
+// as the channel is full and the reader needs the same lock.
+func commitAndNotify(c *collector, done chan int, wave int) {
+	c.mu.Lock()
+	done <- wave // want `channel send while shard mutex c\.mu is held`
+	c.mu.Unlock()
+}
+
+// Waiting for the next wave with the commit lock held stalls every worker
+// that still has a result to report.
+func commitAndWait(c *collector, next chan struct{}) {
+	c.mu.Lock()
+	<-next // want `channel receive while shard mutex c\.mu is held`
+	c.mu.Unlock()
+}

@@ -52,6 +52,9 @@ type Config struct {
 	// FusedOff disables the fused label-query execution path, running every
 	// query through the general SQL executor (the -fused=off ablation).
 	FusedOff bool
+	// BuildWorkers is the preprocessing parallelism of database builds
+	// (0 = GOMAXPROCS). The built databases are identical for every value.
+	BuildWorkers int
 }
 
 // Defaults fills unset fields: scale 0.05, 200 queries, all cities, a cache
@@ -165,6 +168,7 @@ func (w *Workspace) Dataset(city string) (*Dataset, error) {
 	w.logf("preprocessing %s: %d stops, %d connections", city, tt.NumStops(), tt.NumConnections())
 	db, stats, err := ptldb.CreateWithStats(dir, tt, ptldb.Config{
 		Device: "ram", PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff,
+		BuildWorkers: w.cfg.BuildWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"ptldb"
+)
+
+// buildWorkerCounts is the worker sweep of the build experiment: serial,
+// a small fixed fan-out, and the host's GOMAXPROCS when it is larger.
+func buildWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > counts[len(counts)-1] {
+		counts = append(counts, g)
+	}
+	return counts
+}
+
+// Build measures preprocessing time against the BuildWorkers knob: each cell
+// is a fresh build (vertex ordering + wave-parallel TTL construction + dummy
+// augmentation + pooled bulk load) into a throwaway directory. The built
+// databases are byte-identical for every worker count, so only the clock and
+// the goroutine count change.
+func (w *Workspace) Build() (*Table, error) {
+	t := &Table{
+		ID:    "build",
+		Title: fmt.Sprintf("preprocessing time vs build workers (scale %.3g)", w.cfg.Scale),
+		Columns: []string{"Graph", "workers", "order (ms)", "labels (ms)",
+			"load (ms)", "total (ms)", "peak g", "vs serial"},
+		Notes: []string{
+			"Each row is a fresh build into a throwaway directory; the output database is byte-identical across worker counts.",
+			fmt.Sprintf("Host: GOMAXPROCS=%d, NumCPU=%d — wall-clock speedup needs real cores; peak g shows the fan-out actually engaged.",
+				runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		},
+	}
+	for _, city := range w.cfg.Cities {
+		tt, err := ptldb.GenerateCity(city, w.cfg.Scale, w.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var serial time.Duration
+		for _, workers := range buildWorkerCounts() {
+			w.logf("building %s with %d workers", city, workers)
+			stats, peak, err := w.timedBuild(tt, workers)
+			if err != nil {
+				return nil, fmt.Errorf("build %s workers=%d: %w", city, workers, err)
+			}
+			total := stats.OrderTime + stats.LabelTime + stats.AugmentTime + stats.LoadTime
+			if workers == 1 {
+				serial = total
+			}
+			t.Rows = append(t.Rows, []string{
+				city,
+				fmt.Sprintf("%d", workers),
+				ms(stats.OrderTime),
+				ms(stats.LabelTime + stats.AugmentTime),
+				ms(stats.LoadTime),
+				ms(total),
+				fmt.Sprintf("%d", peak),
+				speedup(serial, total),
+			})
+		}
+	}
+	return t, nil
+}
+
+// timedBuild runs one fresh preprocessing pass and reports its phase stats
+// plus the peak goroutine count sampled while it ran.
+func (w *Workspace) timedBuild(tt *ptldb.Network, workers int) (ptldb.PreprocessStats, int, error) {
+	if err := os.MkdirAll(w.cfg.CacheDir, 0o755); err != nil {
+		return ptldb.PreprocessStats{}, 0, err
+	}
+	dir, err := os.MkdirTemp(w.cfg.CacheDir, "buildsweep-")
+	if err != nil {
+		return ptldb.PreprocessStats{}, 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	peak := runtime.NumGoroutine()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(100 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if n := runtime.NumGoroutine(); n > peak {
+					peak = n
+				}
+			}
+		}
+	}()
+	db, stats, err := ptldb.CreateWithStats(dir, tt, ptldb.Config{
+		Device: "ram", PoolPages: w.cfg.PoolPages, BuildWorkers: workers,
+	})
+	close(done)
+	wg.Wait() // peak is written only by the sampler; Wait orders the read below
+	peak -= 1 // discount the sampler itself
+	if err != nil {
+		return stats, peak, err
+	}
+	return stats, peak, db.Close()
+}

@@ -10,8 +10,8 @@ import (
 // ExperimentIDs lists the runnable experiments in paper order.
 var ExperimentIDs = []string{
 	"table7", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-	"storage", "ablation-bucket", "ablation-ordering", "ablation-layout",
-	"ablation-engine",
+	"storage", "build", "ablation-bucket", "ablation-ordering",
+	"ablation-layout", "ablation-engine",
 }
 
 // Run executes one experiment by id.
@@ -35,6 +35,8 @@ func (w *Workspace) Run(id string) (*Table, error) {
 		return w.FigKNN("ssd", "fig8", "optimized EA/LD-kNN queries on SSD, D=0.01, varying k")
 	case "storage":
 		return w.Storage()
+	case "build":
+		return w.Build()
 	case "ablation-bucket":
 		return w.AblationBucket()
 	case "ablation-ordering":

@@ -86,21 +86,46 @@ func (s *Store) AddTargetSet(name string, targets []timetable.StopID, kmax int) 
 	}
 	sort.Slice(hubs, func(i, j int) bool { return hubs[i] < hubs[j] })
 
-	if err := s.buildNaive(name, hubs, byHub, kmax); err != nil {
+	// Create the six auxiliary tables serially (the catalog is shared
+	// state), then compute and bulk-load each one as an independent job on
+	// the worker pool. The otm tables share the knn layout with the best
+	// entry per target instead of the top-k (paper Section 3.3): kmax = |T|.
+	eaNaive, err := s.DB.CreateTable(naiveDef(s.setTable("ea_knn_naive", name)))
+	if err != nil {
 		return err
 	}
-	if err := s.buildCondensedEA(s.setTable("knn_ea", name), hubs, byHub, kmax); err != nil {
+	ldNaive, err := s.DB.CreateTable(naiveDef(s.setTable("ld_knn_naive", name)))
+	if err != nil {
 		return err
 	}
-	if err := s.buildCondensedLD(s.setTable("knn_ld", name), hubs, byHub, kmax); err != nil {
+	knnEA, err := s.DB.CreateTable(condensedEADef(s.setTable("knn_ea", name)))
+	if err != nil {
 		return err
 	}
-	// The otm tables share the knn layout with the best entry per target
-	// instead of the top-k (paper Section 3.3): kmax = |T|.
-	if err := s.buildCondensedEA(s.setTable("otm_ea", name), hubs, byHub, len(targets)); err != nil {
+	knnLD, err := s.DB.CreateTable(condensedLDDef(s.setTable("knn_ld", name)))
+	if err != nil {
 		return err
 	}
-	if err := s.buildCondensedLD(s.setTable("otm_ld", name), hubs, byHub, len(targets)); err != nil {
+	otmEA, err := s.DB.CreateTable(condensedEADef(s.setTable("otm_ea", name)))
+	if err != nil {
+		return err
+	}
+	otmLD, err := s.DB.CreateTable(condensedLDDef(s.setTable("otm_ld", name)))
+	if err != nil {
+		return err
+	}
+	naive := naiveRows(hubs, byHub, kmax)
+	naiveLD := cloneRows(naive)
+	kmaxOTM := len(targets)
+	jobs := []func() error{
+		func() error { return eaNaive.BulkLoad(naive) },
+		func() error { return ldNaive.BulkLoad(naiveLD) },
+		func() error { return knnEA.BulkLoad(s.condensedEARows(hubs, byHub, kmax)) },
+		func() error { return knnLD.BulkLoad(s.condensedLDRows(hubs, byHub, kmax)) },
+		func() error { return otmEA.BulkLoad(s.condensedEARows(hubs, byHub, kmaxOTM)) },
+		func() error { return otmLD.BulkLoad(s.condensedLDRows(hubs, byHub, kmaxOTM)) },
+	}
+	if err := runJobs(s.workers, jobs); err != nil {
 		return err
 	}
 
@@ -128,33 +153,28 @@ func (s *Store) DropTargetSet(name string) error {
 	return s.saveMeta()
 }
 
-// buildNaive creates ea_knn_naive_<set> and ld_knn_naive_<set>: one row per
-// (hub, t_d) with the top-kmax distinct targets by earliest arrival
-// (Section 3.2.1, Table 4). Both directions keep earliest arrivals: for a
-// fixed (hub, t_d) every candidate offers the same transfer window, and the
-// smallest arrivals are the most likely to satisfy the LD bound t_a <= t.
-func (s *Store) buildNaive(set string, hubs []timetable.StopID, byHub map[timetable.StopID][]targetTuple, kmax int) error {
-	def := func(n string) sqldb.TableDef {
-		return sqldb.TableDef{
-			Name: n,
-			PK:   []string{"hub", "td"},
-			Columns: []sqldb.ColumnDef{
-				{Name: "hub", Type: sqltypes.Int64},
-				{Name: "td", Type: sqltypes.Int64},
-				{Name: "vs", Type: sqltypes.IntArray},
-				{Name: "tas", Type: sqltypes.IntArray},
-			},
-		}
+// naiveDef is the schema of ea_knn_naive_<set> / ld_knn_naive_<set>.
+func naiveDef(n string) sqldb.TableDef {
+	return sqldb.TableDef{
+		Name: n,
+		PK:   []string{"hub", "td"},
+		Columns: []sqldb.ColumnDef{
+			{Name: "hub", Type: sqltypes.Int64},
+			{Name: "td", Type: sqltypes.Int64},
+			{Name: "vs", Type: sqltypes.IntArray},
+			{Name: "tas", Type: sqltypes.IntArray},
+		},
 	}
-	ea, err := s.DB.CreateTable(def(s.setTable("ea_knn_naive", set)))
-	if err != nil {
-		return err
-	}
-	ld, err := s.DB.CreateTable(def(s.setTable("ld_knn_naive", set)))
-	if err != nil {
-		return err
-	}
+}
 
+// naiveRows builds the ea_knn_naive / ld_knn_naive rows: one per (hub, t_d)
+// with the top-kmax distinct targets by earliest arrival (Section 3.2.1,
+// Table 4), in ascending (hub, td) order. Both directions keep earliest
+// arrivals: for a fixed (hub, t_d) every candidate offers the same transfer
+// window, and the smallest arrivals are the most likely to satisfy the LD
+// bound t_a <= t.
+func naiveRows(hubs []timetable.StopID, byHub map[timetable.StopID][]targetTuple, kmax int) []sqltypes.Row {
+	var rows []sqltypes.Row
 	for _, h := range hubs {
 		ts := byHub[h]
 		for i := 0; i < len(ts); {
@@ -163,22 +183,26 @@ func (s *Store) buildNaive(set string, hubs []timetable.StopID, byHub map[timeta
 				j++
 			}
 			top := bestPerTargetEA(ts[i:j], kmax)
-			row := sqltypes.Row{
+			rows = append(rows, sqltypes.Row{
 				sqltypes.NewInt(int64(h)),
 				sqltypes.NewInt(int64(ts[i].td)),
 				targetIDs(top),
 				arrivalTimes(top),
-			}
-			if err := ea.Insert(row.Clone()); err != nil {
-				return err
-			}
-			if err := ld.Insert(row); err != nil {
-				return err
-			}
+			})
 			i = j
 		}
 	}
-	return nil
+	return rows
+}
+
+// cloneRows deep-copies rows so two tables can load the same content
+// concurrently without sharing array values.
+func cloneRows(rows []sqltypes.Row) []sqltypes.Row {
+	out := make([]sqltypes.Row, len(rows))
+	for i, r := range rows {
+		out[i] = r.Clone()
+	}
+	return out
 }
 
 // bestPerTargetEA keeps, for each distinct target in ts, its earliest
@@ -247,14 +271,10 @@ func arrivalTimes(rs []Result) sqltypes.Value {
 	return sqltypes.NewIntArray(a)
 }
 
-// buildCondensedEA creates a knn_ea- or otm_ea-layout table: one row per
-// (hub, dephour) whose exp columns expand every target tuple departing the
-// hub within the bucket (ordered by t_d) and whose vs/tas columns hold the
-// top-k per-target earliest arrivals over strictly later buckets
-// (Theorem 3.2.2).
-func (s *Store) buildCondensedEA(tableName string, hubs []timetable.StopID, byHub map[timetable.StopID][]targetTuple, k int) error {
-	tbl, err := s.DB.CreateTable(sqldb.TableDef{
-		Name: tableName,
+// condensedEADef is the schema of a knn_ea- or otm_ea-layout table.
+func condensedEADef(n string) sqldb.TableDef {
+	return sqldb.TableDef{
+		Name: n,
 		PK:   []string{"hub", "dephour"},
 		Columns: []sqldb.ColumnDef{
 			{Name: "hub", Type: sqltypes.Int64},
@@ -265,10 +285,16 @@ func (s *Store) buildCondensedEA(tableName string, hubs []timetable.StopID, byHu
 			{Name: "vs_exp", Type: sqltypes.IntArray},
 			{Name: "tas_exp", Type: sqltypes.IntArray},
 		},
-	})
-	if err != nil {
-		return err
 	}
+}
+
+// condensedEARows builds knn_ea- or otm_ea-layout rows: one per
+// (hub, dephour) whose exp columns expand every target tuple departing the
+// hub within the bucket (ordered by t_d) and whose vs/tas columns hold the
+// top-k per-target earliest arrivals over strictly later buckets
+// (Theorem 3.2.2). Rows come out in ascending (hub, dephour) order.
+func (s *Store) condensedEARows(hubs []timetable.StopID, byHub map[timetable.StopID][]targetTuple, k int) []sqltypes.Row {
+	var rows []sqltypes.Row
 	// Rows must exist for every bucket a journey can arrive at a hub in,
 	// from the global earliest event: a missing row would silently drop the
 	// join candidate (proof of Theorem 3.2.2).
@@ -280,6 +306,7 @@ func (s *Store) buildCondensedEA(tableName string, hubs []timetable.StopID, byHu
 		// into the per-target future bests before emitting the row below it.
 		future := map[timetable.StopID]timetable.Time{}
 		idx := len(ts)
+		start := len(rows)
 		for bucket := hmax; bucket >= hmin; bucket-- {
 			// Tuples departing within this bucket: ts[lo:idx).
 			lo := idx
@@ -287,7 +314,7 @@ func (s *Store) buildCondensedEA(tableName string, hubs []timetable.StopID, byHu
 				lo--
 			}
 			top := topKEA(future, k)
-			row := sqltypes.Row{
+			rows = append(rows, sqltypes.Row{
 				sqltypes.NewInt(int64(h)),
 				sqltypes.NewInt(bucket),
 				targetIDs(top),
@@ -295,10 +322,7 @@ func (s *Store) buildCondensedEA(tableName string, hubs []timetable.StopID, byHu
 				expColumn(ts[lo:idx], func(t targetTuple) timetable.Time { return t.td }),
 				expColumn(ts[lo:idx], func(t targetTuple) timetable.Time { return timetable.Time(t.v) }),
 				expColumn(ts[lo:idx], func(t targetTuple) timetable.Time { return t.ta }),
-			}
-			if err := tbl.Insert(row); err != nil {
-				return err
-			}
+			})
 			// Fold this bucket into the future set for earlier buckets.
 			for _, t := range ts[lo:idx] {
 				if b, ok := future[t.v]; !ok || t.ta < b {
@@ -307,18 +331,19 @@ func (s *Store) buildCondensedEA(tableName string, hubs []timetable.StopID, byHu
 			}
 			idx = lo
 		}
+		// The fold direction emits this hub's buckets hmax→hmin; the bulk
+		// load wants them ascending.
+		for i, j := start, len(rows)-1; i < j; i, j = i+1, j-1 {
+			rows[i], rows[j] = rows[j], rows[i]
+		}
 	}
-	return nil
+	return rows
 }
 
-// buildCondensedLD creates a knn_ld- or otm_ld-layout table: one row per
-// (hub, arrhour) whose exp columns expand the target tuples arriving within
-// the bucket (ordered by t_d) and whose vs/tds columns hold the top-k
-// per-target latest departures among tuples arriving at or before the bucket
-// start (paper Section 3.2.1, LD variant).
-func (s *Store) buildCondensedLD(tableName string, hubs []timetable.StopID, byHub map[timetable.StopID][]targetTuple, k int) error {
-	tbl, err := s.DB.CreateTable(sqldb.TableDef{
-		Name: tableName,
+// condensedLDDef is the schema of a knn_ld- or otm_ld-layout table.
+func condensedLDDef(n string) sqldb.TableDef {
+	return sqldb.TableDef{
+		Name: n,
 		PK:   []string{"hub", "arrhour"},
 		Columns: []sqldb.ColumnDef{
 			{Name: "hub", Type: sqltypes.Int64},
@@ -329,10 +354,17 @@ func (s *Store) buildCondensedLD(tableName string, hubs []timetable.StopID, byHu
 			{Name: "vs_exp", Type: sqltypes.IntArray},
 			{Name: "tas_exp", Type: sqltypes.IntArray},
 		},
-	})
-	if err != nil {
-		return err
 	}
+}
+
+// condensedLDRows builds knn_ld- or otm_ld-layout rows: one per
+// (hub, arrhour) whose exp columns expand the target tuples arriving within
+// the bucket (ordered by t_d) and whose vs/tds columns hold the top-k
+// per-target latest departures among tuples arriving at or before the bucket
+// start (paper Section 3.2.1, LD variant). Rows come out in ascending
+// (hub, arrhour) order.
+func (s *Store) condensedLDRows(hubs []timetable.StopID, byHub map[timetable.StopID][]targetTuple, k int) []sqltypes.Row {
+	var rows []sqltypes.Row
 	hmax := s.hour(s.vm().MaxTime)
 	for _, h := range hubs {
 		all := byHub[h]
@@ -383,7 +415,7 @@ func (s *Store) buildCondensedLD(tableName string, hubs []timetable.StopID, byHu
 				return bucketTuples[i].v < bucketTuples[j].v
 			})
 			top := topKLD(past, k)
-			row := sqltypes.Row{
+			rows = append(rows, sqltypes.Row{
 				sqltypes.NewInt(int64(h)),
 				sqltypes.NewInt(bucket),
 				targetIDs(top),
@@ -391,13 +423,10 @@ func (s *Store) buildCondensedLD(tableName string, hubs []timetable.StopID, byHu
 				expColumn(bucketTuples, func(t targetTuple) timetable.Time { return t.td }),
 				expColumn(bucketTuples, func(t targetTuple) timetable.Time { return timetable.Time(t.v) }),
 				expColumn(bucketTuples, func(t targetTuple) timetable.Time { return t.ta }),
-			}
-			if err := tbl.Insert(row); err != nil {
-				return err
-			}
+			})
 		}
 	}
-	return nil
+	return rows
 }
 
 func topKEA(best map[timetable.StopID]timetable.Time, k int) []Result {

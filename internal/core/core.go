@@ -76,6 +76,10 @@ type Store struct {
 	meta    Meta
 	version string
 
+	// workers is the table-load parallelism of Build/AddVersion/AddTargetSet
+	// (0 = GOMAXPROCS).
+	workers int
+
 	// Code 1 statements of the bound version, parsed once at Build/Open/
 	// Version so steady-state v2v queries never touch the SQL parser.
 	v2vEA, v2vLD, v2vSD *sqldb.Stmt
@@ -83,6 +87,13 @@ type Store struct {
 
 // vm returns the metadata of the bound version.
 func (s *Store) vm() *VersionMeta { return s.meta.Versions[s.version] }
+
+// SetBuildWorkers sets the table-load parallelism used by AddVersion and
+// AddTargetSet (0 = GOMAXPROCS). Build-time parallelism is configured via
+// BuildOptions.Workers instead. Per-table content and on-disk images do not
+// depend on the worker count: tables are created serially and each load
+// writes only its own table's files.
+func (s *Store) SetBuildWorkers(n int) { s.workers = n }
 
 // tableSuffix returns the version suffix of physical table names.
 func (s *Store) tableSuffix() string {
@@ -141,10 +152,7 @@ func (s *Store) AddVersion(name string, labels *ttl.Labels) error {
 	}
 	vm := &VersionMeta{MinTime: timetable.Infinity, MaxTime: timetable.NegInfinity,
 		TargetSets: map[string]TargetSetMeta{}}
-	if err := s.loadLabelTable("lout__"+name, labels.Out, vm); err != nil {
-		return err
-	}
-	if err := s.loadLabelTable("lin__"+name, labels.In, vm); err != nil {
+	if err := loadLabelTables(s.DB, "__"+name, labels, vm, s.workers); err != nil {
 		return err
 	}
 	if vm.MinTime == timetable.Infinity {
@@ -164,6 +172,9 @@ type BuildOptions struct {
 	// table so applications can resolve stop names and coordinates with
 	// SQL.
 	Stops []timetable.Stop
+	// Workers bounds the table-load parallelism (0 = GOMAXPROCS). The
+	// resulting database is identical for every value.
+	Workers int
 }
 
 // Build creates the lout and lin tables from TTL labels inside an empty
@@ -190,17 +201,15 @@ func Build(db *sqldb.DB, labels *ttl.Labels, opts BuildOptions) (*Store, error) 
 			Versions:      map[string]*VersionMeta{BaseVersion: base},
 		},
 		version: BaseVersion,
+		workers: opts.Workers,
 	}
-	if err := s.loadLabelTable("lout", labels.Out, base); err != nil {
+	// Tables are created serially (the catalog is shared state), then filled
+	// on the worker pool: each load touches only its own table's files, so
+	// the resulting database does not depend on the worker count.
+	jobs, outRange, inRange, err := labelTableJobs(db, "", labels)
+	if err != nil {
 		return nil, err
 	}
-	if err := s.loadLabelTable("lin", labels.In, base); err != nil {
-		return nil, err
-	}
-	if base.MinTime == timetable.Infinity {
-		base.MinTime, base.MaxTime = 0, 0
-	}
-
 	if opts.Stops != nil {
 		stopsTbl, err := db.CreateTable(sqldb.TableDef{
 			Name: "stops",
@@ -215,17 +224,16 @@ func Build(db *sqldb.DB, labels *ttl.Labels, opts BuildOptions) (*Store, error) 
 		if err != nil {
 			return nil, err
 		}
-		for _, stop := range opts.Stops {
-			err := stopsTbl.Insert(sqltypes.Row{
-				sqltypes.NewInt(int64(stop.ID)),
-				sqltypes.NewText(stop.Name),
-				sqltypes.NewFloat(stop.Lat),
-				sqltypes.NewFloat(stop.Lon),
-			})
-			if err != nil {
-				return nil, err
-			}
-		}
+		stops := opts.Stops
+		jobs = append(jobs, func() error { return loadStops(stopsTbl, stops) })
+	}
+	if err := runJobs(opts.Workers, jobs); err != nil {
+		return nil, err
+	}
+	base.fold(*outRange)
+	base.fold(*inRange)
+	if base.MinTime == timetable.Infinity {
+		base.MinTime, base.MaxTime = 0, 0
 	}
 
 	metaTbl, err := db.CreateTable(sqldb.TableDef{
@@ -252,49 +260,114 @@ func Build(db *sqldb.DB, labels *ttl.Labels, opts BuildOptions) (*Store, error) 
 	return s, nil
 }
 
-// loadLabelTable bulk-loads one label side into a table, folding the time
-// range into vm.
-func (s *Store) loadLabelTable(name string, side [][]ttl.Tuple, vm *VersionMeta) error {
-	tbl, err := s.DB.CreateTable(sqldb.TableDef{
-		Name: name,
-		PK:   []string{"v"},
-		Columns: []sqldb.ColumnDef{
-			{Name: "v", Type: sqltypes.Int64},
-			{Name: "hubs", Type: sqltypes.IntArray},
-			{Name: "tds", Type: sqltypes.IntArray},
-			{Name: "tas", Type: sqltypes.IntArray},
-		},
-	})
+// timeRange is one load job's private (min, max) fold slot, merged into the
+// version metadata after the pool drains — the jobs never share state.
+type timeRange struct {
+	min, max timetable.Time
+}
+
+// fold merges one load job's time range into the version metadata.
+func (vm *VersionMeta) fold(r timeRange) {
+	if r.min < vm.MinTime {
+		vm.MinTime = r.min
+	}
+	if r.max > vm.MaxTime {
+		vm.MaxTime = r.max
+	}
+}
+
+// labelTableJobs creates one version's lout/lin tables and returns the two
+// load jobs plus the time-range slots they fill.
+func labelTableJobs(db *sqldb.DB, suffix string, labels *ttl.Labels) (jobs []func() error, out, in *timeRange, err error) {
+	def := func(name string) sqldb.TableDef {
+		return sqldb.TableDef{
+			Name: name,
+			PK:   []string{"v"},
+			Columns: []sqldb.ColumnDef{
+				{Name: "v", Type: sqltypes.Int64},
+				{Name: "hubs", Type: sqltypes.IntArray},
+				{Name: "tds", Type: sqltypes.IntArray},
+				{Name: "tas", Type: sqltypes.IntArray},
+			},
+		}
+	}
+	loutTbl, err := db.CreateTable(def("lout" + suffix))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	linTbl, err := db.CreateTable(def("lin" + suffix))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out, in = &timeRange{}, &timeRange{}
+	jobs = []func() error{
+		func() error { return loadLabelSide(loutTbl, labels.Out, out) },
+		func() error { return loadLabelSide(linTbl, labels.In, in) },
+	}
+	return jobs, out, in, nil
+}
+
+// loadLabelTables creates and fills one version's lout/lin tables on the
+// worker pool, folding the label time range into vm.
+func loadLabelTables(db *sqldb.DB, suffix string, labels *ttl.Labels, vm *VersionMeta, workers int) error {
+	jobs, out, in, err := labelTableJobs(db, suffix, labels)
 	if err != nil {
 		return err
 	}
+	if err := runJobs(workers, jobs); err != nil {
+		return err
+	}
+	vm.fold(*out)
+	vm.fold(*in)
+	return nil
+}
+
+// loadLabelSide bulk-loads one label side into its table: the rows are
+// already in ascending primary-key (stop id) order, so the index is built
+// bottom-up from full pages instead of one descent per row.
+func loadLabelSide(tbl *sqldb.Table, side [][]ttl.Tuple, r *timeRange) error {
+	r.min, r.max = timetable.Infinity, timetable.NegInfinity
+	rows := make([]sqltypes.Row, len(side))
 	for v, label := range side {
 		hubs := make([]int64, len(label))
 		tds := make([]int64, len(label))
 		tas := make([]int64, len(label))
 		for i, t := range label {
 			hubs[i], tds[i], tas[i] = int64(t.Hub), int64(t.Dep), int64(t.Arr)
-			if t.Dep < vm.MinTime {
-				vm.MinTime = t.Dep
+			if t.Dep < r.min {
+				r.min = t.Dep
 			}
-			if t.Arr > vm.MaxTime {
-				vm.MaxTime = t.Arr
+			if t.Arr > r.max {
+				r.max = t.Arr
 			}
 		}
 		// The fused executor's merge join requires hub-sorted labels; verify
 		// (and if needed re-establish) the order before the row is frozen.
 		ensureLabelOrder(hubs, tds, tas)
-		err := tbl.Insert(sqltypes.Row{
+		rows[v] = sqltypes.Row{
 			sqltypes.NewInt(int64(v)),
 			sqltypes.NewIntArray(hubs),
 			sqltypes.NewIntArray(tds),
 			sqltypes.NewIntArray(tas),
-		})
-		if err != nil {
-			return err
 		}
 	}
-	return nil
+	return tbl.BulkLoad(rows)
+}
+
+// loadStops bulk-loads the stops metadata table in ascending id order.
+func loadStops(tbl *sqldb.Table, stops []timetable.Stop) error {
+	sorted := append([]timetable.Stop(nil), stops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	rows := make([]sqltypes.Row, len(sorted))
+	for i, stop := range sorted {
+		rows[i] = sqltypes.Row{
+			sqltypes.NewInt(int64(stop.ID)),
+			sqltypes.NewText(stop.Name),
+			sqltypes.NewFloat(stop.Lat),
+			sqltypes.NewFloat(stop.Lon),
+		}
+	}
+	return tbl.BulkLoad(rows)
 }
 
 // Open attaches to a previously built PTLDB database.

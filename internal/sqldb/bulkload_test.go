@@ -1,0 +1,154 @@
+package sqldb
+
+import (
+	"testing"
+
+	"ptldb/internal/sqldb/sqltypes"
+)
+
+// TestTableBulkLoadMatchesInsert bulk-loads a table and checks it row-for-row
+// against an Insert-built twin: same scan order, same PK lookups.
+func TestTableBulkLoadMatchesInsert(t *testing.T) {
+	db := newTestDB(t)
+	rows := make([]sqltypes.Row, 0, 900)
+	for h := int64(0); h < 30; h++ {
+		for d := int64(0); d < 30; d++ {
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewInt(h),
+				sqltypes.NewInt(d * 10),
+				sqltypes.NewIntArray([]int64{h, d, h + d}),
+			})
+		}
+	}
+
+	bulk := mkTable(t, db, "bulk", []string{"h", "d"}, "h", "d", "vs:arr")
+	if err := bulk.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	ref := mkTable(t, db, "ref", []string{"h", "d"}, "h", "d", "vs:arr")
+	if err := ref.InsertRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.RowCount() != ref.RowCount() {
+		t.Fatalf("RowCount = %d, want %d", bulk.RowCount(), ref.RowCount())
+	}
+
+	var got, want []sqltypes.Row
+	collect := func(dst *[]sqltypes.Row) func(sqltypes.Row) error {
+		return func(r sqltypes.Row) error {
+			cp := make(sqltypes.Row, len(r))
+			copy(cp, r)
+			*dst = append(*dst, cp)
+			return nil
+		}
+	}
+	if err := bulk.Scan(collect(&got)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Scan(collect(&want)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j].String() != want[i][j].String() {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+
+	for _, key := range [][]int64{{0, 0}, {15, 140}, {29, 290}} {
+		row, ok, err := bulk.LookupPK(key)
+		if err != nil || !ok {
+			t.Fatalf("LookupPK(%v) = %v, %v", key, ok, err)
+		}
+		if row[0].I != key[0] || row[1].I != key[1] {
+			t.Fatalf("LookupPK(%v) returned %v", key, row)
+		}
+	}
+	if _, ok, _ := bulk.LookupPK([]int64{30, 0}); ok {
+		t.Error("LookupPK on absent key returned ok")
+	}
+}
+
+// TestTableBulkLoadKeyless checks the keyless fallback keeps insertion order.
+func TestTableBulkLoadKeyless(t *testing.T) {
+	db := newTestDB(t)
+	tbl := mkTable(t, db, "plain", nil, "a", "b")
+	rows := []sqltypes.Row{ints(3, 30), ints(1, 10), ints(2, 20)}
+	if err := tbl.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	var got [][2]int64
+	if err := tbl.Scan(func(r sqltypes.Row) error {
+		got = append(got, [2]int64{r[0].I, r[1].I})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int64{{3, 30}, {1, 10}, {2, 20}}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTableBulkLoadCoercesInts checks integer values land in DOUBLE columns
+// as floats, matching Insert.
+func TestTableBulkLoadCoercesInts(t *testing.T) {
+	db := newTestDB(t)
+	tbl := mkTable(t, db, "coerce", []string{"k"}, "k", "x:float")
+	if err := tbl.BulkLoad([]sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewInt(7)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	row, ok, err := tbl.LookupPK([]int64{1})
+	if err != nil || !ok {
+		t.Fatalf("LookupPK = %v, %v", ok, err)
+	}
+	if row[1].T != sqltypes.Float64 || row[1].F != 7 {
+		t.Fatalf("coerced value = %v", row[1])
+	}
+}
+
+// TestTableBulkLoadErrors: every precondition failure must leave the table
+// empty, since validation happens before any row is stored.
+func TestTableBulkLoadErrors(t *testing.T) {
+	db := newTestDB(t)
+	tbl := mkTable(t, db, "t", []string{"k"}, "k", "v")
+
+	if err := tbl.BulkLoad([]sqltypes.Row{ints(2, 0), ints(1, 0)}); err == nil {
+		t.Error("descending keys accepted")
+	}
+	if err := tbl.BulkLoad([]sqltypes.Row{ints(1, 0), ints(1, 1)}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+	if err := tbl.BulkLoad([]sqltypes.Row{ints(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tbl.BulkLoad([]sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewText("no")},
+	}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if tbl.RowCount() != 0 {
+		t.Fatalf("rejected loads stored %d rows", tbl.RowCount())
+	}
+
+	if err := tbl.Insert(ints(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.BulkLoad([]sqltypes.Row{ints(2, 20)}); err == nil {
+		t.Error("bulk load into non-empty table accepted")
+	}
+}

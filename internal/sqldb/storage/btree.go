@@ -483,6 +483,117 @@ func (t *BTree) insertLeaf(fr *Frame, k Key, loc Locator) (sep Key, right PageID
 	return leafKey(rightFr, 0), rightFr.Page(), false, nil
 }
 
+// --- bulk load ---------------------------------------------------------------
+
+// BulkEntry is one (key, locator) pair for BulkLoad.
+type BulkEntry struct {
+	Key Key
+	Loc Locator
+}
+
+// BulkLoad fills an empty tree from entries sorted by strictly ascending
+// key: leaves are written completely full left to right (reusing the initial
+// root page as the first leaf, so a single-leaf load allocates nothing) and
+// the internal levels are stitched together bottom-up, one node per page
+// pass — no per-entry root-to-leaf descent and no splits. Loading the same
+// entries always produces the same page image, which the build determinism
+// tests rely on.
+func (t *BTree) BulkLoad(entries []BulkEntry) error {
+	if t.count != 0 || t.height != 1 {
+		return fmt.Errorf("storage: bulk load requires an empty btree (count %d, height %d)", t.count, t.height)
+	}
+	for i := 1; i < len(entries); i++ {
+		if !entries[i-1].Key.Less(entries[i].Key) {
+			return fmt.Errorf("storage: bulk load keys not strictly ascending at %d: %v then %v",
+				i, entries[i-1].Key, entries[i].Key)
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+
+	// Level 0: pack the leaves full, chaining the next pointers as we go.
+	numLeaves := (len(entries) + maxLeafEntries - 1) / maxLeafEntries
+	children := make([]PageID, 0, numLeaves)
+	// minKey[i] is the smallest key under children[i]; the internal levels
+	// use it as the separator in front of that child.
+	minKeys := make([]Key, 0, numLeaves)
+	var prev *Frame
+	for i := 0; i < len(entries); i += maxLeafEntries {
+		var fr *Frame
+		var err error
+		if len(children) == 0 {
+			fr, err = t.pool.Get(t.file, t.root)
+		} else {
+			fr, err = t.pool.NewPage(t.file)
+		}
+		if err != nil {
+			if prev != nil {
+				t.pool.Unpin(prev)
+			}
+			return err
+		}
+		initNode(fr, nodeLeaf)
+		n := len(entries) - i
+		if n > maxLeafEntries {
+			n = maxLeafEntries
+		}
+		for j := 0; j < n; j++ {
+			putLeafEntry(fr, j, entries[i+j].Key, entries[i+j].Loc)
+		}
+		setCount(fr, n)
+		setNext(fr, invalidPage)
+		if prev != nil {
+			setNext(prev, fr.Page())
+			t.pool.Unpin(prev)
+		}
+		prev = fr
+		children = append(children, fr.Page())
+		minKeys = append(minKeys, entries[i].Key)
+	}
+	t.pool.Unpin(prev)
+
+	// Stitch internal levels until one node spans everything. An internal
+	// node holds up to maxIntEntries+1 children; when packing greedily would
+	// strand a single child in the last node (a keyless node), the previous
+	// node cedes one.
+	height := uint32(1)
+	for len(children) > 1 {
+		fanout := maxIntEntries + 1
+		upChildren := children[:0]
+		upKeys := minKeys[:0]
+		for s := 0; s < len(children); {
+			e := s + fanout
+			if e > len(children) {
+				e = len(children)
+			}
+			if len(children)-e == 1 {
+				e--
+			}
+			fr, err := t.pool.NewPage(t.file)
+			if err != nil {
+				return err
+			}
+			initNode(fr, nodeInternal)
+			setIntChild0(fr, children[s])
+			for k := s + 1; k < e; k++ {
+				putIntEntry(fr, k-s-1, minKeys[k], children[k])
+			}
+			setCount(fr, e-s-1)
+			upChildren = append(upChildren, fr.Page())
+			upKeys = append(upKeys, minKeys[s])
+			t.pool.Unpin(fr)
+			s = e
+		}
+		children, minKeys = upChildren, upKeys
+		height++
+	}
+	t.root = children[0]
+	t.height = height
+	t.count = uint64(len(entries))
+	return nil
+}
+
 // Validate checks structural invariants (ordering within and across leaves,
 // separator consistency) and returns the number of reachable leaf entries.
 func (t *BTree) Validate() (int, error) {

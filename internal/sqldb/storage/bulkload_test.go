@@ -1,0 +1,269 @@
+package storage
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bulkEntries(n int) []BulkEntry {
+	entries := make([]BulkEntry, n)
+	for i := range entries {
+		entries[i] = BulkEntry{
+			Key: Key{int64(i / 7), int64(i % 7)},
+			Loc: Locator{Page: PageID(i % 1000), Off: uint32(i), Len: uint32(i%100 + 1)},
+		}
+	}
+	return entries
+}
+
+// TestBTreeBulkLoadMatchesInsert bulk-loads trees of sizes around the leaf
+// capacity and fanout boundaries and checks them entry-for-entry against a
+// tree built through the insert path.
+func TestBTreeBulkLoadMatchesInsert(t *testing.T) {
+	sizes := []int{0, 1, 5, maxLeafEntries - 1, maxLeafEntries, maxLeafEntries + 1,
+		3*maxLeafEntries + 17, 10000}
+	for _, n := range sizes {
+		var clock Clock
+		f, pool := newTestFile(t, RAM, &clock)
+		bt, err := OpenBTree(f, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries := bulkEntries(n)
+		if err := bt.BulkLoad(entries); err != nil {
+			t.Fatalf("n=%d: BulkLoad: %v", n, err)
+		}
+		if bt.Count() != uint64(n) {
+			t.Fatalf("n=%d: Count = %d", n, bt.Count())
+		}
+		if got, err := bt.Validate(); err != nil || got != n {
+			t.Fatalf("n=%d: Validate = %d, %v", n, got, err)
+		}
+
+		ref, refPool := newTestFile(t, RAM, &clock)
+		rt, err := OpenBTree(ref, refPool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if err := rt.Insert(e.Key, e.Loc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cur, err := bt.SeekFirst()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcur, err := rt.SeekFirst()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cur.Valid() || rcur.Valid() {
+			if cur.Valid() != rcur.Valid() {
+				t.Fatalf("n=%d: scan lengths differ", n)
+			}
+			if cur.Key() != rcur.Key() || cur.Locator() != rcur.Locator() {
+				t.Fatalf("n=%d: scan mismatch: (%v, %v) vs (%v, %v)",
+					n, cur.Key(), cur.Locator(), rcur.Key(), rcur.Locator())
+			}
+			if err := cur.Next(); err != nil {
+				t.Fatal(err)
+			}
+			if err := rcur.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cur.Close()
+		rcur.Close()
+		if n > 0 {
+			if loc, ok, err := bt.Get(entries[n/2].Key); err != nil || !ok || loc != entries[n/2].Loc {
+				t.Fatalf("n=%d: Get(mid) = %v, %v, %v", n, loc, ok, err)
+			}
+			if _, ok, _ := bt.Get(Key{int64(n), 99}); ok {
+				t.Fatalf("n=%d: Get(absent) returned ok", n)
+			}
+		}
+	}
+}
+
+// TestBTreeBulkLoadThenInsert verifies a bulk-loaded tree accepts ordinary
+// inserts afterwards — new keys between and beyond the loaded ones.
+func TestBTreeBulkLoadThenInsert(t *testing.T) {
+	var clock Clock
+	f, pool := newTestFile(t, RAM, &clock)
+	bt, err := OpenBTree(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 2*maxLeafEntries + 50
+	entries := make([]BulkEntry, n)
+	for i := range entries {
+		entries[i] = BulkEntry{Key: Key{int64(2 * i), 0}, Loc: Locator{Off: uint32(i)}}
+	}
+	if err := bt.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := bt.Insert(Key{int64(2*i + 1), 0}, Locator{Off: uint32(n + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, err := bt.Validate(); err != nil || got != 2*n {
+		t.Fatalf("Validate after inserts = %d, %v", got, err)
+	}
+	for i := 0; i < 2*n; i++ {
+		loc, ok, err := bt.Get(Key{int64(i), 0})
+		if err != nil || !ok {
+			t.Fatalf("Get(%d) = %v, %v", i, ok, err)
+		}
+		want := uint32(i / 2)
+		if i%2 == 1 {
+			want = uint32(n + i/2)
+		}
+		if loc.Off != want {
+			t.Fatalf("Get(%d).Off = %d, want %d", i, loc.Off, want)
+		}
+	}
+}
+
+// TestBTreeBulkLoadOrphanFixup loads exactly enough leaves that greedy
+// fanout packing would strand a single child in the last internal node, and
+// checks the fix-up leaves every internal node with at least one separator.
+func TestBTreeBulkLoadOrphanFixup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large bulk load")
+	}
+	var clock Clock
+	f, pool := newTestFile(t, RAM, &clock)
+	bt, err := OpenBTree(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// maxIntEntries+2 full leaves: greedy grouping takes maxIntEntries+1 and
+	// would leave one orphan.
+	n := (maxIntEntries + 2) * maxLeafEntries
+	if err := bt.BulkLoad(bulkEntries(n)); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Height() != 3 {
+		t.Fatalf("Height = %d, want 3", bt.Height())
+	}
+	if got, err := bt.Validate(); err != nil || got != n {
+		t.Fatalf("Validate = %d, %v", got, err)
+	}
+	dump, err := bt.DebugDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(dump, "\n") {
+		if strings.Contains(line, "int") && strings.Contains(line, ": 0 keys") {
+			t.Fatalf("internal node without separators:\n%s", dump)
+		}
+	}
+}
+
+// TestBTreeBulkLoadPersists flushes a bulk-loaded tree and reopens the file.
+func TestBTreeBulkLoadPersists(t *testing.T) {
+	var clock Clock
+	path := filepath.Join(t.TempDir(), "bulk.pg")
+	f, err := OpenPagedFile(path, RAM, &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(64)
+	pool.Register(f)
+	bt, err := OpenBTree(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := maxLeafEntries * 3
+	entries := bulkEntries(n)
+	if err := bt.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := OpenPagedFile(path, RAM, &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	pool2 := NewPool(64)
+	pool2.Register(f2)
+	bt2, err := OpenBTree(f2, pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt2.Count() != uint64(n) {
+		t.Fatalf("Count after reopen = %d", bt2.Count())
+	}
+	if got, err := bt2.Validate(); err != nil || got != n {
+		t.Fatalf("Validate after reopen = %d, %v", got, err)
+	}
+	for _, e := range []BulkEntry{entries[0], entries[n/3], entries[n-1]} {
+		if loc, ok, err := bt2.Get(e.Key); err != nil || !ok || loc != e.Loc {
+			t.Fatalf("Get(%v) after reopen = %v, %v, %v", e.Key, loc, ok, err)
+		}
+	}
+}
+
+// TestBTreeBulkLoadErrors covers the precondition failures: non-empty tree,
+// out-of-order input, duplicate keys.
+func TestBTreeBulkLoadErrors(t *testing.T) {
+	var clock Clock
+	f, pool := newTestFile(t, RAM, &clock)
+	bt, err := OpenBTree(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.BulkLoad([]BulkEntry{
+		{Key: Key{2, 0}}, {Key: Key{1, 0}},
+	}); err == nil {
+		t.Error("BulkLoad accepted descending keys")
+	}
+	if err := bt.BulkLoad([]BulkEntry{
+		{Key: Key{1, 1}}, {Key: Key{1, 1}},
+	}); err == nil {
+		t.Error("BulkLoad accepted duplicate keys")
+	}
+	// The failed loads above must not have modified the tree.
+	if got, err := bt.Validate(); err != nil || got != 0 {
+		t.Fatalf("Validate after rejected loads = %d, %v", got, err)
+	}
+	if err := bt.Insert(Key{1, 0}, Locator{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.BulkLoad([]BulkEntry{{Key: Key{2, 0}}}); err == nil {
+		t.Error("BulkLoad accepted a non-empty tree")
+	}
+}
+
+func BenchmarkBTreeBulkLoad(b *testing.B) {
+	entries := bulkEntries(100000)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var clock Clock
+		f, err := OpenPagedFile(filepath.Join(b.TempDir(), "bt.pg"), RAM, &clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool := NewPool(4096)
+		pool.Register(f)
+		bt, err := OpenBTree(f, pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := bt.BulkLoad(entries); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		f.Close()
+	}
+}

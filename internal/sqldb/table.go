@@ -50,9 +50,9 @@ func (t *Table) PKCols() []int { return t.pkCols }
 // RowCount returns the number of stored rows.
 func (t *Table) RowCount() uint64 { return t.heap.Count() }
 
-// Insert validates and stores one row. Inserting a duplicate primary key is
-// an error (the heap is append-only and cannot reclaim the old row).
-func (t *Table) Insert(row sqltypes.Row) error {
+// checkRow validates arity and column types, coercing integer values into
+// DOUBLE columns in place.
+func (t *Table) checkRow(row sqltypes.Row) error {
 	if len(row) != len(t.def.Columns) {
 		return fmt.Errorf("sqldb: %s: row has %d values, table has %d columns", t.def.Name, len(row), len(t.def.Columns))
 	}
@@ -69,6 +69,15 @@ func (t *Table) Insert(row sqltypes.Row) error {
 			}
 			return fmt.Errorf("sqldb: %s.%s: cannot store %s into %s", t.def.Name, t.def.Columns[i].Name, v.T, want)
 		}
+	}
+	return nil
+}
+
+// Insert validates and stores one row. Inserting a duplicate primary key is
+// an error (the heap is append-only and cannot reclaim the old row).
+func (t *Table) Insert(row sqltypes.Row) error {
+	if err := t.checkRow(row); err != nil {
+		return err
 	}
 	key, err := t.keyOf(row)
 	if err != nil {
@@ -120,6 +129,57 @@ func (t *Table) InsertRows(rows []sqltypes.Row) error {
 		}
 	}
 	return nil
+}
+
+// BulkLoad stores rows already sorted by strictly ascending primary key into
+// an empty table, building the index bottom-up in one pass over full pages
+// instead of one root-to-leaf descent per row. All rows are validated before
+// anything is stored, so a rejected load leaves the table empty. Keyless
+// tables fall back to plain heap appends (insertion order is the scan order).
+func (t *Table) BulkLoad(rows []sqltypes.Row) error {
+	if t.heap.Count() != 0 {
+		return fmt.Errorf("sqldb: %s: bulk load requires an empty table (%d rows stored)", t.def.Name, t.heap.Count())
+	}
+	var keys []storage.Key
+	if len(t.pkCols) > 0 {
+		keys = make([]storage.Key, len(rows))
+	}
+	for i, r := range rows {
+		if err := t.checkRow(r); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		if keys == nil {
+			continue
+		}
+		key, err := t.keyOf(r)
+		if err != nil {
+			return err
+		}
+		if i > 0 && !keys[i-1].Less(key) {
+			return fmt.Errorf("sqldb: %s: bulk load rows not in strictly ascending key order at row %d (%v then %v)",
+				t.def.Name, i, keys[i-1], key)
+		}
+		keys[i] = key
+	}
+	var buf []byte
+	var entries []storage.BulkEntry
+	if keys != nil {
+		entries = make([]storage.BulkEntry, len(rows))
+	}
+	for i, r := range rows {
+		buf = sqltypes.EncodeRow(buf[:0], r)
+		loc, err := t.heap.Append(buf)
+		if err != nil {
+			return err
+		}
+		if keys != nil {
+			entries[i] = storage.BulkEntry{Key: keys[i], Loc: loc}
+		}
+	}
+	if keys == nil {
+		return nil
+	}
+	return t.idx.BulkLoad(entries)
 }
 
 func (t *Table) keyOf(row sqltypes.Row) (storage.Key, error) {

@@ -7,61 +7,33 @@ import (
 	"ptldb/internal/timetable"
 )
 
-// Build constructs the TTL index for tt under the given vertex order using
-// pruned time-dependent profile searches, the timetable analogue of Pruned
-// Landmark Labeling: hubs are processed from most to least important, and a
-// candidate journey is discarded as soon as the labels built so far already
-// certify a journey that departs no earlier and arrives no later.
-//
-// The resulting labels are canonical for (tt, ord): they satisfy the cover
-// property (every Pareto-optimal journey is witnessed by its most important
-// stop) and contain no tuple whose journey is covered by more important hubs.
-//
-// Each per-hub search is a connection scan restricted to reached stops: a
-// priority queue merges the time-sorted connection lists of the stops that
-// already carry a Pareto profile entry, so unreachable parts of the timetable
-// cost nothing — essential once pruning shrinks the searches of unimportant
-// hubs to a handful of stops.
-func Build(tt *timetable.Timetable, ord order.Order) *Labels {
+// newLabels allocates the empty label arrays for tt under ord.
+func newLabels(tt *timetable.Timetable, ord order.Order) *Labels {
 	n := tt.NumStops()
-	l := &Labels{
+	return &Labels{
 		In:    make([][]Tuple, n),
 		Out:   make([][]Tuple, n),
 		Ranks: ord.Ranks(),
 	}
-	// The forward search of a hub writes L_in(w) and reads L_out(h); the
-	// backward search writes L_out(w) and reads L_in(h): disjoint data, so
-	// the two directions run concurrently on separate scratch states.
-	newBuilder := func() *builder {
-		b := &builder{
-			tt:        tt,
-			l:         l,
-			ranks:     l.Ranks,
-			prof:      make([][]profEntry, n),
-			meta:      make([][]profMeta, n),
-			pos:       make([]int32, n),
-			hubBlocks: make([]hubBlock, n),
-		}
-		for i := range b.pos {
-			b.pos[i] = unreached
-		}
-		return b
+}
+
+// newBuilder allocates the per-search scratch state for one worker. Builders
+// share the label set l read-only during searches; tuples are committed to l
+// by the orchestration in parallel.go, never by the searches themselves.
+func newBuilder(tt *timetable.Timetable, l *Labels) *builder {
+	b := &builder{
+		tt:        tt,
+		l:         l,
+		ranks:     l.Ranks,
+		prof:      make([][]profEntry, tt.NumStops()),
+		meta:      make([][]profMeta, tt.NumStops()),
+		pos:       make([]int32, tt.NumStops()),
+		hubBlocks: make([]hubBlock, tt.NumStops()),
 	}
-	fwd, bwd := newBuilder(), newBuilder()
-	done := make(chan struct{})
-	for _, h := range ord {
-		go func() {
-			fwd.forward(h)
-			done <- struct{}{}
-		}()
-		bwd.backward(h)
-		<-done
+	for i := range b.pos {
+		b.pos[i] = unreached
 	}
-	for v := 0; v < n; v++ {
-		sortLabel(l.In[v])
-		sortLabel(l.Out[v])
-	}
-	return l
+	return b
 }
 
 // Stream position sentinels (regular positions are >= 0).
@@ -86,6 +58,31 @@ type profMeta struct {
 	first, last timetable.TripID
 }
 
+// metaLess orders profile metadata lexicographically. When several distinct
+// journeys realize the same (departure, arrival) pair the profile keeps the
+// smallest metadata, so the recorded witness does not depend on the order
+// candidates were generated in — wave searches prune against fewer labels
+// than the serial build and therefore explore extra (covered) paths, and
+// without the canonical choice the surviving tuples' pivot/trip columns could
+// differ between worker counts.
+func metaLess(a, b profMeta) bool {
+	if a.first != b.first {
+		return a.first < b.first
+	}
+	if a.pivot != b.pivot {
+		return a.pivot < b.pivot
+	}
+	return a.last < b.last
+}
+
+// pendingTuple is one tentative label tuple produced by a search: the
+// destination stop and the tuple to append to its label once the tuple is
+// (re-)confirmed uncovered at commit time.
+type pendingTuple struct {
+	w timetable.StopID
+	t Tuple
+}
+
 // builder carries the scratch state shared by the per-hub searches.
 type builder struct {
 	tt    *timetable.Timetable
@@ -105,18 +102,24 @@ type builder struct {
 	hubBlocks []hubBlock
 	hubUsed   []timetable.StopID
 
+	// pend collects the surviving profile entries of the current search as
+	// tentative tuples; the orchestration commits them to l afterwards.
+	pend []pendingTuple
+
 	pq streamHeap
 }
 
-// forward runs the pruned forward profile search from hub h, appending tuples
-// ⟨h, d, a⟩ to L_in(w) for every uncovered Pareto journey h -> w. Connections
-// are processed in increasing departure order; strictly positive durations
+// forward runs the pruned forward profile search from hub h, collecting a
+// tentative tuple ⟨h, d, a⟩ for L_in(w) in b.pend for every Pareto journey
+// h -> w not covered by the labels committed so far. Connections are
+// processed in increasing departure order; strictly positive durations
 // guarantee that when a connection departing at time t is processed, every
 // journey arriving at its departure stop by t is already in the profile.
 func (b *builder) forward(h timetable.StopID) {
 	tt, rankH := b.tt, b.ranks[h]
 	b.buildHubIndex(b.l.Out[h])
 	b.pq = b.pq[:0]
+	b.pend = b.pend[:0]
 
 	// The hub's own stream covers the whole day: one may start from h at any
 	// time.
@@ -163,7 +166,13 @@ func (b *builder) forward(h timetable.StopID) {
 			// to more important stops are covered by earlier hubs.
 			continue
 		}
-		if dominatedForward(b.prof[w], cand) {
+		if i := lastArrAtMost(b.prof[w], cand.a); i >= 0 && b.prof[w][i].d >= cand.d {
+			// Dominated. On an exact coordinate tie canonicalize the stored
+			// metadata (see metaLess); the tying entry, if any, is exactly
+			// the one the dominance probe found.
+			if b.prof[w][i] == cand && metaLess(m, b.meta[w][i]) {
+				b.meta[w][i] = m
+			}
 			continue
 		}
 		if b.coveredForward(b.l.In[w], h, w, cand.d, cand.a) {
@@ -171,30 +180,19 @@ func (b *builder) forward(h timetable.StopID) {
 		}
 		b.insertForward(w, cand, m)
 	}
-
-	// Emit the surviving profile entries as labels and reset.
-	for _, w := range b.touched {
-		for i, e := range b.prof[w] {
-			m := b.meta[w][i]
-			b.l.In[w] = append(b.l.In[w], Tuple{Hub: h, Dep: e.d, Arr: e.a, Pivot: m.pivot, Trip: m.first})
-		}
-		b.prof[w] = b.prof[w][:0]
-		b.meta[w] = b.meta[w][:0]
-		b.pos[w] = unreached
-	}
-	b.touched = b.touched[:0]
-	b.pos[h] = unreached
-	b.releaseHubIndex()
+	b.collect(h)
 }
 
-// backward runs the pruned backward profile search toward hub h, appending
-// tuples ⟨h, d, a⟩ to L_out(w) for every uncovered Pareto journey w -> h.
-// Connections are processed in decreasing arrival order over the incoming
-// lists of reached stops.
+// backward runs the pruned backward profile search toward hub h, collecting
+// tentative tuples ⟨h, d, a⟩ for L_out(w) in b.pend for every Pareto journey
+// w -> h not covered by the labels committed so far. Connections are
+// processed in decreasing arrival order over the incoming lists of reached
+// stops.
 func (b *builder) backward(h timetable.StopID) {
 	tt, rankH := b.tt, b.ranks[h]
 	b.buildHubIndex(b.l.In[h])
 	b.pq = b.pq[:0]
+	b.pend = b.pend[:0]
 
 	b.openBackwardStream(h, int32(len(tt.Incoming(h)))-1)
 
@@ -236,7 +234,10 @@ func (b *builder) backward(h timetable.StopID) {
 		if w == h || b.ranks[w] < rankH {
 			continue
 		}
-		if dominatedBackward(b.prof[w], cand) {
+		if i := firstDepAtLeast(b.prof[w], cand.d); i >= 0 && b.prof[w][i].a <= cand.a {
+			if b.prof[w][i] == cand && metaLess(m, b.meta[w][i]) {
+				b.meta[w][i] = m
+			}
 			continue
 		}
 		if b.coveredBackward(b.l.Out[w], h, w, cand.d, cand.a) {
@@ -244,11 +245,17 @@ func (b *builder) backward(h timetable.StopID) {
 		}
 		b.insertBackward(w, cand, m)
 	}
+	b.collect(h)
+}
 
+// collect drains the surviving profile entries of hub h's search into b.pend
+// (in touch order, each stop's entries sorted by departure) and resets the
+// per-search scratch state.
+func (b *builder) collect(h timetable.StopID) {
 	for _, w := range b.touched {
 		for i, e := range b.prof[w] {
 			m := b.meta[w][i]
-			b.l.Out[w] = append(b.l.Out[w], Tuple{Hub: h, Dep: e.d, Arr: e.a, Pivot: m.pivot, Trip: m.first})
+			b.pend = append(b.pend, pendingTuple{w: w, t: Tuple{Hub: h, Dep: e.d, Arr: e.a, Pivot: m.pivot, Trip: m.first}})
 		}
 		b.prof[w] = b.prof[w][:0]
 		b.meta[w] = b.meta[w][:0]

@@ -1,0 +1,131 @@
+package ttl
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"ptldb/internal/csa"
+	"ptldb/internal/order"
+	"ptldb/internal/timetable"
+)
+
+// workerCounts are the BuildWorkers values the determinism tests sweep,
+// including a count above GOMAXPROCS and a count that leaves the last wave
+// ragged.
+func workerCounts() []int {
+	counts := []int{1, 2, 7}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 7 {
+		counts = append(counts, g)
+	}
+	return counts
+}
+
+// TestBuildParallelByteIdentical is the canonicality test of the wave build:
+// for every worker count the labels must equal the serial build's exactly —
+// not merely cover-equivalent — including the pivot/trip reconstruction
+// metadata and the per-stop array order.
+func TestBuildParallelByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 10; iter++ {
+		tt := randomTimetable(rng, 2+rng.Intn(30), rng.Intn(500))
+		ord := randomOrder(rng, tt, iter)
+		want := buildSerial(tt, ord)
+		for _, workers := range workerCounts() {
+			got := BuildParallel(tt, ord, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iter %d: BuildParallel(workers=%d) differs from serial build", iter, workers)
+			}
+		}
+	}
+	// The paper example, where the expected labels are known exactly.
+	tt := timetable.PaperExample()
+	ord := order.Identity(7)
+	want := buildSerial(tt, ord)
+	for _, workers := range workerCounts() {
+		if got := BuildParallel(tt, ord, workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("paper example: BuildParallel(workers=%d) differs from serial build", workers)
+		}
+	}
+}
+
+// TestBuildParallelMatchesCSA runs the parallel build on randomized
+// timetables and checks EA/LD answers against the Connection Scan oracle —
+// the differential guard that the wave commit preserves correctness, not
+// just serial equivalence.
+func TestBuildParallelMatchesCSA(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 6; iter++ {
+		tt := randomTimetable(rng, 2+rng.Intn(12), rng.Intn(120))
+		ord := randomOrder(rng, tt, iter)
+		l := BuildParallel(tt, ord, 3)
+		if err := l.Validate(); err != nil {
+			t.Fatalf("iter %d: Validate: %v", iter, err)
+		}
+		n := timetable.StopID(tt.NumStops())
+		for s := timetable.StopID(0); s < n; s++ {
+			ths := thresholds(tt, s)
+			for g := timetable.StopID(0); g < n; g++ {
+				if s == g {
+					continue
+				}
+				for _, th := range ths {
+					if got, want := l.EarliestArrival(s, g, th), csa.EarliestArrival(tt, s, g, th); got != want {
+						t.Fatalf("iter %d: EA(%d,%d,%v) = %v, want %v", iter, s, g, th, got, want)
+					}
+					if got, want := l.LatestDeparture(s, g, th), csa.LatestDeparture(tt, s, g, th); got != want {
+						t.Fatalf("iter %d: LD(%d,%d,%v) = %v, want %v", iter, s, g, th, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildParallelDegenerate exercises the wave machinery on inputs smaller
+// than a batch: an empty timetable and a two-stop network with more workers
+// than hubs.
+func TestBuildParallelDegenerate(t *testing.T) {
+	var b timetable.Builder
+	b.AddStops(3)
+	empty := b.MustBuild()
+	for _, workers := range []int{2, 16} {
+		if l := BuildParallel(empty, order.ByDegree(empty), workers); l.NumTuples() != 0 {
+			t.Errorf("workers=%d: %d tuples on connection-free timetable", workers, l.NumTuples())
+		}
+	}
+
+	var b2 timetable.Builder
+	b2.AddStops(2)
+	b2.AddConnection(0, 1, 100, 200, 1)
+	tiny := b2.MustBuild()
+	want := buildSerial(tiny, order.ByDegree(tiny))
+	for _, workers := range []int{2, 16} {
+		if got := BuildParallel(tiny, order.ByDegree(tiny), workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: tiny timetable labels differ from serial", workers)
+		}
+	}
+
+	// workers <= 0 resolves to GOMAXPROCS and must still be exact.
+	rng := rand.New(rand.NewSource(9))
+	tt := randomTimetable(rng, 12, 160)
+	ord := order.ByNeighborDegree(tt)
+	if got := BuildParallel(tt, ord, 0); !reflect.DeepEqual(got, buildSerial(tt, ord)) {
+		t.Error("BuildParallel(workers=0) differs from serial build")
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	tt := randomTimetable(rng, 300, 30000)
+	ord := order.ByNeighborDegree(tt)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				BuildParallel(tt, ord, workers)
+			}
+		})
+	}
+}

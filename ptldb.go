@@ -107,6 +107,11 @@ type Config struct {
 	// executor. The ptldb-bench -fused=off ablation and the differential
 	// tests use this; it has no effect on query answers.
 	DisableFusedExec bool
+	// BuildWorkers bounds the preprocessing parallelism (default GOMAXPROCS):
+	// TTL label construction runs rank-batched waves of this width, and the
+	// table loads of Create / AddTargetSet / AddVersion run on a worker pool
+	// of this size. The built database is byte-identical for every value.
+	BuildWorkers int
 }
 
 func (c Config) device() (storage.DeviceModel, error) {
@@ -131,6 +136,9 @@ func (c Config) device() (storage.DeviceModel, error) {
 type DB struct {
 	store *core.Store
 	db    *sqldb.DB
+	// buildWorkers is the Config.BuildWorkers this handle was opened with;
+	// AddVersion builds its labels at the same parallelism.
+	buildWorkers int
 }
 
 // Create preprocesses tt (TTL labels under the configured vertex order,
@@ -182,7 +190,7 @@ func CreateWithStats(dir string, tt *Network, cfg Config) (*DB, PreprocessStats,
 	stats.OrderTime = time.Since(start)
 
 	start = time.Now()
-	labels := ttl.Build(tt, ord)
+	labels := ttl.BuildParallel(tt, ord, cfg.BuildWorkers)
 	stats.LabelTime = time.Since(start)
 	stats.LabelTuples = labels.NumTuples()
 	stats.TuplesPerStop = labels.TuplesPerStop()
@@ -202,6 +210,7 @@ func CreateWithStats(dir string, tt *Network, cfg Config) (*DB, PreprocessStats,
 	store, err := core.Build(sdb, labels, core.BuildOptions{
 		BucketSeconds: cfg.BucketSeconds,
 		Stops:         tt.Stops(),
+		Workers:       cfg.BuildWorkers,
 	})
 	if err != nil {
 		sdb.Close()
@@ -212,7 +221,7 @@ func CreateWithStats(dir string, tt *Network, cfg Config) (*DB, PreprocessStats,
 		return nil, stats, err
 	}
 	stats.LoadTime = time.Since(start)
-	return &DB{store: store, db: sdb}, stats, nil
+	return &DB{store: store, db: sdb, buildWorkers: cfg.BuildWorkers}, stats, nil
 }
 
 // Open attaches to a database directory previously built with Create,
@@ -234,7 +243,8 @@ func Open(dir string, cfg Config) (*DB, error) {
 		sdb.Close()
 		return nil, err
 	}
-	return &DB{store: store, db: sdb}, nil
+	store.SetBuildWorkers(cfg.BuildWorkers)
+	return &DB{store: store, db: sdb, buildWorkers: cfg.BuildWorkers}, nil
 }
 
 // Close flushes and closes the database.
@@ -278,7 +288,7 @@ func (d *DB) TargetSets() map[string]core.TargetSetMeta {
 // version with its own lout/lin tables — the paper's Section 3.1 approach to
 // period-dependent timetables. The network must have the same stops.
 func (d *DB) AddVersion(name string, tt2 *Network) error {
-	labels := ttl.Build(tt2, order.ByNeighborDegree(tt2)).Augment()
+	labels := ttl.BuildParallel(tt2, order.ByNeighborDegree(tt2), d.buildWorkers).Augment()
 	if err := d.store.AddVersion(name, labels); err != nil {
 		return err
 	}
@@ -293,7 +303,7 @@ func (d *DB) Version(name string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{store: st, db: d.db}, nil
+	return &DB{store: st, db: d.db, buildWorkers: d.buildWorkers}, nil
 }
 
 // Versions lists the available timetable versions.

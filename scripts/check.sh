@@ -15,4 +15,6 @@ echo "== go test -race -shuffle on ./..."
 go test -race -shuffle on ./...
 echo "== bench smoke (fused executor, 5 iterations)"
 go test -run '^$' -bench 'BenchmarkFusedExec' -benchtime 5x .
+echo "== bench smoke (parallel build, 1 iteration)"
+go test -run '^$' -bench 'BenchmarkBuildParallel/workers=4' -benchtime 1x ./internal/ttl
 echo "== OK"
