@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"ptldb/internal/bench"
+	"ptldb/internal/obs"
 )
 
 func main() {
@@ -38,6 +40,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		out      = flag.String("o", "", "write the report to a file instead of stdout")
+		obsOut   = flag.String("obs-out", "", "write per-code query observability totals (JSON) to this file")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -81,6 +84,11 @@ func main() {
 		cfg.FusedOff = true
 	default:
 		fatal(fmt.Errorf("-fused must be on or off, got %q", *fused))
+	}
+	var agg *obs.Aggregator
+	if *obsOut != "" {
+		agg = obs.NewAggregator()
+		cfg.TraceHook = agg.Observe
 	}
 	if *cities != "" {
 		for _, c := range strings.Split(*cities, ",") {
@@ -133,6 +141,15 @@ func main() {
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "# total %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if agg != nil {
+		blob, err := json.MarshalIndent(agg.Totals(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*obsOut, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -32,6 +33,7 @@ func main() {
 		bucket  = flag.Int("bucket", 3600, "knn/otm bucket width in seconds")
 		ordFlag = flag.String("order", "neighbor-degree", "vertex ordering: neighbor-degree, degree, random")
 		workers = flag.Int("workers", 0, "preprocessing parallelism (0 = GOMAXPROCS); output is identical for every value")
+		obsOut  = flag.String("obs-out", "", "write the build's observability snapshot (JSON) to this file")
 		list    = flag.Bool("list", false, "list synthetic city profiles and exit")
 	)
 	flag.Parse()
@@ -123,6 +125,16 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "ptldb-build: database %s: %.1f MiB\n", *dbDir, float64(st.SizeOnDisk)/(1<<20))
+
+	if *obsOut != "" {
+		blob, err := json.MarshalIndent(db.Snapshot(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*obsOut, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

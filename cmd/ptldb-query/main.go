@@ -12,12 +12,17 @@
 //	ptldb-query -db DIR ldotm SET SRC TIME
 //	ptldb-query -db DIR sql 'SELECT ...'
 //	ptldb-query -db DIR explain 'SELECT ...'
+//	ptldb-query -db DIR plan NAME     (NAME from 'ptldb-query -db DIR plan')
 //	ptldb-query -db DIR sets
 //
 // TIME accepts either seconds after midnight or HH:MM:SS.
+//
+// -slow DURATION logs every query slower than the threshold to stderr;
+// -obs prints the observability snapshot (JSON) to stderr on exit.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,18 +36,27 @@ import (
 
 func main() {
 	var (
-		dbDir  = flag.String("db", "", "database directory (required)")
-		device = flag.String("device", "ssd", "simulated device: hdd, ssd, ram")
+		dbDir   = flag.String("db", "", "database directory (required)")
+		device  = flag.String("device", "ssd", "simulated device: hdd, ssd, ram")
+		slow    = flag.Duration("slow", 0, "log queries slower than this to stderr (0 = off)")
+		obsDump = flag.Bool("obs", false, "print the observability snapshot (JSON) to stderr on exit")
 	)
 	flag.Parse()
 	if *dbDir == "" || flag.NArg() == 0 {
 		fatal(fmt.Errorf("usage: ptldb-query -db DIR CMD ARGS... (see source header)"))
 	}
-	db, err := ptldb.Open(*dbDir, ptldb.Config{Device: *device})
+	db, err := ptldb.Open(*dbDir, ptldb.Config{Device: *device, SlowQueryThreshold: *slow})
 	if err != nil {
 		fatal(err)
 	}
 	defer db.Close()
+	if *obsDump {
+		defer func() {
+			blob, err := json.MarshalIndent(db.Snapshot(), "", "  ")
+			check(err)
+			fmt.Fprintln(os.Stderr, string(blob))
+		}()
+	}
 
 	args := flag.Args()
 	switch args[0] {
@@ -124,6 +138,17 @@ func main() {
 			fmt.Println("  ->", line)
 		}
 		fmt.Printf("(%d rows)\n", len(rel.Rows))
+	case "plan":
+		if len(args) == 1 {
+			for _, name := range db.ExplainNames() {
+				fmt.Println(name)
+			}
+			return
+		}
+		need(args, 2)
+		plan, err := db.ExplainPrepared(args[1])
+		check(err)
+		fmt.Print(plan)
 	case "sets":
 		for name, ts := range db.TargetSets() {
 			fmt.Printf("%s: %d targets, kmax %d\n", name, len(ts.Targets), ts.KMax)

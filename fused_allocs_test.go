@@ -1,0 +1,64 @@
+package ptldb
+
+// fused_allocs_test.go is the fused-path allocation ratchet: the observability
+// counters (and any future hot-path change) must not add a single allocation
+// per query. The budgets are the measured steady-state allocs/op of each
+// fused query kind; scripts/check.sh runs this test without the race detector
+// (instrumented builds perturb allocation counts, so it skips itself there).
+
+import (
+	"testing"
+)
+
+// fusedAllocBudgets pin the steady-state allocations per query of each fused
+// Code on the small benchmark city. A regression here means something on the
+// fused hot path started escaping to the heap — fix the escape, don't raise
+// the budget.
+var fusedAllocBudgets = []struct {
+	name   string
+	budget float64
+}{
+	{"v2v-ea", 19},
+	{"v2v-sd", 19},
+	{"knn-naive-ea", 41},
+	{"knn-ea", 210},
+	{"otm-ld", 47},
+}
+
+func TestFusedAllocsBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	tt, db := buildSmallCity(t)
+	if err := db.AddTargetSet("poi", []StopID{1, 3, 5, 7, 11, 13}, 4); err != nil {
+		t.Fatal(err)
+	}
+	s, g := StopID(2), StopID(9)
+	tq := tt.MinTime() + 600
+	te := tt.MaxTime()
+	queries := map[string]func() error{
+		"v2v-ea":       func() error { _, _, err := db.EarliestArrival(s, g, tq); return err },
+		"v2v-sd":       func() error { _, _, err := db.ShortestDuration(s, g, tq, te); return err },
+		"knn-naive-ea": func() error { _, err := db.EAKNNNaive("poi", s, tq, 4); return err },
+		"knn-ea":       func() error { _, err := db.EAKNN("poi", s, tq, 4); return err },
+		"otm-ld":       func() error { _, err := db.LDOTM("poi", s, te); return err },
+	}
+	for _, tc := range fusedAllocBudgets {
+		fn := queries[tc.name]
+		// Warm the plan cache, scratch buffers and buffer pool so the
+		// measurement sees only steady-state work.
+		for i := 0; i < 3; i++ {
+			if err := fn(); err != nil {
+				t.Fatal(tc.name, err)
+			}
+		}
+		got := testing.AllocsPerRun(100, func() {
+			if err := fn(); err != nil {
+				t.Fatal(tc.name, err)
+			}
+		})
+		if got > tc.budget {
+			t.Errorf("%s: %v allocs/query, budget %v — the fused hot path regressed", tc.name, got, tc.budget)
+		}
+	}
+}

@@ -61,3 +61,43 @@ func (p *workPool) racyProgress() int {
 func (p *workPool) racySkipTo(n int64) {
 	p.next = n // want `non-atomic access to field next, which is accessed with sync/atomic at line \d+`
 }
+
+// metricsRegistry mirrors the observability registry: hot paths bump the
+// counters with sync/atomic while snapshot readers run concurrently, so a
+// plain read or a reset tears. (The real registry wraps each counter in a
+// type whose only accessors are atomic, making the racy variants below
+// unwritable — this corpus keeps the raw-field shape the checker guards.)
+type metricsRegistry struct {
+	hits        uint64
+	evictions   uint64
+	rowsScanned uint64
+}
+
+func (m *metricsRegistry) onHit() {
+	atomic.AddUint64(&m.hits, 1)
+}
+
+func (m *metricsRegistry) onEvict() {
+	atomic.AddUint64(&m.evictions, 1)
+}
+
+func (m *metricsRegistry) onRows(n uint64) {
+	atomic.AddUint64(&m.rowsScanned, n)
+}
+
+// The disciplined snapshot: atomic loads, consistent per counter.
+func (m *metricsRegistry) snapshot() (uint64, uint64, uint64) {
+	return atomic.LoadUint64(&m.hits), atomic.LoadUint64(&m.evictions), atomic.LoadUint64(&m.rowsScanned)
+}
+
+func (m *metricsRegistry) racySnapshot() uint64 {
+	return m.hits // want `non-atomic access to field hits, which is accessed with sync/atomic at line \d+`
+}
+
+func (m *metricsRegistry) racyReset() {
+	m.evictions = 0 // want `non-atomic access to field evictions, which is accessed with sync/atomic at line \d+`
+}
+
+func (m *metricsRegistry) racyBatchFlush(local uint64) {
+	m.rowsScanned += local // want `non-atomic access to field rowsScanned, which is accessed with sync/atomic at line \d+`
+}

@@ -219,3 +219,43 @@ func commitAndWait(c *collector, next chan struct{}) {
 	<-next // want `channel receive while shard mutex c\.mu is held`
 	c.mu.Unlock()
 }
+
+// --- metrics registry counters under shard locks (observability layer) ---
+
+// shardMetrics mirrors the pool's eviction counters: plain atomic adds, safe
+// to bump while a shard mutex is held because they never block or touch the
+// device.
+type shardMetrics struct {
+	evictions int64
+}
+
+// Counting an eviction inside the critical section that performs it is the
+// intended pattern and must stay clean: an atomic add holds no lock and does
+// no I/O.
+func cleanCountEvictionUnderLock(sh *shard, m *shardMetrics, page int) {
+	sh.mu.Lock()
+	delete(sh.frames, page)
+	addEviction(m)
+	sh.mu.Unlock()
+}
+
+func addEviction(m *shardMetrics) {
+	m.evictions++ // single-goroutine corpus stand-in for atomic.AddInt64
+}
+
+// Delivering a per-query trace to a hook channel while the shard mutex is
+// held blocks every pool access behind a slow consumer.
+func traceUnderLock(sh *shard, traces chan int, page int) {
+	sh.mu.Lock()
+	delete(sh.frames, page)
+	traces <- page // want `channel send while shard mutex sh\.mu is held`
+	sh.mu.Unlock()
+}
+
+// Writing the slow-query log under the shard lock serializes the pool behind
+// the log device: the write belongs after Unlock.
+func slowLogUnderLock(sh *shard, log pagedFile, page int) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return log.WritePage(page, nil) // want `device I/O \(WritePage\) while shard mutex sh\.mu is held`
+}

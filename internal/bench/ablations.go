@@ -41,6 +41,7 @@ func (w *Workspace) AblationBucket() (*Table, error) {
 		}
 		db, err := ptldb.Open(dir, ptldb.Config{
 			Device: "hdd", PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff,
+			TraceHook: w.cfg.TraceHook,
 		})
 		if err != nil {
 			return nil, err

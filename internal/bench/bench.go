@@ -55,6 +55,10 @@ type Config struct {
 	// BuildWorkers is the preprocessing parallelism of database builds
 	// (0 = GOMAXPROCS). The built databases are identical for every value.
 	BuildWorkers int
+	// TraceHook, when non-nil, is installed on every database the experiments
+	// open, so per-query traces survive their internal open/close cycles
+	// (ptldb-bench -obs-out feeds an obs.Aggregator through it).
+	TraceHook func(ptldb.Trace)
 }
 
 // Defaults fills unset fields: scale 0.05, 200 queries, all cities, a cache
@@ -201,6 +205,7 @@ func sanitize(s string) string {
 func (w *Workspace) Open(ds *Dataset, device string) (*ptldb.DB, error) {
 	return ptldb.Open(ds.Dir, ptldb.Config{
 		Device: device, PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff,
+		TraceHook: w.cfg.TraceHook,
 	})
 }
 

@@ -26,6 +26,7 @@ import (
 	"regexp"
 	"sort"
 
+	"ptldb/internal/obs"
 	"ptldb/internal/sqldb"
 	"ptldb/internal/sqldb/sqltypes"
 	"ptldb/internal/timetable"
@@ -83,6 +84,11 @@ type Store struct {
 	// Code 1 statements of the bound version, parsed once at Build/Open/
 	// Version so steady-state v2v queries never touch the SQL parser.
 	v2vEA, v2vLD, v2vSD *sqldb.Stmt
+
+	// traceHook, when non-nil, receives one obs.Trace per successful query
+	// method call (see SetTraceHook). Version copies the struct, so views
+	// inherit the hook installed before binding.
+	traceHook func(obs.Trace)
 }
 
 // vm returns the metadata of the bound version.
@@ -455,9 +461,12 @@ func (s *Store) Stop(v timetable.StopID) (timetable.Stop, bool, error) {
 	}, true, nil
 }
 
-// hour returns the bucket index of t under the store's bucket width.
+// hour returns the bucket index of t under the store's bucket width. Floor
+// division, matching timetable.Time.Hour and the FLOOR(x/width.0) bucket
+// expressions of the condensed SQL: negative timestamps belong to the bucket
+// below zero.
 func (s *Store) hour(t timetable.Time) int64 {
-	return int64(t) / int64(s.meta.BucketSeconds)
+	return timetable.FloorDiv(int64(t), int64(s.meta.BucketSeconds))
 }
 
 // sortedCopy returns targets sorted ascending with duplicates removed.

@@ -1,0 +1,164 @@
+package core
+
+// observe.go is the store-level half of the observability layer: every public
+// query method funnels through observe(), which feeds the per-Code counters
+// and latency histograms of the database's obs.Registry and, when a trace
+// hook is installed, emits one obs.Trace per successful query. ExplainPrepared
+// renders the operator tree a prepared paper query will execute with.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ptldb/internal/obs"
+	"ptldb/internal/sqldb"
+	"ptldb/internal/sqldb/exec"
+	"ptldb/internal/sqldb/sqltypes"
+)
+
+// SetTraceHook installs fn to receive one obs.Trace per successful query
+// method call (the paper Codes plus Raw). A nil fn disables tracing. The hook
+// runs synchronously on the querying goroutine, so it must be cheap and
+// must not call back into the store; fan-out or buffering belongs in the
+// hook itself (see obs.SlowQueryLogger and obs.Aggregator).
+//
+// Version views share the hook installed at the time Version was called;
+// installing a hook afterwards only affects the receiver.
+func (s *Store) SetTraceHook(fn func(obs.Trace)) { s.traceHook = fn }
+
+// observe runs st and feeds the registry: the Code's call count and latency
+// histogram always, and — only when a trace hook is installed — one
+// obs.Trace carrying the execution path and the buffer-pool miss delta
+// (pages fetched from disk on behalf of this query; concurrent queries on
+// the same DB inflate it, which is fine for the single-stream serving loops
+// it is meant for).
+func (s *Store) observe(code obs.Code, st *sqldb.Stmt, params ...sqltypes.Value) (*exec.Relation, error) {
+	reg := s.DB.Registry()
+	var missesBefore uint64
+	if s.traceHook != nil {
+		missesBefore = reg.Pool.Misses.Load()
+	}
+	start := time.Now()
+	rel, info, err := st.QueryInfo(params...)
+	wall := time.Since(start)
+	q := &reg.Query[code]
+	q.Count.Add(1)
+	q.Latency.Observe(wall)
+	if err != nil {
+		return nil, err
+	}
+	if s.traceHook != nil {
+		s.traceHook(obs.Trace{
+			Code:      code.String(),
+			Fused:     info.Fused,
+			Bailout:   info.Bailout,
+			Rows:      len(rel.Rows),
+			Wall:      wall,
+			PagesRead: reg.Pool.Misses.Load() - missesBefore,
+		})
+	}
+	return rel, nil
+}
+
+// observeRaw is observe for ad-hoc SQL running outside the prepared-statement
+// path (Raw/RawTraced): same counters under obs.CodeRaw, never fused.
+func (s *Store) observeRaw(run func() (*exec.Relation, error)) (*exec.Relation, error) {
+	reg := s.DB.Registry()
+	var missesBefore uint64
+	if s.traceHook != nil {
+		missesBefore = reg.Pool.Misses.Load()
+	}
+	start := time.Now()
+	rel, err := run()
+	wall := time.Since(start)
+	q := &reg.Query[obs.CodeRaw]
+	q.Count.Add(1)
+	q.Latency.Observe(wall)
+	if err != nil {
+		return nil, err
+	}
+	if s.traceHook != nil {
+		s.traceHook(obs.Trace{
+			Code:      obs.CodeRaw.String(),
+			Rows:      len(rel.Rows),
+			Wall:      wall,
+			PagesRead: reg.Pool.Misses.Load() - missesBefore,
+		})
+	}
+	return rel, nil
+}
+
+// ExplainNames lists the query names ExplainPrepared accepts under the bound
+// version: the three v2v kinds plus "<kind>:<set>" for every registered
+// target set.
+func (s *Store) ExplainNames() []string {
+	out := []string{"v2v-ea", "v2v-ld", "v2v-sd"}
+	for _, set := range s.targetSetNames() {
+		for _, kind := range []string{"knn-naive-ea", "knn-naive-ld", "knn-ea", "knn-ld", "otm-ea", "otm-ld"} {
+			out = append(out, kind+":"+set)
+		}
+	}
+	return out
+}
+
+// ExplainPrepared renders the plan of one of the paper's prepared queries,
+// named "<kind>" for the v2v Codes ("v2v-ea", "v2v-ld", "v2v-sd") or
+// "<kind>:<set>" for the per-target-set Codes ("knn-naive-ea", "knn-naive-ld",
+// "knn-ea", "knn-ld", "otm-ea", "otm-ld"). The statement is built exactly as
+// the corresponding query method builds it, so the rendered tree is the tree
+// that method executes.
+func (s *Store) ExplainPrepared(name string) (string, error) {
+	kind, set := name, ""
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		kind, set = name[:i], name[i+1:]
+	}
+	switch kind {
+	case "v2v-ea":
+		return s.v2vEA.Explain(), nil
+	case "v2v-ld":
+		return s.v2vLD.Explain(), nil
+	case "v2v-sd":
+		return s.v2vSD.Explain(), nil
+	}
+	if set == "" {
+		return "", fmt.Errorf("core: explain %q: kind %q needs a target set (\"%s:<set>\")", name, kind, kind)
+	}
+	if _, ok := s.vm().TargetSets[set]; !ok {
+		return "", fmt.Errorf("core: explain %q: unknown target set %q", name, set)
+	}
+	var st *sqldb.Stmt
+	var err error
+	switch kind {
+	case "knn-naive-ea":
+		st, err = s.prepared(sqlKNNNaiveEA, s.setTable("ea_knn_naive", set), s.loutTable())
+	case "knn-naive-ld":
+		st, err = s.prepared(sqlKNNNaiveLD, s.setTable("ld_knn_naive", set), s.loutTable())
+	case "knn-ea":
+		st, err = s.prepared(sqlKNNEA, s.setTable("knn_ea", set), s.meta.BucketSeconds, s.loutTable())
+	case "knn-ld":
+		st, err = s.prepared(sqlKNNLD, s.setTable("knn_ld", set), s.meta.BucketSeconds, s.loutTable())
+	case "otm-ea":
+		st, err = s.prepared(sqlOTMEA, s.setTable("otm_ea", set), s.meta.BucketSeconds, s.loutTable())
+	case "otm-ld":
+		st, err = s.prepared(sqlOTMLD, s.setTable("otm_ld", set), s.meta.BucketSeconds, s.loutTable())
+	default:
+		return "", fmt.Errorf("core: explain %q: unknown query kind %q", name, kind)
+	}
+	if err != nil {
+		return "", err
+	}
+	return st.Explain(), nil
+}
+
+// targetSetNames returns the bound version's target-set names, sorted.
+func (s *Store) targetSetNames() []string {
+	sets := s.vm().TargetSets
+	out := make([]string, 0, len(sets))
+	for name := range sets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ptldb/internal/obs"
+	"ptldb/internal/order"
+	"ptldb/internal/sqldb"
+	"ptldb/internal/sqldb/storage"
+	"ptldb/internal/timetable"
+	"ptldb/internal/ttl"
+)
+
+// explainGoldens pins the operator tree of every prepared paper query on the
+// paper's worked example (7 stops, identity order, target set {4, 6}, one-hour
+// buckets). The rendering is deterministic; a change here is a change to the
+// fused executor's shape and should be deliberate.
+var explainGoldens = map[string]string{
+	"v2v-ea": `FusedPlan v2v-ea
+└─ Aggregate MIN(in.ta)
+   └─ MergeJoin out.hub = in.hub, reach out.ta <= in.td
+      ├─ LabelLookup lout [v = $1, td >= $3]
+      └─ LabelLookup lin [v = $2]
+`,
+	"v2v-ld": `FusedPlan v2v-ld
+└─ Aggregate MAX(out.td)
+   └─ MergeJoin out.hub = in.hub, reach out.ta <= in.td
+      ├─ LabelLookup lout [v = $1]
+      └─ LabelLookup lin [v = $2, ta <= $3]
+`,
+	"v2v-sd": `FusedPlan v2v-sd
+└─ Aggregate MIN(in.ta - out.td)
+   └─ MergeJoin out.hub = in.hub, reach out.ta <= in.td
+      ├─ LabelLookup lout [v = $1, td >= $3]
+      └─ LabelLookup lin [v = $2, ta <= $4]
+`,
+	"knn-naive-ea:poi": `FusedPlan knn-naive-ea
+└─ TopK k = $3 by MIN(n2.ta) asc, v2
+   └─ GroupFold MIN(n2.ta) per target
+      └─ HashJoin n1.hub = n2.hub, reach n1.ta <= n2.td
+         ├─ LabelLookup lout [v = $1, td >= $2]
+         └─ TableScan ea_knn_naive_poi [vs[1:$3], tas[1:$3]]
+`,
+	"knn-naive-ld:poi": `FusedPlan knn-naive-ld
+└─ TopK k = $3 by MAX(n1.td) desc, v2
+   └─ GroupFold MAX(n1.td) per target
+      └─ HashJoin n1.hub = n2.hub, reach n1.ta <= n2.td
+         ├─ LabelLookup lout [v = $1]
+         └─ TableScan ld_knn_naive_poi [vs[1:$3], tas[1:$3], ta <= $2]
+`,
+	"knn-ea:poi": `FusedPlan cond-knn-ea
+└─ TopK k = $3 by MIN(ta) asc, v2
+   └─ GroupFold MIN(ta) per target
+      └─ BucketProbe knn_ea_poi [hub = n1.hub, dephour = FLOOR(n1.ta / 3600)]
+         ├─ Arm top-k: fold vs[1:$3]/tas[1:$3]
+         ├─ Arm expanded: fold vs_exp/tas_exp where n1.ta <= tds_exp
+         └─ LabelLookup lout [v = $1, td >= $2]
+`,
+	"knn-ld:poi": `FusedPlan cond-knn-ld
+└─ TopK k = $3 by MAX(td) desc, v2
+   └─ GroupFold MAX(td) per target
+      └─ BucketProbe knn_ld_poi [hub = n1.hub, arrhour = FLOOR($2 / 3600)]
+         ├─ Arm top-k: fold vs[1:$3] where tds[1:$3] >= n1.ta
+         ├─ Arm expanded: fold vs_exp where tds_exp >= n1.ta and tas_exp <= $2
+         └─ LabelLookup lout [v = $1]
+`,
+	"otm-ea:poi": `FusedPlan cond-otm-ea
+└─ Sort by MIN(ta) asc, v2
+   └─ GroupFold MIN(ta) per target
+      └─ BucketProbe otm_ea_poi [hub = n1.hub, dephour = FLOOR(n1.ta / 3600)]
+         ├─ Arm top-k: fold vs/tas
+         ├─ Arm expanded: fold vs_exp/tas_exp where n1.ta <= tds_exp
+         └─ LabelLookup lout [v = $1, td >= $2]
+`,
+	"otm-ld:poi": `FusedPlan cond-otm-ld
+└─ Sort by MAX(td) desc, v2
+   └─ GroupFold MAX(td) per target
+      └─ BucketProbe otm_ld_poi [hub = n1.hub, arrhour = FLOOR($2 / 3600)]
+         ├─ Arm top-k: fold vs where tds >= n1.ta
+         ├─ Arm expanded: fold vs_exp where tds_exp >= n1.ta and tas_exp <= $2
+         └─ LabelLookup lout [v = $1]
+`,
+}
+
+func TestExplainPreparedGoldens(t *testing.T) {
+	st, _ := paperStore(t)
+	if err := st.AddTargetSet("poi", []timetable.StopID{4, 6}, 4); err != nil {
+		t.Fatal(err)
+	}
+	names := st.ExplainNames()
+	if len(names) != len(explainGoldens) {
+		t.Fatalf("ExplainNames lists %d queries, goldens pin %d: %v", len(names), len(explainGoldens), names)
+	}
+	for _, name := range names {
+		want, ok := explainGoldens[name]
+		if !ok {
+			t.Errorf("no golden for %q", name)
+			continue
+		}
+		got, err := st.ExplainPrepared(name)
+		if err != nil {
+			t.Errorf("explain %q: %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("explain %q:\n got:\n%s want:\n%s", name, got, want)
+		}
+	}
+}
+
+func TestExplainPreparedErrors(t *testing.T) {
+	st, _ := paperStore(t)
+	for _, name := range []string{"knn-ea", "knn-ea:nope", "bogus", "bogus:poi", ""} {
+		if _, err := st.ExplainPrepared(name); err == nil {
+			t.Errorf("explain %q: expected error", name)
+		}
+	}
+}
+
+// TestExplainPreparedGeneralPlan checks the fallback rendering when the fused
+// path is disabled: the same statement explains as a general plan shape.
+func TestExplainPreparedGeneralPlan(t *testing.T) {
+	labels := ttl.Build(timetable.PaperExample(), order.Identity(7)).Augment()
+	db, err := sqldb.Open(t.TempDir(), sqldb.Options{
+		Device: storage.RAM, PoolPages: 4096, DisableFusedExec: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	st, err := Build(db, labels, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := st.ExplainPrepared("v2v-ea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"GeneralPlan", "CTE outp", "CTE inp", "Select"} {
+		if !strings.Contains(plan, frag) {
+			t.Errorf("general plan lacks %q:\n%s", frag, plan)
+		}
+	}
+}
+
+// TestSnapshotWorkedExample hand-counts the observability counters on the
+// paper's worked example: one EA query reads exactly the two label rows of
+// Section 3.1's claim, and the per-code families record exactly the queries
+// issued.
+func TestSnapshotWorkedExample(t *testing.T) {
+	st, _ := paperStore(t)
+	reg := st.DB.Registry()
+	before := reg.Snapshot()
+
+	// The worked example: EA(1, 1, 324) = 324.
+	if _, ok, err := st.EarliestArrival(1, 1, 32400); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	after := reg.Snapshot()
+	if got := after.Exec.RowsScanned - before.Exec.RowsScanned; got != 2 {
+		t.Errorf("one v2v query scanned %d label rows, the paper promises exactly 2", got)
+	}
+	if got := after.Exec.FusedRuns - before.Exec.FusedRuns; got != 1 {
+		t.Errorf("fused runs delta = %d, want 1", got)
+	}
+	if after.Exec.FusedBailouts != before.Exec.FusedBailouts {
+		t.Errorf("v2v query bailed out of the fused path")
+	}
+	q := after.Query["v2v-ea"]
+	if q.Count != before.Query["v2v-ea"].Count+1 || q.Latency.Count != q.Count {
+		t.Errorf("v2v-ea query metrics = %+v", q)
+	}
+	if after.Exec.TuplesMerged <= before.Exec.TuplesMerged {
+		t.Errorf("v2v query merged no label tuples")
+	}
+
+	// LD and SD feed their own codes, not v2v-ea.
+	if _, _, err := st.LatestDeparture(1, 4, 40000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.ShortestDuration(1, 4, 0, 80000); err != nil {
+		t.Fatal(err)
+	}
+	final := reg.Snapshot()
+	if final.Query["v2v-ea"].Count != q.Count {
+		t.Errorf("LD/SD queries leaked into the v2v-ea counters")
+	}
+	if final.Query["v2v-ld"].Count == 0 || final.Query["v2v-sd"].Count == 0 {
+		t.Errorf("LD/SD counters missing: %v", final.Query)
+	}
+	// Raw SQL lands under "raw".
+	if _, err := st.Raw("SELECT COUNT(*) FROM lout"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Query["raw"].Count; got != 1 {
+		t.Errorf("raw count = %d, want 1", got)
+	}
+}
+
+// TestTraceHook checks trace delivery: codes, the fused flag, row counts and
+// wall times for both the prepared Codes and raw SQL.
+func TestTraceHook(t *testing.T) {
+	st, _ := paperStore(t)
+	if err := st.AddTargetSet("poi", []timetable.StopID{4, 6}, 4); err != nil {
+		t.Fatal(err)
+	}
+	var traces []obs.Trace
+	st.SetTraceHook(func(tr obs.Trace) { traces = append(traces, tr) })
+
+	if _, _, err := st.EarliestArrival(1, 1, 32400); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := st.EAKNN("poi", 1, 30000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Raw("SELECT COUNT(*) FROM lout"); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("got %d traces, want 3: %+v", len(traces), traces)
+	}
+	ea := traces[0]
+	if ea.Code != "v2v-ea" || !ea.Fused || ea.Bailout || ea.Rows != 1 || ea.Wall <= 0 {
+		t.Errorf("EA trace = %+v", ea)
+	}
+	knn := traces[1]
+	if knn.Code != "knn-ea" || !knn.Fused || knn.Rows != len(rs) {
+		t.Errorf("kNN trace = %+v (rows want %d)", knn, len(rs))
+	}
+	raw := traces[2]
+	if raw.Code != "raw" || raw.Fused || raw.Rows != 1 {
+		t.Errorf("raw trace = %+v", raw)
+	}
+
+	// Errors must not emit traces (counters still tick).
+	n := len(traces)
+	if _, err := st.Raw("SELECT nope FROM missing"); err == nil {
+		t.Fatal("expected error")
+	}
+	if len(traces) != n {
+		t.Errorf("failed query emitted a trace")
+	}
+	st.SetTraceHook(nil)
+	if _, _, err := st.EarliestArrival(1, 1, 32400); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != n {
+		t.Errorf("nil hook still received traces")
+	}
+}
+
+// TestVersionInheritsTraceHook: Version copies the store, so a hook installed
+// before binding sees the view's queries too.
+func TestVersionInheritsTraceHook(t *testing.T) {
+	st, _ := paperStore(t)
+	var count int
+	st.SetTraceHook(func(obs.Trace) { count++ })
+	v, err := st.Version(BaseVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.EarliestArrival(1, 1, 32400); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("version view delivered %d traces, want 1", count)
+	}
+}
+
+// TestQueryLatencyObserved: the per-code histogram records every call with a
+// plausible wall time.
+func TestQueryLatencyObserved(t *testing.T) {
+	st, _ := paperStore(t)
+	reg := st.DB.Registry()
+	const n = 20
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, _, err := st.EarliestArrival(1, 4, 30000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	h := reg.Query[obs.CodeV2VEA].Latency.Snapshot()
+	if h.Count != n {
+		t.Fatalf("latency samples = %d, want %d", h.Count, n)
+	}
+	if mean := time.Duration(h.MeanUs * 1e3); mean > elapsed {
+		t.Errorf("histogram mean %v exceeds total elapsed %v", mean, elapsed)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ptldb/internal/obs"
 	"ptldb/internal/sqldb"
 	"ptldb/internal/sqldb/exec"
 	"ptldb/internal/sqldb/sqltypes"
@@ -112,7 +113,7 @@ WITH n1 AS
   (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
    FROM %[1]s n1bb, n1
    WHERE n1bb.hub=n1.hub
-     AND n1bb.dephour=FLOOR(n1.ta/%[2]d))
+     AND n1bb.dephour=FLOOR(n1.ta/%[2]d.0))
 SELECT v2, MIN(ta)
 FROM (
       (SELECT v2, MIN(n3.ta) AS ta
@@ -147,7 +148,7 @@ WITH n1 AS
   (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
    FROM %[1]s n1bb, n1
    WHERE n1bb.hub=n1.hub
-     AND n1bb.dephour=FLOOR(n1.ta/%[2]d))
+     AND n1bb.dephour=FLOOR(n1.ta/%[2]d.0))
 SELECT v2, MIN(ta)
 FROM (
       (SELECT v2, MIN(n3.ta) AS ta
@@ -182,7 +183,7 @@ WITH n1 AS
   (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
    FROM %[1]s n1bb, n1
    WHERE n1bb.hub=n1.hub
-     AND n1bb.arrhour=FLOOR($2/%[2]d))
+     AND n1bb.arrhour=FLOOR($2/%[2]d.0))
 SELECT v2, MAX(td)
 FROM (
       (SELECT v2, MAX(n3.n1_td) AS td
@@ -218,7 +219,7 @@ WITH n1 AS
   (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
    FROM %[1]s n1bb, n1
    WHERE n1bb.hub=n1.hub
-     AND n1bb.arrhour=FLOOR($2/%[2]d))
+     AND n1bb.arrhour=FLOOR($2/%[2]d.0))
 SELECT v2, MAX(td)
 FROM (
       (SELECT v2, MAX(n3.n1_td) AS td
@@ -261,9 +262,10 @@ func (s *Store) prepareStatements() error {
 	return err
 }
 
-// queryScalar runs a statement whose result is a single one-column row.
-func (s *Store) queryScalar(st *sqldb.Stmt, params ...sqltypes.Value) (timetable.Time, bool, error) {
-	rel, err := st.Query(params...)
+// queryScalar runs a statement whose result is a single one-column row,
+// observed under code.
+func (s *Store) queryScalar(code obs.Code, st *sqldb.Stmt, params ...sqltypes.Value) (timetable.Time, bool, error) {
+	rel, err := s.observe(code, st, params...)
 	if err != nil {
 		return 0, false, err
 	}
@@ -284,26 +286,27 @@ func (s *Store) queryScalar(st *sqldb.Stmt, params ...sqltypes.Value) (timetable
 // EarliestArrival answers EA(s, g, t) with the paper's Code 1. ok is false
 // when no journey exists.
 func (s *Store) EarliestArrival(src, dst timetable.StopID, t timetable.Time) (arr timetable.Time, ok bool, err error) {
-	return s.queryScalar(s.v2vEA,
+	return s.queryScalar(obs.CodeV2VEA, s.v2vEA,
 		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)), sqltypes.NewInt(int64(t)))
 }
 
 // LatestDeparture answers LD(s, g, t) with Code 1.
 func (s *Store) LatestDeparture(src, dst timetable.StopID, t timetable.Time) (dep timetable.Time, ok bool, err error) {
-	return s.queryScalar(s.v2vLD,
+	return s.queryScalar(obs.CodeV2VLD, s.v2vLD,
 		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)), sqltypes.NewInt(int64(t)))
 }
 
 // ShortestDuration answers SD(s, g, t, tEnd) with Code 1.
 func (s *Store) ShortestDuration(src, dst timetable.StopID, t, tEnd timetable.Time) (dur timetable.Time, ok bool, err error) {
-	return s.queryScalar(s.v2vSD,
+	return s.queryScalar(obs.CodeV2VSD, s.v2vSD,
 		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)),
 		sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(tEnd)))
 }
 
-// queryResults runs a statement returning (stop, time) rows.
-func (s *Store) queryResults(st *sqldb.Stmt, params ...sqltypes.Value) ([]Result, error) {
-	rel, err := st.Query(params...)
+// queryResults runs a statement returning (stop, time) rows, observed under
+// code.
+func (s *Store) queryResults(code obs.Code, st *sqldb.Stmt, params ...sqltypes.Value) ([]Result, error) {
+	rel, err := s.observe(code, st, params...)
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +349,7 @@ func (s *Store) EAKNNNaive(set string, q timetable.StopID, t timetable.Time, k i
 	if err != nil {
 		return nil, err
 	}
-	return s.queryResults(st,
+	return s.queryResults(obs.CodeKNNNaiveEA, st,
 		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
 }
 
@@ -360,7 +363,7 @@ func (s *Store) LDKNNNaive(set string, q timetable.StopID, t timetable.Time, k i
 	if err != nil {
 		return nil, err
 	}
-	return s.queryResults(st,
+	return s.queryResults(obs.CodeKNNNaiveLD, st,
 		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
 }
 
@@ -373,8 +376,22 @@ func (s *Store) EAKNN(set string, q timetable.StopID, t timetable.Time, k int) (
 	if err != nil {
 		return nil, err
 	}
-	return s.queryResults(st,
+	return s.queryResults(obs.CodeKNNEA, st,
 		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
+}
+
+// clampLD caps an LD query timestamp at the end of the last materialized
+// arrival bucket. The knn_ld/otm_ld tables hold one row per arrival hour up
+// to hour(MaxTime); a later t would probe a missing bucket and silently drop
+// every candidate. Every stored arrival is <= MaxTime, so for the arrhour
+// probe and every ta<=$2 comparison a t past the last bucket's end is
+// equivalent to the bucket end itself.
+func (s *Store) clampLD(t timetable.Time) int64 {
+	last := (s.hour(s.vm().MaxTime)+1)*int64(s.meta.BucketSeconds) - 1
+	if v := int64(t); v <= last {
+		return v
+	}
+	return last
 }
 
 // LDKNN answers LD-kNN(q, T, t, k) with the optimized Code 4 query.
@@ -386,8 +403,8 @@ func (s *Store) LDKNN(set string, q timetable.StopID, t timetable.Time, k int) (
 	if err != nil {
 		return nil, err
 	}
-	return s.queryResults(st,
-		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(k)))
+	return s.queryResults(obs.CodeKNNLD, st,
+		sqltypes.NewInt(int64(q)), sqltypes.NewInt(s.clampLD(t)), sqltypes.NewInt(int64(k)))
 }
 
 // EAOTM answers EA-OTM(q, T, t) with the one-to-many variant of Code 3,
@@ -400,7 +417,7 @@ func (s *Store) EAOTM(set string, q timetable.StopID, t timetable.Time) ([]Resul
 	if err != nil {
 		return nil, err
 	}
-	return s.queryResults(st,
+	return s.queryResults(obs.CodeOTMEA, st,
 		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)))
 }
 
@@ -413,17 +430,26 @@ func (s *Store) LDOTM(set string, q timetable.StopID, t timetable.Time) ([]Resul
 	if err != nil {
 		return nil, err
 	}
-	return s.queryResults(st,
-		sqltypes.NewInt(int64(q)), sqltypes.NewInt(int64(t)))
+	return s.queryResults(obs.CodeOTMLD, st,
+		sqltypes.NewInt(int64(q)), sqltypes.NewInt(s.clampLD(t)))
 }
 
 // Raw exposes the underlying relation of an arbitrary SQL query, for the
-// query CLI and tests.
+// query CLI and tests. Observed under obs.CodeRaw.
 func (s *Store) Raw(q string, params ...sqltypes.Value) (*exec.Relation, error) {
-	return s.DB.Query(q, params...)
+	return s.observeRaw(func() (*exec.Relation, error) {
+		return s.DB.Query(q, params...)
+	})
 }
 
 // RawTraced is Raw plus the access-path trace (EXPLAIN ANALYZE).
 func (s *Store) RawTraced(q string, params ...sqltypes.Value) (*exec.Relation, []string, error) {
-	return s.DB.QueryTraced(q, params...)
+	var trace []string
+	rel, err := s.observeRaw(func() (*exec.Relation, error) {
+		var err error
+		var r *exec.Relation
+		r, trace, err = s.DB.QueryTraced(q, params...)
+		return r, err
+	})
+	return rel, trace, err
 }

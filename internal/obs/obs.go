@@ -1,0 +1,370 @@
+// Package obs is PTLDB's zero-dependency observability layer: atomic
+// counters and fixed-bucket latency histograms for the buffer pool, the
+// executor and the paper's query Codes, plus per-query trace records, a
+// slow-query log writer and a trace aggregator.
+//
+// Everything on a query hot path is allocation-free: counters are atomic
+// adds, histograms index a fixed bucket array, and traces are plain value
+// structs that are only materialized when a hook is installed. A Registry
+// (and each metrics struct inside it) may be written from many goroutines
+// concurrently; snapshots are taken with atomic loads and are consistent
+// per counter, not across counters.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+// The zero value is ready; a bare atomic.Uint64 would do, but the named
+// type keeps metric fields self-describing and gives snapshots one place
+// to load from.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Code identifies one query shape of the paper: Codes 1-4 in their EA/LD/SD
+// variants, plus Raw for ad-hoc SQL issued through the store.
+type Code int
+
+// The query codes, in the order the paper introduces them.
+const (
+	CodeV2VEA Code = iota // Code 1, earliest arrival
+	CodeV2VLD             // Code 1, latest departure
+	CodeV2VSD             // Code 1, shortest duration
+	CodeKNNNaiveEA        // Code 2, EA
+	CodeKNNNaiveLD        // Code 2, LD analogue
+	CodeKNNEA             // Code 3, kNN
+	CodeKNNLD             // Code 4, kNN
+	CodeOTMEA             // Code 3, one-to-many
+	CodeOTMLD             // Code 4, one-to-many
+	CodeRaw               // ad-hoc SQL
+	NumCodes
+)
+
+var codeNames = [NumCodes]string{
+	"v2v-ea", "v2v-ld", "v2v-sd",
+	"knn-naive-ea", "knn-naive-ld",
+	"knn-ea", "knn-ld", "otm-ea", "otm-ld",
+	"raw",
+}
+
+// String returns the code's stable name ("v2v-ea", "knn-naive-ld", ...).
+func (c Code) String() string {
+	if c < 0 || c >= NumCodes {
+		return fmt.Sprintf("code-%d", int(c))
+	}
+	return codeNames[c]
+}
+
+// histBounds are the histogram's upper bucket bounds: latency decades from
+// 1µs to 10s, with a final overflow bucket. Fixed bounds keep Observe
+// allocation-free and make snapshots comparable across runs.
+var histBounds = [...]time.Duration{
+	time.Microsecond,
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// numHistBuckets counts the bounded buckets plus the overflow bucket.
+const numHistBuckets = len(histBounds) + 1
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent Observe.
+type Histogram struct {
+	buckets [numHistBuckets]Counter
+	count   Counter
+	sumNs   Counter
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(histBounds) && d > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	MeanUs  float64  `json:"mean_us"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one histogram bucket: samples with latency <= Le ("+inf" for
+// the overflow bucket). Empty buckets are omitted from snapshots.
+type Bucket struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load()}
+	if s.Count > 0 {
+		s.MeanUs = float64(h.sumNs.Load()) / float64(s.Count) / 1e3
+	}
+	for i := 0; i < numHistBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := "+inf"
+		if i < len(histBounds) {
+			le = histBounds[i].String()
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: n})
+	}
+	return s
+}
+
+// PoolMetrics are the buffer pool's counters. Hits and misses follow the
+// pool's singleflight accounting (a failed coalesced load is one miss and
+// zero hits); evictions count frames displaced for capacity (DropCaches,
+// being a bulk reset, is not an eviction); write-backs count dirty pages
+// written to the device by eviction or flushing.
+type PoolMetrics struct {
+	Hits       Counter
+	Misses     Counter
+	Evictions  Counter
+	WriteBacks Counter
+}
+
+// PoolSnapshot is a point-in-time copy of PoolMetrics.
+type PoolSnapshot struct {
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	WriteBacks uint64 `json:"write_backs"`
+}
+
+// Snapshot copies the pool counters.
+func (m *PoolMetrics) Snapshot() PoolSnapshot {
+	return PoolSnapshot{
+		Hits:       m.Hits.Load(),
+		Misses:     m.Misses.Load(),
+		Evictions:  m.Evictions.Load(),
+		WriteBacks: m.WriteBacks.Load(),
+	}
+}
+
+// ExecMetrics are the executor's counters: how statements were dispatched
+// (fused vs. general, with runtime bailouts counted separately), how many
+// table rows the storage layer surfaced, and how many label tuples the
+// operators merged (fused fold steps, or rows produced by UNNEST expansion
+// on the general path).
+type ExecMetrics struct {
+	FusedRuns     Counter
+	FusedBailouts Counter
+	GeneralRuns   Counter
+	RowsScanned   Counter
+	TuplesMerged  Counter
+}
+
+// ExecSnapshot is a point-in-time copy of ExecMetrics.
+type ExecSnapshot struct {
+	FusedRuns     uint64 `json:"fused_runs"`
+	FusedBailouts uint64 `json:"fused_bailouts"`
+	GeneralRuns   uint64 `json:"general_runs"`
+	RowsScanned   uint64 `json:"rows_scanned"`
+	TuplesMerged  uint64 `json:"tuples_merged"`
+}
+
+// Snapshot copies the executor counters.
+func (m *ExecMetrics) Snapshot() ExecSnapshot {
+	return ExecSnapshot{
+		FusedRuns:     m.FusedRuns.Load(),
+		FusedBailouts: m.FusedBailouts.Load(),
+		GeneralRuns:   m.GeneralRuns.Load(),
+		RowsScanned:   m.RowsScanned.Load(),
+		TuplesMerged:  m.TuplesMerged.Load(),
+	}
+}
+
+// QueryMetrics are one query Code's counters.
+type QueryMetrics struct {
+	Count   Counter
+	Latency Histogram
+}
+
+// QuerySnapshot is a point-in-time copy of QueryMetrics.
+type QuerySnapshot struct {
+	Count   uint64            `json:"count"`
+	Latency HistogramSnapshot `json:"latency"`
+}
+
+// Registry aggregates every metrics family of one database handle. Pool
+// points into the buffer pool's own counters (the pool predates the
+// registry in the open sequence); Exec and Query live inline.
+type Registry struct {
+	Pool  *PoolMetrics
+	Exec  ExecMetrics
+	Query [NumCodes]QueryMetrics
+}
+
+// Snapshot is a JSON-marshalable copy of a Registry, the payload of
+// DB.Snapshot and ptldb-bench -obs-out.
+type Snapshot struct {
+	Pool  PoolSnapshot             `json:"pool"`
+	Exec  ExecSnapshot             `json:"exec"`
+	Query map[string]QuerySnapshot `json:"query"`
+}
+
+// Snapshot copies the registry. Codes that never ran are omitted from the
+// query map.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Exec: r.Exec.Snapshot(), Query: map[string]QuerySnapshot{}}
+	if r.Pool != nil {
+		s.Pool = r.Pool.Snapshot()
+	}
+	for c := Code(0); c < NumCodes; c++ {
+		q := &r.Query[c]
+		if n := q.Count.Load(); n > 0 {
+			s.Query[c.String()] = QuerySnapshot{Count: n, Latency: q.Latency.Snapshot()}
+		}
+	}
+	return s
+}
+
+// Trace is one executed query's record, delivered to Config.TraceHook.
+// Building and delivering a Trace costs a few loads per query and happens
+// only when a hook is installed.
+type Trace struct {
+	// Code names the query shape ("v2v-ea", "knn-ld", "raw", ...).
+	Code string `json:"code"`
+	// Fused reports whether the fused executor answered the query; Bailout
+	// reports a fused plan that hit a runtime precondition failure and
+	// re-ran on the general executor.
+	Fused   bool `json:"fused"`
+	Bailout bool `json:"bailout,omitempty"`
+	// Rows is the result-row count.
+	Rows int `json:"rows"`
+	// Wall is the query's wall-clock time.
+	Wall time.Duration `json:"wall_ns"`
+	// PagesRead counts buffer-pool misses (device page reads) charged while
+	// the query ran. Under concurrent queries the attribution is
+	// approximate: the delta includes pages read by overlapping queries.
+	PagesRead uint64 `json:"pages_read"`
+}
+
+// SlowQueryLogger writes one line per trace whose wall time reaches the
+// threshold. Safe for concurrent Observe.
+type SlowQueryLogger struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+}
+
+// NewSlowQueryLogger returns a logger writing to w. A zero threshold logs
+// every query.
+func NewSlowQueryLogger(w io.Writer, threshold time.Duration) *SlowQueryLogger {
+	return &SlowQueryLogger{w: w, threshold: threshold}
+}
+
+// Observe logs tr when it is slow enough.
+func (l *SlowQueryLogger) Observe(tr Trace) {
+	if tr.Wall < l.threshold {
+		return
+	}
+	path := "general"
+	if tr.Fused {
+		path = "fused"
+	} else if tr.Bailout {
+		path = "bailout"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "slow query: code=%s path=%s wall=%v rows=%d pages=%d\n",
+		tr.Code, path, tr.Wall, tr.Rows, tr.PagesRead)
+}
+
+// Aggregator folds traces into per-code totals; ptldb-bench -obs-out uses
+// one as its TraceHook so traces survive the benchmark's internal
+// open/close cycles. Safe for concurrent Observe.
+type Aggregator struct {
+	mu     sync.Mutex
+	byCode map[string]*TraceTotals
+}
+
+// TraceTotals are one code's aggregated trace records.
+type TraceTotals struct {
+	Count     uint64        `json:"count"`
+	Fused     uint64        `json:"fused"`
+	Bailouts  uint64        `json:"bailouts,omitempty"`
+	Rows      uint64        `json:"rows"`
+	PagesRead uint64        `json:"pages_read"`
+	WallTotal time.Duration `json:"wall_total_ns"`
+	WallMax   time.Duration `json:"wall_max_ns"`
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{byCode: map[string]*TraceTotals{}}
+}
+
+// Observe folds one trace.
+func (a *Aggregator) Observe(tr Trace) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.byCode[tr.Code]
+	if t == nil {
+		t = &TraceTotals{}
+		a.byCode[tr.Code] = t
+	}
+	t.Count++
+	if tr.Fused {
+		t.Fused++
+	}
+	if tr.Bailout {
+		t.Bailouts++
+	}
+	t.Rows += uint64(tr.Rows)
+	t.PagesRead += tr.PagesRead
+	t.WallTotal += tr.Wall
+	if tr.Wall > t.WallMax {
+		t.WallMax = tr.Wall
+	}
+}
+
+// Totals returns a copy of the aggregate, keyed by code name.
+func (a *Aggregator) Totals() map[string]TraceTotals {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]TraceTotals, len(a.byCode))
+	for k, v := range a.byCode {
+		out[k] = *v
+	}
+	return out
+}
+
+// Codes returns the observed code names sorted, for deterministic reports.
+func (a *Aggregator) Codes() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.byCode))
+	for k := range a.byCode {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ptldb/internal/sqldb/sqltypes"
+	"ptldb/internal/sqldb/storage"
 )
 
 // TestTableBulkLoadMatchesInsert bulk-loads a table and checks it row-for-row
@@ -118,6 +119,69 @@ func TestTableBulkLoadCoercesInts(t *testing.T) {
 	}
 	if row[1].T != sqltypes.Float64 || row[1].F != 7 {
 		t.Fatalf("coerced value = %v", row[1])
+	}
+}
+
+// TestTableBulkLoadTinyReopen bulk-loads zero-row and one-row tables and
+// cycles the database through Close/Open: both tables must come back valid —
+// correct counts, working lookups and scans — and still accept inserts.
+func TestTableBulkLoadTinyReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Device: storage.RAM, PoolPages: 256}
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := mkTable(t, db, "empty", []string{"k"}, "k", "v")
+	if err := empty.BulkLoad(nil); err != nil {
+		t.Fatalf("BulkLoad(nil): %v", err)
+	}
+	single := mkTable(t, db, "single", []string{"k"}, "k", "v")
+	if err := single.BulkLoad([]sqltypes.Row{ints(7, 70)}); err != nil {
+		t.Fatalf("BulkLoad(1 row): %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	empty2, ok := db2.Table("empty")
+	if !ok {
+		t.Fatal("empty table missing after reopen")
+	}
+	single2, ok := db2.Table("single")
+	if !ok {
+		t.Fatal("single table missing after reopen")
+	}
+	if empty2.RowCount() != 0 || single2.RowCount() != 1 {
+		t.Fatalf("RowCounts after reopen = %d, %d; want 0, 1", empty2.RowCount(), single2.RowCount())
+	}
+	if _, ok, err := empty2.LookupPK([]int64{7}); err != nil || ok {
+		t.Fatalf("LookupPK on reopened empty table = %v, %v", ok, err)
+	}
+	row, ok, err := single2.LookupPK([]int64{7})
+	if err != nil || !ok || row[1].I != 70 {
+		t.Fatalf("LookupPK on reopened single table = %v, %v, %v", row, ok, err)
+	}
+	rows := 0
+	if err := empty2.Scan(func(sqltypes.Row) error { rows++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 0 {
+		t.Fatalf("scan of reopened empty table saw %d rows", rows)
+	}
+	// Both reopened tables must still be writable.
+	for _, tbl := range []*Table{empty2, single2} {
+		if err := tbl.Insert(ints(8, 80)); err != nil {
+			t.Fatalf("%s: Insert after reopen: %v", tbl.Def().Name, err)
+		}
+		if row, ok, err := tbl.LookupPK([]int64{8}); err != nil || !ok || row[1].I != 80 {
+			t.Fatalf("%s: LookupPK(8) after insert = %v, %v, %v", tbl.Def().Name, row, ok, err)
+		}
 	}
 }
 

@@ -17,8 +17,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
-	"sync/atomic"
 
+	"ptldb/internal/obs"
 	"ptldb/internal/sqldb/exec"
 	"ptldb/internal/sqldb/sql"
 	"ptldb/internal/sqldb/sqltypes"
@@ -73,10 +73,11 @@ type DB struct {
 	stmtHits   uint64
 	stmtMisses uint64
 
-	// Fused-path counters: statements served by a FusedPlan vs. runtime
-	// bailouts (ErrNotFused) that re-ran on the general executor.
-	fusedHits      atomic.Uint64
-	fusedFallbacks atomic.Uint64
+	// reg is the handle's observability registry: executor dispatch counters
+	// (fused runs vs. bailouts vs. general runs, rows scanned, tuples
+	// merged), per-Code query latencies, and — grafted in at Open — the
+	// buffer pool's counters.
+	reg obs.Registry
 }
 
 // Open opens (creating if needed) the database in dir.
@@ -98,6 +99,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		tables:  map[string]*Table{},
 		stmts:   map[string]*Stmt{},
 	}
+	db.reg.Pool = db.pool.Metrics()
 	cat, err := os.ReadFile(db.catalogPath())
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -344,6 +346,7 @@ func (db *DB) Query(query string, params ...sqltypes.Value) (*exec.Relation, err
 	if err != nil {
 		return nil, err
 	}
+	db.reg.Exec.GeneralRuns.Add(1)
 	return exec.Run(sel, catalogAdapter{db}, params)
 }
 
@@ -407,6 +410,7 @@ func (db *DB) QueryTraced(query string, params ...sqltypes.Value) (*exec.Relatio
 	if err != nil {
 		return nil, nil, err
 	}
+	db.reg.Exec.GeneralRuns.Add(1)
 	return exec.RunTraced(sel, catalogAdapter{db}, params)
 }
 
@@ -434,6 +438,16 @@ func (db *DB) Prepare(query string) (*Stmt, error) {
 // Fused reports whether the statement compiled to a fused plan.
 func (s *Stmt) Fused() bool { return s.fused != nil }
 
+// ExecInfo reports which execution path answered one Stmt.Query: Fused is
+// set when the fused plan produced the result, Bailout when a fused plan hit
+// a runtime precondition failure (ErrNotFused) and the general executor
+// re-ran the statement. Plain general execution leaves both false. Returned
+// by value so the hot path never allocates for it.
+type ExecInfo struct {
+	Fused   bool
+	Bailout bool
+}
+
 // Query executes the prepared statement. The statement is immutable after
 // Prepare (execution never mutates the AST or the fused plan), so one Stmt
 // may be executed from many goroutines concurrently. A fused plan that bails
@@ -441,25 +455,53 @@ func (s *Stmt) Fused() bool { return s.fused != nil }
 // falls back to the general executor, which owns the semantics of every
 // case the fused path does not cover.
 func (s *Stmt) Query(params ...sqltypes.Value) (*exec.Relation, error) {
+	rel, _, err := s.QueryInfo(params...)
+	return rel, err
+}
+
+// QueryInfo is Query, additionally reporting which execution path produced
+// the result — the per-query counterpart of FusedStats, used by trace hooks.
+func (s *Stmt) QueryInfo(params ...sqltypes.Value) (*exec.Relation, ExecInfo, error) {
+	var info ExecInfo
 	if s.fused != nil {
 		rel, err := s.fused.Run(catalogAdapter{s.db}, params)
 		if err == nil {
-			s.db.fusedHits.Add(1)
-			return rel, nil
+			s.db.reg.Exec.FusedRuns.Add(1)
+			info.Fused = true
+			return rel, info, nil
 		}
 		if !errors.Is(err, exec.ErrNotFused) {
-			return nil, err
+			return nil, info, err
 		}
-		s.db.fusedFallbacks.Add(1)
+		s.db.reg.Exec.FusedBailouts.Add(1)
+		info.Bailout = true
 	}
-	return exec.Run(s.sel, catalogAdapter{s.db}, params)
+	s.db.reg.Exec.GeneralRuns.Add(1)
+	rel, err := exec.Run(s.sel, catalogAdapter{s.db}, params)
+	return rel, info, err
+}
+
+// Explain renders the statement's plan: the fused operator tree when the
+// statement compiled to one, otherwise the structural shape the general
+// executor will evaluate.
+func (s *Stmt) Explain() string {
+	if s.fused != nil {
+		return s.fused.Explain()
+	}
+	return exec.ExplainSelect(s.sel)
 }
 
 // FusedStats reports how many prepared-statement executions were served by
-// the fused path and how many bailed out to the general executor.
+// the fused path and how many bailed out to the general executor. It reads
+// the registry's executor counters (the pre-registry fused counters were
+// absorbed into it).
 func (db *DB) FusedStats() (hits, fallbacks uint64) {
-	return db.fusedHits.Load(), db.fusedFallbacks.Load()
+	return db.reg.Exec.FusedRuns.Load(), db.reg.Exec.FusedBailouts.Load()
 }
+
+// Registry exposes the handle's observability registry. The pointer is
+// live — counters advance as queries run — and valid for the DB's lifetime.
+func (db *DB) Registry() *obs.Registry { return &db.reg }
 
 // CachedPrepare returns a shared prepared statement for query, parsing the
 // text at most once per DB. Table names resolve against the catalog at
@@ -509,6 +551,10 @@ func (c catalogAdapter) Table(name string) (exec.Table, bool) {
 	}
 	return t, true
 }
+
+// ExecMetrics implements exec.MetricsSource: the executor feeds the tuples-
+// merged counter through it.
+func (c catalogAdapter) ExecMetrics() *obs.ExecMetrics { return &c.db.reg.Exec }
 
 func colIndex(cols []ColumnDef, name string) int {
 	for i, c := range cols {

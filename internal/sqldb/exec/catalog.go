@@ -1,12 +1,32 @@
 package exec
 
-import "ptldb/internal/sqldb/sqltypes"
+import (
+	"ptldb/internal/obs"
+	"ptldb/internal/sqldb/sqltypes"
+)
 
 // Catalog resolves base-table names for the executor. It is implemented by
 // package sqldb.
 type Catalog interface {
 	// Table returns the table named name (case-insensitive), or false.
 	Table(name string) (Table, bool)
+}
+
+// MetricsSource is an optional Catalog extension exposing the executor
+// counters both execution paths feed (label tuples merged; the storage layer
+// feeds rows scanned itself). A catalog without it runs uninstrumented.
+type MetricsSource interface {
+	ExecMetrics() *obs.ExecMetrics
+}
+
+// execMetrics returns cat's executor counters, or nil when cat is not a
+// MetricsSource. Callers must nil-check; the assertion itself is one word
+// of work per query and never allocates.
+func execMetrics(cat Catalog) *obs.ExecMetrics {
+	if ms, ok := cat.(MetricsSource); ok {
+		return ms.ExecMetrics()
+	}
+	return nil
 }
 
 // Table is the executor's view of one stored table.

@@ -533,6 +533,7 @@ func (r *runner) evalUnnest(items []sql.SelectItem, input *Relation) (*Relation,
 	}
 
 	out := &Relation{Schema: itemSchema(items)}
+	merged := uint64(0) // rows produced by UNNEST expansion
 	arrays := make([][]int64, len(items))
 	arrayNull := make([]bool, len(items))
 	scalars := make(sqltypes.Row, len(items))
@@ -580,6 +581,10 @@ func (r *runner) evalUnnest(items []sql.SelectItem, input *Relation) (*Relation,
 			}
 			out.Rows = append(out.Rows, orow)
 		}
+		merged += uint64(maxLen)
+	}
+	if em := execMetrics(r.cat); em != nil {
+		em.TuplesMerged.Add(merged)
 	}
 	return out, nil
 }

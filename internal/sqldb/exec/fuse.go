@@ -18,6 +18,7 @@ package exec
 
 import (
 	"errors"
+	"math"
 	"strings"
 
 	"ptldb/internal/sqldb/sql"
@@ -791,8 +792,24 @@ func matchCondensed(sel *sql.Select) *FusedPlan {
 		if !dok || div.Op != "/" {
 			return nil
 		}
-		w, wok := div.R.(*sql.IntLit)
-		if !wok || w.V <= 0 {
+		// The width may be an integer literal or an integral float literal:
+		// the SQL uses FLOOR(x/3600.0) so that division is exact (float)
+		// rather than truncating toward zero on negative timestamps. The
+		// fused runtime reproduces FLOOR of the float quotient with integer
+		// floor division.
+		var widthV int64
+		switch w := div.R.(type) {
+		case *sql.IntLit:
+			widthV = w.V
+		case *sql.FloatLit:
+			if w.V != math.Trunc(w.V) {
+				return nil
+			}
+			widthV = int64(w.V)
+		default:
+			return nil
+		}
+		if widthV <= 0 {
 			return nil
 		}
 		switch {
@@ -805,7 +822,7 @@ func matchCondensed(sel *sql.Select) *FusedPlan {
 			}
 			bucketParam = p
 		}
-		bucketCol, width = lc.Column, w.V
+		bucketCol, width = lc.Column, widthV
 	}
 	if !hubSeen || bucketCol == "" {
 		return nil

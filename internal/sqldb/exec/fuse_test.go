@@ -101,7 +101,7 @@ WITH n1 AS
   (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
    FROM %[1]s n1bb, n1
    WHERE n1bb.hub=n1.hub
-     AND n1bb.dephour=FLOOR(n1.ta/%[2]d))
+     AND n1bb.dephour=FLOOR(n1.ta/%[2]d.0))
 SELECT v2, MIN(ta)
 FROM (
       (SELECT v2, MIN(n3.ta) AS ta
@@ -136,7 +136,7 @@ WITH n1 AS
   (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
    FROM %[1]s n1bb, n1
    WHERE n1bb.hub=n1.hub
-     AND n1bb.dephour=FLOOR(n1.ta/%[2]d))
+     AND n1bb.dephour=FLOOR(n1.ta/%[2]d.0))
 SELECT v2, MIN(ta)
 FROM (
       (SELECT v2, MIN(n3.ta) AS ta
@@ -167,7 +167,7 @@ WITH n1 AS
   (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
    FROM %[1]s n1bb, n1
    WHERE n1bb.hub=n1.hub
-     AND n1bb.arrhour=FLOOR($2/%[2]d))
+     AND n1bb.arrhour=FLOOR($2/%[2]d.0))
 SELECT v2, MAX(td)
 FROM (
       (SELECT v2, MAX(n3.n1_td) AS td
@@ -203,7 +203,7 @@ WITH n1 AS
   (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td
    FROM %[1]s n1bb, n1
    WHERE n1bb.hub=n1.hub
-     AND n1bb.arrhour=FLOOR($2/%[2]d))
+     AND n1bb.arrhour=FLOOR($2/%[2]d.0))
 SELECT v2, MAX(td)
 FROM (
       (SELECT v2, MAX(n3.n1_td) AS td

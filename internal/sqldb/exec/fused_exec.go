@@ -151,7 +151,12 @@ func (p *FusedPlan) runV2V(cat Catalog, params []sqltypes.Value) (*Relation, err
 	const unset = math.MaxInt64
 	best := int64(unset)
 	hasBest := false
+	// merged counts fold calls — label tuple (pairs) reaching the aggregate.
+	// The fold closure never escapes runV2V, so the captured counter stays on
+	// the stack and the instrumentation costs no allocation.
+	merged := uint64(0)
 	fold := func(v int64) {
+		merged++
 		if f.op == 'L' {
 			if !hasBest || v > best {
 				best, hasBest = v, true
@@ -272,6 +277,9 @@ func (p *FusedPlan) runV2V(cat Catalog, params []sqltypes.Value) (*Relation, err
 		}
 	}
 
+	if em := execMetrics(cat); em != nil {
+		em.TuplesMerged.Add(merged)
+	}
 	// MIN/MAX with no GROUP BY over empty input yields one NULL row.
 	v := sqltypes.Null
 	if hasBest {
@@ -400,6 +408,11 @@ func (p *FusedPlan) runKNNNaive(cat Catalog, params []sqltypes.Value) (*Relation
 	if k == 0 {
 		return &Relation{Schema: p.schema}, nil
 	}
+	// The scan callbacks below escape through the ScratchTable interface, so
+	// a counter they wrote to would be forced onto the heap; instead they
+	// capture the metrics pointer (assigned once, captured by value) and add
+	// per-row batches directly.
+	em := execMetrics(cat)
 	// Separate scratches: the label's arrays are retained across the scan
 	// below, while the scan recycles its scratch (arena included) per row.
 	var lookupScratch, rowScratch RowScratch
@@ -461,6 +474,9 @@ func (p *FusedPlan) runKNNNaive(cat Catalog, params []sqltypes.Value) (*Relation
 			for j := 0; j < kl; j++ {
 				foldMin(acc, vv.A[j], av.A[j])
 			}
+			if em != nil {
+				em.TuplesMerged.Add(uint64(kl))
+			}
 			return nil
 		})
 	} else {
@@ -511,10 +527,15 @@ func (p *FusedPlan) runKNNNaive(cat Catalog, params []sqltypes.Value) (*Relation
 			if kl > len(vv.A) {
 				kl = len(vv.A)
 			}
+			folds := uint64(0)
 			for j := 0; j < kl; j++ {
 				if av.A[j] <= t {
 					foldMax(acc, vv.A[j], maxTd)
+					folds++
 				}
+			}
+			if em != nil {
+				em.TuplesMerged.Add(folds)
 			}
 			return nil
 		})
@@ -646,6 +667,7 @@ func (p *FusedPlan) runCondensed(cat Catalog, params []sqltypes.Value) (*Relatio
 	}
 
 	acc := make(map[int64]int64)
+	merged := uint64(0) // fold calls: condensed-arm entries reaching acc
 	if f.ea {
 		// Per label tuple departing >= t: probe (hub, FLOOR(ta/width)),
 		// fold the top-k arm unconditionally and the expanded arm where the
@@ -656,7 +678,7 @@ func (p *FusedPlan) runCondensed(cat Catalog, params []sqltypes.Value) (*Relatio
 				continue
 			}
 			ta := lab.tas[i]
-			c, err := lookup(lab.hubs[i], ta/f.width)
+			c, err := lookup(lab.hubs[i], floorDiv(ta, f.width))
 			if err != nil {
 				return nil, err
 			}
@@ -665,10 +687,12 @@ func (p *FusedPlan) runCondensed(cat Catalog, params []sqltypes.Value) (*Relatio
 			}
 			for x := 0; x < sliceLen(len(c.topV)); x++ {
 				foldMin(acc, c.topV[x], c.topVal[x])
+				merged++
 			}
 			for x := range c.expTd {
 				if ta <= c.expTd[x] {
 					foldMin(acc, c.expV[x], c.expTa[x])
+					merged++
 				}
 			}
 		}
@@ -677,7 +701,7 @@ func (p *FusedPlan) runCondensed(cat Catalog, params []sqltypes.Value) (*Relatio
 		// qualifies connections departing no earlier than the tuple's
 		// arrival, the expanded arm additionally bounds the connection's
 		// arrival by t; both fold the tuple's departure time.
-		bucket := t / f.width
+		bucket := floorDiv(t, f.width)
 		for i := range lab.hubs {
 			td, ta := lab.tds[i], lab.tas[i]
 			c, err := lookup(lab.hubs[i], bucket)
@@ -690,14 +714,30 @@ func (p *FusedPlan) runCondensed(cat Catalog, params []sqltypes.Value) (*Relatio
 			for x := 0; x < sliceLen(len(c.topV)); x++ {
 				if c.topVal[x] >= ta {
 					foldMax(acc, c.topV[x], td)
+					merged++
 				}
 			}
 			for x := range c.expTd {
 				if c.expTd[x] >= ta && c.expTa[x] <= t {
 					foldMax(acc, c.expV[x], td)
+					merged++
 				}
 			}
 		}
 	}
+	if em := execMetrics(cat); em != nil {
+		em.TuplesMerged.Add(merged)
+	}
 	return entriesToRows(p.schema, topKEntries(acc, k, limited, !f.ea)), nil
+}
+
+// floorDiv returns floor(a/b) for b > 0, matching FLOOR(a/b.0) in the
+// condensed SQL: the bucket of a negative timestamp is the one below zero,
+// where Go's integer division would truncate toward it.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
 }

@@ -213,6 +213,72 @@ func TestBTreeBulkLoadPersists(t *testing.T) {
 	}
 }
 
+// TestBTreeBulkLoadTinyPersists covers the degenerate bulk loads — zero
+// entries (the tree must stay a valid empty root leaf) and one entry (the
+// single-leaf path) — through a flush/reopen cycle: the reopened tree must
+// validate, answer lookups, and accept further inserts.
+func TestBTreeBulkLoadTinyPersists(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		var clock Clock
+		path := filepath.Join(t.TempDir(), "tiny.pg")
+		f, err := OpenPagedFile(path, RAM, &clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := NewPool(64)
+		pool.Register(f)
+		bt, err := OpenBTree(f, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries := bulkEntries(n)
+		if err := bt.BulkLoad(entries); err != nil {
+			t.Fatalf("n=%d: BulkLoad: %v", n, err)
+		}
+		if err := bt.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		f2, err := OpenPagedFile(path, RAM, &clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool2 := NewPool(64)
+		pool2.Register(f2)
+		bt2, err := OpenBTree(f2, pool2)
+		if err != nil {
+			t.Fatalf("n=%d: reopen: %v", n, err)
+		}
+		if bt2.Count() != uint64(n) {
+			t.Fatalf("n=%d: Count after reopen = %d", n, bt2.Count())
+		}
+		if got, err := bt2.Validate(); err != nil || got != n {
+			t.Fatalf("n=%d: Validate after reopen = %d, %v", n, got, err)
+		}
+		if n == 1 {
+			if loc, ok, err := bt2.Get(entries[0].Key); err != nil || !ok || loc != entries[0].Loc {
+				t.Fatalf("Get after reopen = %v, %v, %v", loc, ok, err)
+			}
+		}
+		if _, ok, err := bt2.Get(Key{int64(n) + 100, 0}); err != nil || ok {
+			t.Fatalf("n=%d: Get(absent) after reopen = %v, %v", n, ok, err)
+		}
+		// The reopened tree must still be writable through the insert path.
+		if err := bt2.Insert(Key{int64(n) + 100, 0}, Locator{Off: 7}); err != nil {
+			t.Fatalf("n=%d: Insert after reopen: %v", n, err)
+		}
+		if got, err := bt2.Validate(); err != nil || got != n+1 {
+			t.Fatalf("n=%d: Validate after insert = %d, %v", n, got, err)
+		}
+		if err := f2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestBTreeBulkLoadErrors covers the precondition failures: non-empty tree,
 // out-of-order input, duplicate keys.
 func TestBTreeBulkLoadErrors(t *testing.T) {

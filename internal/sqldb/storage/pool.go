@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"ptldb/internal/obs"
 )
 
 // Pool is the shared buffer pool: a fixed number of page frames cached over
@@ -38,7 +40,10 @@ type Pool struct {
 
 	nextFileID atomic.Int64
 
-	hits, misses atomic.Uint64
+	// metrics holds the pool's observability counters (hits, misses,
+	// evictions, write-backs); Metrics exposes them so a database handle can
+	// graft them into its obs.Registry.
+	metrics obs.PoolMetrics
 
 	// loadHook, when non-nil, runs after a loading frame is installed and
 	// before its device read. Tests use it to coordinate concurrent misses.
@@ -49,6 +54,7 @@ type Pool struct {
 type poolShard struct {
 	mu       sync.Mutex // lockcheck:shard
 	capacity int
+	metrics  *obs.PoolMetrics // points at the owning pool's counters
 	frames   map[frameKey]*Frame
 	// LRU list of unpinned resident frames; head is least recently used.
 	lruHead, lruTail *Frame
@@ -113,6 +119,7 @@ func NewPool(capacity int) *Pool {
 	for i := range p.shards {
 		p.shards[i] = poolShard{
 			capacity: perShard,
+			metrics:  &p.metrics,
 			frames:   make(map[frameKey]*Frame, perShard),
 		}
 	}
@@ -147,23 +154,27 @@ func (p *Pool) Get(f *PagedFile, id PageID) (*Frame, error) {
 		}
 		fr.pins++
 		sh.mu.Unlock()
-		p.hits.Add(1)
 		<-fr.ready // immediate for resident frames
 		if fr.loadErr != nil {
-			// The loader detached the frame; our pin dies with it.
+			// The loader detached the frame; our pin dies with it. The
+			// failed load attempt is the loader's single miss — waiters
+			// that coalesced on it count neither a hit nor a miss.
 			return nil, fr.loadErr
 		}
+		p.metrics.Hits.Add(1)
 		return fr, nil
 	}
 	// Miss: install a loading frame (the latch), then do all device work —
 	// victim write-back and the page read — with the shard lock dropped so
-	// misses on other pages proceed in parallel.
+	// misses on other pages proceed in parallel. The miss is counted up
+	// front, exactly once per load attempt, whether or not the write-back
+	// or the read below fails.
 	fr, victims := sh.installLocked(f, key)
 	sh.mu.Unlock()
+	p.metrics.Misses.Add(1)
 	if werr := p.writeBack(victims, true); werr != nil {
 		return nil, p.failLoad(fr, werr)
 	}
-	p.misses.Add(1)
 	if p.loadHook != nil {
 		p.loadHook(key)
 	}
@@ -222,12 +233,13 @@ func (sh *poolShard) installLocked(f *PagedFile, key frameKey) (fr *Frame, victi
 		sh.lruRemove(victim)
 		if victim.dirty {
 			// Keep the victim resident and pinned until its bytes are safely
-			// on the device; writeBack finishes the eviction.
+			// on the device; writeBack finishes the eviction (and counts it).
 			victim.pins++
 			victims = append(victims, victim)
 			continue
 		}
 		delete(sh.frames, victim.key)
+		sh.metrics.Evictions.Add(1)
 	}
 	fr = &Frame{key: key, file: f, shard: sh, pins: 1, ready: make(chan struct{})}
 	sh.frames[key] = fr
@@ -247,6 +259,9 @@ func (p *Pool) writeBack(victims []*Frame, evict bool) error {
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+		if err == nil {
+			p.metrics.WriteBacks.Add(1)
+		}
 		sh := v.shard
 		sh.mu.Lock()
 		v.pins--
@@ -256,6 +271,7 @@ func (p *Pool) writeBack(victims []*Frame, evict bool) error {
 		if v.pins == 0 && sh.frames[v.key] == v {
 			if evict && err == nil {
 				delete(sh.frames, v.key)
+				sh.metrics.Evictions.Add(1)
 			} else {
 				sh.lruAppend(v)
 			}
@@ -283,6 +299,7 @@ func (p *Pool) Unpin(fr *Frame) {
 			victim := sh.lruHead
 			sh.lruRemove(victim)
 			delete(sh.frames, victim.key)
+			sh.metrics.Evictions.Add(1)
 		}
 	}
 }
@@ -341,10 +358,22 @@ func (p *Pool) DropCaches() error {
 }
 
 // Stats reports hit/miss counters since creation. A Get that coalesces on
-// an in-flight load counts as a hit; only the loader counts a miss, so
-// misses equals the number of device reads issued through the pool.
+// an in-flight load counts as a hit only once the load succeeds; the loader
+// counts exactly one miss per load attempt (successful or not), so misses
+// equals the number of device reads issued through the pool and a failed
+// coalesced read contributes one miss and zero hits no matter how many
+// goroutines were waiting on it.
 func (p *Pool) Stats() (hits, misses uint64) {
-	return p.hits.Load(), p.misses.Load()
+	return p.metrics.Hits.Load(), p.metrics.Misses.Load()
+}
+
+// Metrics exposes the pool's full counter set — hits, misses, evictions and
+// write-backs — for grafting into an obs.Registry. The returned pointer is
+// live: counters keep advancing as the pool runs. Evictions count frames
+// displaced for capacity (by allocation, write-back completion or overflow
+// trimming); DropCaches is a bulk reset and is deliberately not counted.
+func (p *Pool) Metrics() *obs.PoolMetrics {
+	return &p.metrics
 }
 
 // NumFrames returns the number of resident frames across all shards.

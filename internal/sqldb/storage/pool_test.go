@@ -97,6 +97,32 @@ func TestPoolConcurrentStress(t *testing.T) {
 	}
 }
 
+// pinsOf reports the pin count of the frame caching page id of f, or 0 if
+// no frame is installed. Tests poll it to detect that a Get has coalesced
+// on an in-flight load (loader holds one pin, each waiter adds one).
+func pinsOf(pool *Pool, f *PagedFile, id PageID) int {
+	key := frameKey{file: f.id, page: id}
+	sh := pool.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr, ok := sh.frames[key]; ok {
+		return fr.pins
+	}
+	return 0
+}
+
+// waitPins polls until the frame for page id has at least n pins.
+func waitPins(t *testing.T, pool *Pool, f *PagedFile, id PageID, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for pinsOf(pool, f, id) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("frame for page %d never reached %d pins", id, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestPoolSingleflightMiss forces two concurrent misses on the same page
 // and asserts that exactly one device read happens: the pool's loadHook
 // blocks the first loader until the second Get has coalesced on its frame.
@@ -129,14 +155,10 @@ func TestPoolSingleflightMiss(t *testing.T) {
 	go read()
 	<-entered // loader installed its loading frame, now parked before the read
 	go read()
-	// The second Get counts a hit the moment it coalesces on the loading
-	// frame; wait for that before letting the device read proceed.
-	for {
-		if h, _ := pool.Stats(); h == hits0+1 {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
+	// The second Get pins the loading frame the moment it coalesces; wait
+	// for that before letting the device read proceed. (The hit is only
+	// counted once the load succeeds, so the counter can't be used here.)
+	waitPins(t, pool, f, 3, 2)
 	close(release)
 
 	for i := 0; i < 2; i++ {
@@ -160,9 +182,11 @@ func TestPoolSingleflightMiss(t *testing.T) {
 }
 
 // TestPoolLoadErrorCoalesced makes the device read fail (read past EOF)
-// while a second reader is coalesced on the loading frame: both callers
-// must observe the error, and the pool must stay clean — the failed frame
-// is detached so later Gets retry, and valid pages remain readable.
+// while several readers are coalesced on the loading frame: every caller
+// must observe the error, the failed attempt must count exactly one miss
+// and zero hits no matter how many goroutines coalesced on it, and the
+// pool must stay clean — the failed frame is detached so later Gets
+// retry, and valid pages remain readable.
 func TestPoolLoadErrorCoalesced(t *testing.T) {
 	f, pool := stampedFile(t, 2, 64)
 
@@ -170,21 +194,20 @@ func TestPoolLoadErrorCoalesced(t *testing.T) {
 	entered := make(chan struct{}, 1)
 	pool.loadHook = func(frameKey) { entered <- struct{}{}; <-release }
 
-	hits0, _ := pool.Stats()
+	hits0, misses0 := pool.Stats()
 	const badPage = PageID(99) // past EOF: ReadPage fails after the latch is installed
-	errc := make(chan error, 2)
+	const waiters = 3
+	errc := make(chan error, 1+waiters)
 	go func() { _, err := pool.Get(f, badPage); errc <- err }()
 	<-entered
-	go func() { _, err := pool.Get(f, badPage); errc <- err }()
-	for {
-		if h, _ := pool.Stats(); h == hits0+1 {
-			break // second Get has pinned the loading frame and is waiting
-		}
-		time.Sleep(time.Millisecond)
+	for i := 0; i < waiters; i++ {
+		go func() { _, err := pool.Get(f, badPage); errc <- err }()
 	}
+	// Loader's pin plus one per coalesced waiter.
+	waitPins(t, pool, f, badPage, 1+waiters)
 	close(release)
 
-	for i := 0; i < 2; i++ {
+	for i := 0; i < 1+waiters; i++ {
 		err := <-errc
 		if err == nil {
 			t.Fatal("coalesced Get of unreadable page returned nil error")
@@ -192,6 +215,13 @@ func TestPoolLoadErrorCoalesced(t *testing.T) {
 		if !strings.Contains(err.Error(), "read past end") {
 			t.Errorf("unexpected error published to waiter: %v", err)
 		}
+	}
+
+	// One failed singleflight read published to N waiters is one miss (the
+	// load attempt) and zero hits.
+	if h, m := pool.Stats(); h != hits0 || m != misses0+1 {
+		t.Errorf("failed coalesced load moved counters by %d hits, %d misses; want 0 hits, 1 miss",
+			h-hits0, m-misses0)
 	}
 
 	// The failed frame must not poison the pool: the key is free again...

@@ -222,6 +222,7 @@ func (t *Table) LookupPK(keyVals []int64) (sqltypes.Row, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("sqldb: %s: %w", t.def.Name, err)
 	}
+	t.db.reg.Exec.RowsScanned.Add(1)
 	return row, true, nil
 }
 
@@ -254,6 +255,7 @@ func (t *Table) LookupPKScratch(keyVals []int64, s *exec.RowScratch) (sqltypes.R
 		return nil, false, fmt.Errorf("sqldb: %s: %w", t.def.Name, err)
 	}
 	s.Row, s.Arena = row, arena
+	t.db.reg.Exec.RowsScanned.Add(1)
 	return row, true, nil
 }
 
@@ -276,6 +278,9 @@ func (t *Table) ScanScratch(s *exec.RowScratch, fn func(sqltypes.Row) error) err
 			if err != nil {
 				return err
 			}
+			// Per-row atomic add: t is captured read-only, so the counter
+			// costs no allocation even though this callback escapes.
+			t.db.reg.Exec.RowsScanned.Add(1)
 			return fn(row)
 		})
 	}
@@ -284,6 +289,10 @@ func (t *Table) ScanScratch(s *exec.RowScratch, fn func(sqltypes.Row) error) err
 		return err
 	}
 	defer cur.Close()
+	// Rows surfaced by the cursor walk, counted locally (no closure, so the
+	// counter stays on the stack) and published once on completion; a scan
+	// abandoned by an error drops its partial count.
+	rows := uint64(0)
 	for cur.Valid() {
 		data, err := t.heap.ReadInto(cur.Locator(), s.Buf)
 		if err != nil {
@@ -294,6 +303,7 @@ func (t *Table) ScanScratch(s *exec.RowScratch, fn func(sqltypes.Row) error) err
 		if err != nil {
 			return err
 		}
+		rows++
 		if err := fn(row); err != nil {
 			return err
 		}
@@ -301,6 +311,7 @@ func (t *Table) ScanScratch(s *exec.RowScratch, fn func(sqltypes.Row) error) err
 			return err
 		}
 	}
+	t.db.reg.Exec.RowsScanned.Add(rows)
 	return nil
 }
 
@@ -314,6 +325,7 @@ func (t *Table) Scan(fn func(sqltypes.Row) error) error {
 			if err != nil {
 				return err
 			}
+			t.db.reg.Exec.RowsScanned.Add(1)
 			return fn(row)
 		})
 	}
@@ -322,6 +334,7 @@ func (t *Table) Scan(fn func(sqltypes.Row) error) error {
 		return err
 	}
 	defer cur.Close()
+	rows := uint64(0)
 	for cur.Valid() {
 		data, err := t.heap.Read(cur.Locator())
 		if err != nil {
@@ -331,6 +344,7 @@ func (t *Table) Scan(fn func(sqltypes.Row) error) error {
 		if err != nil {
 			return err
 		}
+		rows++
 		if err := fn(row); err != nil {
 			return err
 		}
@@ -338,5 +352,6 @@ func (t *Table) Scan(fn func(sqltypes.Row) error) error {
 			return err
 		}
 	}
+	t.db.reg.Exec.RowsScanned.Add(rows)
 	return nil
 }

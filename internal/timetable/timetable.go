@@ -43,7 +43,20 @@ const NegInfinity Time = -(1<<31 - 1)
 
 // Hour returns the hour bucket of t, i.e. floor(t/3600). It is the grouping
 // unit of the knn_* and otm_* tables of the PTLDB paper (Section 3.2.1).
-func (t Time) Hour() int32 { return int32(t) / 3600 }
+// Floor, not truncation: negative timestamps (label tuples of trips that
+// start before the service day, NegInfinity sentinels) must land in the
+// bucket below zero, or bucketed lookups skip them.
+func (t Time) Hour() int32 { return int32(FloorDiv(int64(t), 3600)) }
+
+// FloorDiv returns floor(a/b) for b > 0. Go's / truncates toward zero, which
+// differs from floor exactly when a is negative and not a multiple of b.
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
 
 // String renders t as hh:mm:ss.
 func (t Time) String() string {

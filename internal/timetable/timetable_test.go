@@ -33,10 +33,26 @@ func TestTimeHour(t *testing.T) {
 		want int32
 	}{
 		{0, 0}, {3599, 0}, {3600, 1}, {36000, 10}, {36001, 10}, {86399, 23}, {86400, 24},
+		// Hour is documented as floor(t/3600): negative timestamps belong to
+		// the bucket below zero, where truncating division would round them
+		// toward bucket 0.
+		{-1, -1}, {-3599, -1}, {-3600, -1}, {-3601, -2}, {-7200, -2}, {-7201, -3},
 	}
 	for _, c := range cases {
 		if got := c.in.Hour(); got != c.want {
 			t.Errorf("Time(%d).Hour() = %d, want %d", int32(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	for a := int64(-10000); a <= 10000; a += 7 {
+		for _, b := range []int64{1, 2, 3600, 7919} {
+			got := FloorDiv(a, b)
+			// floor(a/b): the unique q with q*b <= a < (q+1)*b.
+			if got*b > a || (got+1)*b <= a {
+				t.Fatalf("FloorDiv(%d, %d) = %d: not the floor quotient", a, b, got)
+			}
 		}
 	}
 }

@@ -25,11 +25,14 @@ package ptldb
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"ptldb/internal/core"
 	"ptldb/internal/csa"
 	"ptldb/internal/gtfs"
+	"ptldb/internal/obs"
 	"ptldb/internal/order"
 	"ptldb/internal/sqldb"
 	"ptldb/internal/sqldb/storage"
@@ -50,6 +53,11 @@ type (
 	Connection = timetable.Connection
 	// Result is one kNN / one-to-many answer.
 	Result = core.Result
+	// Trace describes one executed query (see Config.TraceHook).
+	Trace = obs.Trace
+	// Snapshot is a point-in-time copy of the observability counters (see
+	// DB.Snapshot).
+	Snapshot = obs.Snapshot
 	// CityProfile describes a synthetic dataset modelled on the paper's
 	// Table 7.
 	CityProfile = synth.Profile
@@ -112,6 +120,40 @@ type Config struct {
 	// table loads of Create / AddTargetSet / AddVersion run on a worker pool
 	// of this size. The built database is byte-identical for every value.
 	BuildWorkers int
+	// TraceHook, when non-nil, receives one Trace per successful query method
+	// call on this handle (and on Version handles derived from it). The hook
+	// runs synchronously on the querying goroutine, so it must be cheap; see
+	// DB.Snapshot for always-on aggregate counters that need no hook.
+	TraceHook func(Trace)
+	// SlowQueryThreshold, when positive, logs every query slower than the
+	// threshold to SlowQueryLog — one line per offender with its code,
+	// execution path, wall time, row count and pages read.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog is the slow-query destination (default os.Stderr). Only
+	// consulted when SlowQueryThreshold > 0.
+	SlowQueryLog io.Writer
+}
+
+// traceHook composes the user hook and the slow-query logger into the single
+// hook installed on the store (nil when neither is configured).
+func (c Config) traceHook() func(obs.Trace) {
+	hook := c.TraceHook
+	if c.SlowQueryThreshold <= 0 {
+		return hook
+	}
+	w := c.SlowQueryLog
+	if w == nil {
+		w = os.Stderr
+	}
+	slow := obs.NewSlowQueryLogger(w, c.SlowQueryThreshold)
+	if hook == nil {
+		return slow.Observe
+	}
+	user := hook
+	return func(t obs.Trace) {
+		slow.Observe(t)
+		user(t)
+	}
 }
 
 func (c Config) device() (storage.DeviceModel, error) {
@@ -221,6 +263,9 @@ func CreateWithStats(dir string, tt *Network, cfg Config) (*DB, PreprocessStats,
 		return nil, stats, err
 	}
 	stats.LoadTime = time.Since(start)
+	if h := cfg.traceHook(); h != nil {
+		store.SetTraceHook(h)
+	}
 	return &DB{store: store, db: sdb, buildWorkers: cfg.BuildWorkers}, stats, nil
 }
 
@@ -244,6 +289,9 @@ func Open(dir string, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	store.SetBuildWorkers(cfg.BuildWorkers)
+	if h := cfg.traceHook(); h != nil {
+		store.SetTraceHook(h)
+	}
 	return &DB{store: store, db: sdb, buildWorkers: cfg.BuildWorkers}, nil
 }
 
@@ -396,6 +444,25 @@ func (d *DB) Stats() (Stats, error) {
 // ResetIOClock zeroes the simulated-device clock (used around measured
 // query batches).
 func (d *DB) ResetIOClock() { d.db.Clock().Reset() }
+
+// Snapshot returns a point-in-time copy of the observability counters:
+// buffer-pool traffic, executor dispatch and scan volumes, and per-query-code
+// call counts with latency histograms. Counters accumulate from Open/Create
+// and are shared across Version handles of the same database.
+func (d *DB) Snapshot() Snapshot { return d.db.Registry().Snapshot() }
+
+// ExplainPrepared renders the operator tree one of the paper's prepared
+// queries executes with: "v2v-ea", "v2v-ld", "v2v-sd", or
+// "<kind>:<set>" with kind one of knn-naive-ea, knn-naive-ld, knn-ea,
+// knn-ld, otm-ea, otm-ld. Fused statements render the fused operator tree;
+// statements the fuser does not recognize render the general plan shape.
+func (d *DB) ExplainPrepared(name string) (string, error) {
+	return d.store.ExplainPrepared(name)
+}
+
+// ExplainNames lists the names ExplainPrepared accepts for this handle's
+// timetable version and registered target sets.
+func (d *DB) ExplainNames() []string { return d.store.ExplainNames() }
 
 // Store exposes the underlying PTLDB store for advanced use (raw SQL, table
 // inspection).

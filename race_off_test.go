@@ -1,0 +1,7 @@
+//go:build !race
+
+package ptldb
+
+// raceEnabled reports whether this binary was built with -race; allocation
+// ratchets skip themselves there (the detector adds bookkeeping allocations).
+const raceEnabled = false

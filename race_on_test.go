@@ -1,0 +1,5 @@
+//go:build race
+
+package ptldb
+
+const raceEnabled = true

@@ -13,6 +13,8 @@ echo "== go build ./..."
 go build ./...
 echo "== go test -race -shuffle on ./..."
 go test -race -shuffle on ./...
+echo "== fused allocs/op ratchet (no race detector)"
+go test -run 'TestFusedAllocsBudget' -count=1 .
 echo "== bench smoke (fused executor, 5 iterations)"
 go test -run '^$' -bench 'BenchmarkFusedExec' -benchtime 5x .
 echo "== bench smoke (parallel build, 1 iteration)"
