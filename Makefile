@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint build test race bench-concurrency bench-quick bench-build
+.PHONY: check lint build test race bench-concurrency bench-quick bench-build bench-segments
 
 # The pre-merge gate: vet + lint + build + full suite under the race detector.
 check:
@@ -31,6 +31,11 @@ bench-concurrency:
 bench-build:
 	$(GO) run ./cmd/ptldb-bench -exp build -cities Austin,Berlin -scale 0.02 -q
 	$(GO) test -run '^$$' -bench 'BenchmarkBuildParallel' -benchtime 1x ./internal/ttl
+
+# Columnar label segments vs the B+tree/heap read path (see
+# BENCH_segments.json): warm ns/op plus cold device pages per query.
+bench-segments:
+	$(GO) test -run '^$$' -bench 'BenchmarkSegments' -benchtime 100x .
 
 # Smoke run of the fused-vs-general executor benchmarks (see BENCH_exec.json):
 # a few iterations each, enough to catch fused-path fallbacks or crashes

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -75,6 +76,15 @@ func TestBuildWorkersDiskImageIdentical(t *testing.T) {
 	sort.Strings(names)
 	if len(names) == 0 {
 		t.Fatal("serial build produced no files")
+	}
+	segs := 0
+	for _, name := range names {
+		if strings.HasSuffix(name, ".seg") {
+			segs++
+		}
+	}
+	if segs == 0 {
+		t.Error("build produced no .seg segment files; byte-compare is not covering segments")
 	}
 	for _, workers := range []int{2, 7} {
 		got := build(workers)

@@ -37,6 +37,7 @@ func main() {
 		parallel = flag.Int("parallel", 1, "goroutines issuing queries concurrently (sim device time is divided by N)")
 		workers  = flag.Int("build-workers", 0, "preprocessing parallelism for database builds (0 = GOMAXPROCS)")
 		fused    = flag.String("fused", "on", "fused label-query execution: on or off (ablation)")
+		segments = flag.String("segments", "on", "columnar label segments on the read path: on or off (ablation)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		out      = flag.String("o", "", "write the report to a file instead of stdout")
@@ -84,6 +85,13 @@ func main() {
 		cfg.FusedOff = true
 	default:
 		fatal(fmt.Errorf("-fused must be on or off, got %q", *fused))
+	}
+	switch *segments {
+	case "on":
+	case "off":
+		cfg.SegmentsOff = true
+	default:
+		fatal(fmt.Errorf("-segments must be on or off, got %q", *segments))
 	}
 	var agg *obs.Aggregator
 	if *obsOut != "" {

@@ -36,16 +36,22 @@ import (
 
 func main() {
 	var (
-		dbDir   = flag.String("db", "", "database directory (required)")
-		device  = flag.String("device", "ssd", "simulated device: hdd, ssd, ram")
-		slow    = flag.Duration("slow", 0, "log queries slower than this to stderr (0 = off)")
-		obsDump = flag.Bool("obs", false, "print the observability snapshot (JSON) to stderr on exit")
+		dbDir    = flag.String("db", "", "database directory (required)")
+		device   = flag.String("device", "ssd", "simulated device: hdd, ssd, ram")
+		segments = flag.String("segments", "on", "columnar label segments on the read path: on or off")
+		slow     = flag.Duration("slow", 0, "log queries slower than this to stderr (0 = off)")
+		obsDump  = flag.Bool("obs", false, "print the observability snapshot (JSON) to stderr on exit")
 	)
 	flag.Parse()
 	if *dbDir == "" || flag.NArg() == 0 {
 		fatal(fmt.Errorf("usage: ptldb-query -db DIR CMD ARGS... (see source header)"))
 	}
-	db, err := ptldb.Open(*dbDir, ptldb.Config{Device: *device, SlowQueryThreshold: *slow})
+	if *segments != "on" && *segments != "off" {
+		fatal(fmt.Errorf("-segments must be on or off, got %q", *segments))
+	}
+	db, err := ptldb.Open(*dbDir, ptldb.Config{
+		Device: *device, SlowQueryThreshold: *slow, DisableSegments: *segments == "off",
+	})
 	if err != nil {
 		fatal(err)
 	}

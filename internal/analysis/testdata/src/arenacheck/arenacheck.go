@@ -44,6 +44,18 @@ func viaLocal(s *rowScratch) []int64 {
 	return view // want `arena-derived slice returned`
 }
 
+// decodeSegment mimics the segment read path: the decoder carves column
+// views out of the scratch arena, and handing one to the caller escapes
+// exactly like any other arena alias.
+func decodeSegment(s *rowScratch, payload []byte) []int64 {
+	start := len(s.Arena)
+	for range payload {
+		s.Arena = append(s.Arena, 0) // ok: the arena's own growth protocol
+	}
+	hubs := s.Arena[start:]
+	return hubs // want `arena-derived slice returned`
+}
+
 // Scalars read out of the arena are values, not aliases: always safe.
 func scalar(s *rowScratch) int64 {
 	v := s.Arena[3]

@@ -52,6 +52,10 @@ type Config struct {
 	// FusedOff disables the fused label-query execution path, running every
 	// query through the general SQL executor (the -fused=off ablation).
 	FusedOff bool
+	// SegmentsOff disables the columnar label segments on the read path,
+	// reverting label access to the B+tree/heap pair (the -segments=off
+	// ablation). Builds still write segment files either way.
+	SegmentsOff bool
 	// BuildWorkers is the preprocessing parallelism of database builds
 	// (0 = GOMAXPROCS). The built databases are identical for every value.
 	BuildWorkers int
@@ -171,7 +175,7 @@ func (w *Workspace) Dataset(city string) (*Dataset, error) {
 	}
 	w.logf("preprocessing %s: %d stops, %d connections", city, tt.NumStops(), tt.NumConnections())
 	db, stats, err := ptldb.CreateWithStats(dir, tt, ptldb.Config{
-		Device: "ram", PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff,
+		Device: "ram", PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff, DisableSegments: w.cfg.SegmentsOff,
 		BuildWorkers: w.cfg.BuildWorkers,
 	})
 	if err != nil {
@@ -204,7 +208,7 @@ func sanitize(s string) string {
 // Open opens a dataset's database on the given simulated device.
 func (w *Workspace) Open(ds *Dataset, device string) (*ptldb.DB, error) {
 	return ptldb.Open(ds.Dir, ptldb.Config{
-		Device: device, PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff,
+		Device: device, PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff, DisableSegments: w.cfg.SegmentsOff,
 		TraceHook: w.cfg.TraceHook,
 	})
 }

@@ -15,72 +15,75 @@ import (
 
 // explainGoldens pins the operator tree of every prepared paper query on the
 // paper's worked example (7 stops, identity order, target set {4, 6}, one-hour
-// buckets). The rendering is deterministic; a change here is a change to the
-// fused executor's shape and should be deliberate.
+// buckets) with the default configuration: label reads served from columnar
+// segments, hence the Segment* access-path operators. The heap-path
+// renderings are pinned separately under DisableSegments. The rendering is
+// deterministic; a change here is a change to the fused executor's shape and
+// should be deliberate.
 var explainGoldens = map[string]string{
 	"v2v-ea": `FusedPlan v2v-ea
 └─ Aggregate MIN(in.ta)
    └─ MergeJoin out.hub = in.hub, reach out.ta <= in.td
-      ├─ LabelLookup lout [v = $1, td >= $3]
-      └─ LabelLookup lin [v = $2]
+      ├─ SegmentLookup lout [v = $1, td >= $3]
+      └─ SegmentLookup lin [v = $2]
 `,
 	"v2v-ld": `FusedPlan v2v-ld
 └─ Aggregate MAX(out.td)
    └─ MergeJoin out.hub = in.hub, reach out.ta <= in.td
-      ├─ LabelLookup lout [v = $1]
-      └─ LabelLookup lin [v = $2, ta <= $3]
+      ├─ SegmentLookup lout [v = $1]
+      └─ SegmentLookup lin [v = $2, ta <= $3]
 `,
 	"v2v-sd": `FusedPlan v2v-sd
 └─ Aggregate MIN(in.ta - out.td)
    └─ MergeJoin out.hub = in.hub, reach out.ta <= in.td
-      ├─ LabelLookup lout [v = $1, td >= $3]
-      └─ LabelLookup lin [v = $2, ta <= $4]
+      ├─ SegmentLookup lout [v = $1, td >= $3]
+      └─ SegmentLookup lin [v = $2, ta <= $4]
 `,
 	"knn-naive-ea:poi": `FusedPlan knn-naive-ea
 └─ TopK k = $3 by MIN(n2.ta) asc, v2
    └─ GroupFold MIN(n2.ta) per target
       └─ HashJoin n1.hub = n2.hub, reach n1.ta <= n2.td
-         ├─ LabelLookup lout [v = $1, td >= $2]
-         └─ TableScan ea_knn_naive_poi [vs[1:$3], tas[1:$3]]
+         ├─ SegmentLookup lout [v = $1, td >= $2]
+         └─ SegmentScan ea_knn_naive_poi [vs[1:$3], tas[1:$3]]
 `,
 	"knn-naive-ld:poi": `FusedPlan knn-naive-ld
 └─ TopK k = $3 by MAX(n1.td) desc, v2
    └─ GroupFold MAX(n1.td) per target
       └─ HashJoin n1.hub = n2.hub, reach n1.ta <= n2.td
-         ├─ LabelLookup lout [v = $1]
-         └─ TableScan ld_knn_naive_poi [vs[1:$3], tas[1:$3], ta <= $2]
+         ├─ SegmentLookup lout [v = $1]
+         └─ SegmentScan ld_knn_naive_poi [vs[1:$3], tas[1:$3], ta <= $2]
 `,
 	"knn-ea:poi": `FusedPlan cond-knn-ea
 └─ TopK k = $3 by MIN(ta) asc, v2
    └─ GroupFold MIN(ta) per target
-      └─ BucketProbe knn_ea_poi [hub = n1.hub, dephour = FLOOR(n1.ta / 3600)]
+      └─ SegmentProbe knn_ea_poi [hub = n1.hub, dephour = FLOOR(n1.ta / 3600)]
          ├─ Arm top-k: fold vs[1:$3]/tas[1:$3]
          ├─ Arm expanded: fold vs_exp/tas_exp where n1.ta <= tds_exp
-         └─ LabelLookup lout [v = $1, td >= $2]
+         └─ SegmentLookup lout [v = $1, td >= $2]
 `,
 	"knn-ld:poi": `FusedPlan cond-knn-ld
 └─ TopK k = $3 by MAX(td) desc, v2
    └─ GroupFold MAX(td) per target
-      └─ BucketProbe knn_ld_poi [hub = n1.hub, arrhour = FLOOR($2 / 3600)]
+      └─ SegmentProbe knn_ld_poi [hub = n1.hub, arrhour = FLOOR($2 / 3600)]
          ├─ Arm top-k: fold vs[1:$3] where tds[1:$3] >= n1.ta
          ├─ Arm expanded: fold vs_exp where tds_exp >= n1.ta and tas_exp <= $2
-         └─ LabelLookup lout [v = $1]
+         └─ SegmentLookup lout [v = $1]
 `,
 	"otm-ea:poi": `FusedPlan cond-otm-ea
 └─ Sort by MIN(ta) asc, v2
    └─ GroupFold MIN(ta) per target
-      └─ BucketProbe otm_ea_poi [hub = n1.hub, dephour = FLOOR(n1.ta / 3600)]
+      └─ SegmentProbe otm_ea_poi [hub = n1.hub, dephour = FLOOR(n1.ta / 3600)]
          ├─ Arm top-k: fold vs/tas
          ├─ Arm expanded: fold vs_exp/tas_exp where n1.ta <= tds_exp
-         └─ LabelLookup lout [v = $1, td >= $2]
+         └─ SegmentLookup lout [v = $1, td >= $2]
 `,
 	"otm-ld:poi": `FusedPlan cond-otm-ld
 └─ Sort by MAX(td) desc, v2
    └─ GroupFold MAX(td) per target
-      └─ BucketProbe otm_ld_poi [hub = n1.hub, arrhour = FLOOR($2 / 3600)]
+      └─ SegmentProbe otm_ld_poi [hub = n1.hub, arrhour = FLOOR($2 / 3600)]
          ├─ Arm top-k: fold vs where tds >= n1.ta
          ├─ Arm expanded: fold vs_exp where tds_exp >= n1.ta and tas_exp <= $2
-         └─ LabelLookup lout [v = $1]
+         └─ SegmentLookup lout [v = $1]
 `,
 }
 
@@ -106,6 +109,45 @@ func TestExplainPreparedGoldens(t *testing.T) {
 		}
 		if got != want {
 			t.Errorf("explain %q:\n got:\n%s want:\n%s", name, got, want)
+		}
+	}
+}
+
+// TestExplainPreparedGoldensSegmentsOff pins the heap-path renderings: with
+// segments disabled every access-path operator reverts to its B+tree/heap
+// name (LabelLookup, TableScan, BucketProbe) while the rest of the tree is
+// unchanged. The expected strings are derived from explainGoldens by exactly
+// that substitution, so the two golden sets can never drift structurally.
+func TestExplainPreparedGoldensSegmentsOff(t *testing.T) {
+	labels := ttl.Build(timetable.PaperExample(), order.Identity(7)).Augment()
+	db, err := sqldb.Open(t.TempDir(), sqldb.Options{
+		Device: storage.RAM, PoolPages: 4096, DisableSegments: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	st, err := Build(db, labels, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddTargetSet("poi", []timetable.StopID{4, 6}, 4); err != nil {
+		t.Fatal(err)
+	}
+	heapOps := strings.NewReplacer(
+		"SegmentLookup", "LabelLookup",
+		"SegmentScan", "TableScan",
+		"SegmentProbe", "BucketProbe",
+	)
+	for name, segGolden := range explainGoldens {
+		want := heapOps.Replace(segGolden)
+		got, err := st.ExplainPrepared(name)
+		if err != nil {
+			t.Errorf("explain %q: %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("explain %q with segments off:\n got:\n%s want:\n%s", name, got, want)
 		}
 	}
 }
@@ -289,5 +331,42 @@ func TestQueryLatencyObserved(t *testing.T) {
 	}
 	if mean := time.Duration(h.MeanUs * 1e3); mean > elapsed {
 		t.Errorf("histogram mean %v exceeds total elapsed %v", mean, elapsed)
+	}
+}
+
+// TestSegmentCountersAndTracePages: the default read path serves label rows
+// from columnar segments and ticks the segment counters, and a cold traced
+// query's PagesRead delta includes the segment page reads (segment I/O flows
+// through the buffer pool like any other page).
+func TestSegmentCountersAndTracePages(t *testing.T) {
+	st, _ := paperStore(t)
+	reg := st.DB.Registry()
+	before := reg.Snapshot()
+
+	if err := st.DB.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	var traces []obs.Trace
+	st.SetTraceHook(func(tr obs.Trace) { traces = append(traces, tr) })
+	if _, ok, err := st.EarliestArrival(1, 1, 32400); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	st.SetTraceHook(nil)
+
+	after := reg.Snapshot()
+	if got := after.Segment.Hits - before.Segment.Hits; got == 0 {
+		t.Error("cold v2v query served no rows from segments")
+	}
+	if got := after.Segment.ColumnsDecoded - before.Segment.ColumnsDecoded; got == 0 {
+		t.Error("segment hit decoded no columns")
+	}
+	if got := after.Segment.BytesRead - before.Segment.BytesRead; got == 0 {
+		t.Error("segment hit read no payload bytes")
+	}
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	if traces[0].PagesRead == 0 {
+		t.Error("cold traced query reported PagesRead = 0; segment reads missing from the pool delta")
 	}
 }

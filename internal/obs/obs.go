@@ -201,6 +201,33 @@ func (m *ExecMetrics) Snapshot() ExecSnapshot {
 	}
 }
 
+// SegmentMetrics are the columnar label segment counters: rows served from
+// a segment (hits), columns decoded out of segment payloads, and compressed
+// payload bytes read. Device page reads for segment files flow through the
+// buffer pool and are counted in PoolMetrics (and hence in Trace.PagesRead)
+// like any other page.
+type SegmentMetrics struct {
+	Hits           Counter
+	ColumnsDecoded Counter
+	BytesRead      Counter
+}
+
+// SegmentSnapshot is a point-in-time copy of SegmentMetrics.
+type SegmentSnapshot struct {
+	Hits           uint64 `json:"hits"`
+	ColumnsDecoded uint64 `json:"columns_decoded"`
+	BytesRead      uint64 `json:"bytes_read"`
+}
+
+// Snapshot copies the segment counters.
+func (m *SegmentMetrics) Snapshot() SegmentSnapshot {
+	return SegmentSnapshot{
+		Hits:           m.Hits.Load(),
+		ColumnsDecoded: m.ColumnsDecoded.Load(),
+		BytesRead:      m.BytesRead.Load(),
+	}
+}
+
 // QueryMetrics are one query Code's counters.
 type QueryMetrics struct {
 	Count   Counter
@@ -217,23 +244,25 @@ type QuerySnapshot struct {
 // points into the buffer pool's own counters (the pool predates the
 // registry in the open sequence); Exec and Query live inline.
 type Registry struct {
-	Pool  *PoolMetrics
-	Exec  ExecMetrics
-	Query [NumCodes]QueryMetrics
+	Pool    *PoolMetrics
+	Exec    ExecMetrics
+	Segment SegmentMetrics
+	Query   [NumCodes]QueryMetrics
 }
 
 // Snapshot is a JSON-marshalable copy of a Registry, the payload of
 // DB.Snapshot and ptldb-bench -obs-out.
 type Snapshot struct {
-	Pool  PoolSnapshot             `json:"pool"`
-	Exec  ExecSnapshot             `json:"exec"`
-	Query map[string]QuerySnapshot `json:"query"`
+	Pool    PoolSnapshot             `json:"pool"`
+	Exec    ExecSnapshot             `json:"exec"`
+	Segment SegmentSnapshot          `json:"segment"`
+	Query   map[string]QuerySnapshot `json:"query"`
 }
 
 // Snapshot copies the registry. Codes that never ran are omitted from the
 // query map.
 func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{Exec: r.Exec.Snapshot(), Query: map[string]QuerySnapshot{}}
+	s := Snapshot{Exec: r.Exec.Snapshot(), Segment: r.Segment.Snapshot(), Query: map[string]QuerySnapshot{}}
 	if r.Pool != nil {
 		s.Pool = r.Pool.Snapshot()
 	}

@@ -51,6 +51,12 @@ type Options struct {
 	// shapes (Codes 1–4); every statement then runs on the general executor.
 	// Used by the -fused=off benchmark ablation and by differential tests.
 	DisableFusedExec bool
+	// DisableSegments turns off the columnar label segments on the read path:
+	// scratch lookups and scans fall back to the B+tree/heap pair. Segment
+	// files are still written during bulk load (the disk image is independent
+	// of this flag); they are simply not opened. Used by the -segments=off
+	// ablation and by differential tests.
+	DisableSegments bool
 }
 
 // DB is one open database directory.
@@ -60,7 +66,8 @@ type DB struct {
 	clock storage.Clock
 	pool  *storage.Pool
 
-	noFused bool
+	noFused    bool
+	noSegments bool
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -92,12 +99,13 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("sqldb: %w", err)
 	}
 	db := &DB{
-		dir:     dir,
-		dev:     opts.Device,
-		pool:    storage.NewPool(opts.PoolPages),
-		noFused: opts.DisableFusedExec,
-		tables:  map[string]*Table{},
-		stmts:   map[string]*Stmt{},
+		dir:        dir,
+		dev:        opts.Device,
+		pool:       storage.NewPool(opts.PoolPages),
+		noFused:    opts.DisableFusedExec,
+		noSegments: opts.DisableSegments,
+		tables:     map[string]*Table{},
+		stmts:      map[string]*Stmt{},
 	}
 	db.reg.Pool = db.pool.Metrics()
 	cat, err := os.ReadFile(db.catalogPath())
@@ -208,6 +216,19 @@ func (db *DB) openTable(def TableDef) (*Table, error) {
 	for _, pk := range def.PK {
 		t.pkCols = append(t.pkCols, colIndex(def.Columns, pk))
 	}
+	// Attach the table's columnar segment when one exists on disk and the
+	// handle has segments enabled. OpenPagedFile creates missing files, so
+	// probe with Stat first — a table without a segment must stay seg-less.
+	if !db.noSegments {
+		segPath := filepath.Join(db.dir, name+".seg")
+		if _, err := os.Stat(segPath); err == nil {
+			if err := t.attachSegment(segPath); err != nil {
+				_ = heapFile.Close()
+				_ = idxFile.Close()
+				return nil, err
+			}
+		}
+	}
 	db.tables[name] = t
 	return t, nil
 }
@@ -251,8 +272,11 @@ func (db *DB) DropTable(name string) error {
 		return err
 	}
 	closeErr := firstError(t.heapFile.Close(), t.idxFile.Close())
+	if t.segFile != nil {
+		closeErr = firstError(closeErr, t.segFile.Close())
+	}
 	delete(db.tables, name)
-	for _, suffix := range []string{".heap", ".idx"} {
+	for _, suffix := range []string{".heap", ".idx", ".seg"} {
 		if err := os.Remove(filepath.Join(db.dir, name+suffix)); err != nil && !os.IsNotExist(err) {
 			return err
 		}
@@ -307,6 +331,9 @@ func (db *DB) Close() error {
 	var closeErr error
 	for _, t := range db.tables {
 		closeErr = firstError(closeErr, t.heapFile.Close(), t.idxFile.Close())
+		if t.segFile != nil {
+			closeErr = firstError(closeErr, t.segFile.Close())
+		}
 	}
 	db.tables = map[string]*Table{}
 	return closeErr
@@ -431,9 +458,16 @@ func (db *DB) Prepare(query string) (*Stmt, error) {
 	st := &Stmt{db: db, sel: sel}
 	if !db.noFused {
 		st.fused = exec.Fuse(sel)
+		if st.fused != nil {
+			st.fused.SetSegments(!db.noSegments)
+		}
 	}
 	return st, nil
 }
+
+// SegmentsEnabled reports whether the handle reads label tables through
+// their columnar segments (Options.DisableSegments unset).
+func (db *DB) SegmentsEnabled() bool { return !db.noSegments }
 
 // Fused reports whether the statement compiled to a fused plan.
 func (s *Stmt) Fused() bool { return s.fused != nil }

@@ -29,6 +29,31 @@ func (p *FusedPlan) Explain() string {
 	return b.String()
 }
 
+// Access-path operator names: segment-backed handles resolve labels through
+// the columnar segment (directory binary search + payload pages), heap-backed
+// ones through the B+tree/heap pair. The operator semantics are identical;
+// the name records which storage path serves the rows.
+func (p *FusedPlan) lookupOp() string {
+	if p.segments {
+		return "SegmentLookup"
+	}
+	return "LabelLookup"
+}
+
+func (p *FusedPlan) scanOp() string {
+	if p.segments {
+		return "SegmentScan"
+	}
+	return "TableScan"
+}
+
+func (p *FusedPlan) probeOp() string {
+	if p.segments {
+		return "SegmentProbe"
+	}
+	return "BucketProbe"
+}
+
 func (p *FusedPlan) explainV2V(b *strings.Builder) {
 	f := p.v2v
 	switch f.op {
@@ -50,8 +75,8 @@ func (p *FusedPlan) explainV2V(b *strings.Builder) {
 		outFilter = fmt.Sprintf(", td >= $%d", f.tParam)
 		inFilter = fmt.Sprintf(", ta <= $%d", f.tEndParam)
 	}
-	fmt.Fprintf(b, "      ├─ LabelLookup %s [v = $%d%s]\n", f.outTable, f.outVParam, outFilter)
-	fmt.Fprintf(b, "      └─ LabelLookup %s [v = $%d%s]\n", f.inTable, f.inVParam, inFilter)
+	fmt.Fprintf(b, "      ├─ %s %s [v = $%d%s]\n", p.lookupOp(), f.outTable, f.outVParam, outFilter)
+	fmt.Fprintf(b, "      └─ %s %s [v = $%d%s]\n", p.lookupOp(), f.inTable, f.inVParam, inFilter)
 }
 
 func (p *FusedPlan) explainKNNNaive(b *strings.Builder) {
@@ -70,9 +95,9 @@ func (p *FusedPlan) explainKNNNaive(b *strings.Builder) {
 	} else {
 		scanFilter = fmt.Sprintf(", ta <= $%d", f.tParam)
 	}
-	fmt.Fprintf(b, "         ├─ LabelLookup %s [v = $%d%s]\n", f.lout, f.qParam, labFilter)
-	fmt.Fprintf(b, "         └─ TableScan %s [vs[1:$%d], tas[1:$%d]%s]\n",
-		f.naive, f.kParam, f.kParam, scanFilter)
+	fmt.Fprintf(b, "         ├─ %s %s [v = $%d%s]\n", p.lookupOp(), f.lout, f.qParam, labFilter)
+	fmt.Fprintf(b, "         └─ %s %s [vs[1:$%d], tas[1:$%d]%s]\n",
+		p.scanOp(), f.naive, f.kParam, f.kParam, scanFilter)
 }
 
 func (p *FusedPlan) explainCondensed(b *strings.Builder) {
@@ -91,8 +116,8 @@ func (p *FusedPlan) explainCondensed(b *strings.Builder) {
 	if !f.ea {
 		bucketSrc = fmt.Sprintf("$%d", f.tParam)
 	}
-	fmt.Fprintf(b, "      └─ BucketProbe %s [hub = n1.hub, %s = FLOOR(%s / %d)]\n",
-		f.aux, f.bucketCol, bucketSrc, f.width)
+	fmt.Fprintf(b, "      └─ %s %s [hub = n1.hub, %s = FLOOR(%s / %d)]\n",
+		p.probeOp(), f.aux, f.bucketCol, bucketSrc, f.width)
 	slice := ""
 	if f.kParam > 0 {
 		slice = fmt.Sprintf("[1:$%d]", f.kParam)
@@ -111,7 +136,7 @@ func (p *FusedPlan) explainCondensed(b *strings.Builder) {
 	if f.ea {
 		labFilter = fmt.Sprintf(", td >= $%d", f.tParam)
 	}
-	fmt.Fprintf(b, "         └─ LabelLookup %s [v = $%d%s]\n", f.lout, f.qParam, labFilter)
+	fmt.Fprintf(b, "         └─ %s %s [v = $%d%s]\n", p.lookupOp(), f.lout, f.qParam, labFilter)
 }
 
 // ExplainSelect renders the structural shape of a statement the general

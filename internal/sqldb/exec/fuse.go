@@ -29,11 +29,18 @@ import (
 var ErrNotFused = errors.New("exec: not eligible for fused execution")
 
 // FusedPlan is a compiled fast path for one recognized label-query shape.
-// Plans are immutable after Fuse and safe for concurrent Run calls.
+// Plans are immutable after Fuse (SetSegments is called once by Prepare
+// before the plan is published) and safe for concurrent Run calls.
 type FusedPlan struct {
 	kind     string
 	schema   Schema
 	maxParam int
+
+	// segments records whether the owning handle reads label tables through
+	// columnar segments. It only affects Explain — the runtime dispatch lives
+	// inside the storage layer's ScratchTable implementation, which this
+	// package reaches through the same interface either way.
+	segments bool
 
 	v2v  *fusedV2V
 	knn  *fusedKNNNaive
@@ -43,6 +50,11 @@ type FusedPlan struct {
 // Kind names the recognized shape ("v2v-ea", "knn-naive-ld", "cond-otm-ea",
 // ...) for tests and diagnostics.
 func (p *FusedPlan) Kind() string { return p.kind }
+
+// SetSegments records whether label reads are served from columnar segments,
+// so Explain renders the matching access-path operators. Called once at
+// prepare time, before the plan is shared.
+func (p *FusedPlan) SetSegments(on bool) { p.segments = on }
 
 // fusedV2V is Code 1: join of one lout and one lin label, MIN/MAX scalar.
 type fusedV2V struct {

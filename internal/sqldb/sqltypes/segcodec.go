@@ -1,0 +1,100 @@
+package sqltypes
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Segment codec: the compact row encoding used by columnar label segments.
+// Unlike EncodeRow it writes no per-value type tags — the column types are
+// fixed by the table schema and stored once in the segment header — so a
+// label row costs exactly its varints. Only Int64 (zigzag varint) and
+// IntArray (uvarint length + per-element delta varints) columns are
+// encodable; NULL, DOUBLE and TEXT make a table segment-ineligible.
+
+// SegEncodable reports whether a column type can appear in a segment.
+func SegEncodable(t Type) bool { return t == Int64 || t == IntArray }
+
+// EncodeSegRow appends the segment encoding of r to buf. Every value must
+// be a non-NULL Int64 or IntArray; anything else is an error (the caller
+// skips segment construction for such tables).
+func EncodeSegRow(buf []byte, r Row) ([]byte, error) {
+	for i, v := range r {
+		switch v.T {
+		case Int64:
+			buf = binary.AppendVarint(buf, v.I)
+		case IntArray:
+			buf = binary.AppendUvarint(buf, uint64(len(v.A)))
+			prev := int64(0)
+			for _, x := range v.A {
+				buf = binary.AppendVarint(buf, x-prev)
+				prev = x
+			}
+		default:
+			return nil, fmt.Errorf("sqltypes: segment cannot encode %s at value %d", v.T, i)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeSegRowInto parses a row written by EncodeSegRow given the column
+// types, reusing caller-owned buffers exactly like DecodeRowInto: the
+// returned Row occupies row's capacity when it suffices, and every BIGINT[]
+// value is carved out of arena, which is returned grown. The arena is
+// append-only; see DecodeRowInto for the retention rules.
+func DecodeSegRowInto(buf []byte, types []Type, row Row, arena []int64) (Row, []int64, error) {
+	var r Row
+	if cap(row) >= len(types) {
+		r = row[:len(types)]
+	} else {
+		r = make(Row, len(types))
+	}
+	for i, t := range types {
+		switch t {
+		case Int64:
+			v, k := binary.Varint(buf)
+			if k <= 0 {
+				return nil, arena, fmt.Errorf("sqltypes: corrupt segment int at value %d", i)
+			}
+			buf = buf[k:]
+			r[i] = NewInt(v)
+		case IntArray:
+			ln, k := binary.Uvarint(buf)
+			if k <= 0 {
+				return nil, arena, fmt.Errorf("sqltypes: corrupt segment array at value %d", i)
+			}
+			buf = buf[k:]
+			if free := cap(arena) - len(arena); free < int(ln) {
+				grown := 2 * cap(arena)
+				if grown < len(arena)+int(ln) {
+					grown = len(arena) + int(ln)
+				}
+				if grown < 64 {
+					grown = 64
+				}
+				na := make([]int64, len(arena), grown)
+				copy(na, arena)
+				arena = na
+			}
+			a := arena[len(arena) : len(arena)+int(ln) : len(arena)+int(ln)]
+			arena = arena[:len(arena)+int(ln)]
+			prev := int64(0)
+			for j := range a {
+				d, k := binary.Varint(buf)
+				if k <= 0 {
+					return nil, arena, fmt.Errorf("sqltypes: corrupt segment array element %d of value %d", j, i)
+				}
+				buf = buf[k:]
+				prev += d
+				a[j] = prev
+			}
+			r[i] = NewIntArray(a)
+		default:
+			return nil, arena, fmt.Errorf("sqltypes: segment cannot decode %s at value %d", t, i)
+		}
+	}
+	if len(buf) != 0 {
+		return nil, arena, fmt.Errorf("sqltypes: %d trailing bytes after segment row", len(buf))
+	}
+	return r, arena, nil
+}

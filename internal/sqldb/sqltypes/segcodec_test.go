@@ -1,0 +1,202 @@
+package sqltypes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSegRow draws a row shaped like a label-table row: a leading Int64 key
+// plus IntArray columns, with the pathological shapes (empty arrays,
+// single-element arrays, max-magnitude deltas) over-represented.
+func randSegRow(rng *rand.Rand, types []Type) Row {
+	r := make(Row, len(types))
+	for i, t := range types {
+		switch t {
+		case Int64:
+			switch rng.Intn(4) {
+			case 0:
+				r[i] = NewInt(math.MaxInt64)
+			case 1:
+				r[i] = NewInt(math.MinInt64)
+			default:
+				r[i] = NewInt(rng.Int63n(1 << 40))
+			}
+		case IntArray:
+			var a []int64
+			switch rng.Intn(5) {
+			case 0: // empty label run
+				a = []int64{}
+			case 1: // single-label stop
+				a = []int64{rng.Int63n(1 << 32)}
+			case 2: // max-int64 deltas: alternating extremes
+				n := 1 + rng.Intn(6)
+				a = make([]int64, n)
+				for j := range a {
+					if j%2 == 0 {
+						a[j] = math.MaxInt64
+					} else {
+						a[j] = math.MinInt64
+					}
+				}
+			default: // typical sorted label run
+				n := rng.Intn(64)
+				a = make([]int64, n)
+				v := int64(0)
+				for j := range a {
+					v += rng.Int63n(1 << 20)
+					a[j] = v
+				}
+			}
+			r[i] = NewIntArray(a)
+		}
+	}
+	return r
+}
+
+func rowsEqual(t *testing.T, want, got Row) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("row length: want %d got %d", len(want), len(got))
+	}
+	for i := range want {
+		if !Equal(want[i], got[i]) {
+			t.Fatalf("value %d: want %v got %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestSegCodecRoundTripFuzz is the seeded fuzz round-trip for the segment
+// codec, covering empty runs, single-label stops and max-int64 deltas.
+func TestSegCodecRoundTripFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1316))
+	shapes := [][]Type{
+		{Int64, IntArray, IntArray, IntArray},             // lout/lin
+		{Int64, Int64, IntArray, IntArray},                // naive kNN (hub, td, vs, tas)
+		{Int64, Int64, Int64, Int64, Int64, Int64, Int64}, // condensed
+		{Int64},
+		{IntArray},
+	}
+	var buf []byte
+	var row Row
+	var arena []int64
+	for iter := 0; iter < 2000; iter++ {
+		types := shapes[rng.Intn(len(shapes))]
+		in := randSegRow(rng, types)
+		var err error
+		buf, err = EncodeSegRow(buf[:0], in)
+		if err != nil {
+			t.Fatalf("iter %d: encode: %v", iter, err)
+		}
+		row, arena, err = DecodeSegRowInto(buf, types, row, arena[:0])
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v", iter, err)
+		}
+		rowsEqual(t, in, row)
+	}
+}
+
+// TestSegCodecMatchesRowCodec cross-checks the two codecs: a segment row
+// decoded by DecodeSegRowInto must equal the same row round-tripped through
+// the tagged EncodeRow/DecodeRow pair.
+func TestSegCodecMatchesRowCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	types := []Type{Int64, IntArray, IntArray, IntArray}
+	for iter := 0; iter < 200; iter++ {
+		in := randSegRow(rng, types)
+		seg, err := EncodeSegRow(nil, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := DecodeSegRowInto(seg, types, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaTagged, err := DecodeRow(EncodeRow(nil, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsEqual(t, viaTagged, got)
+	}
+}
+
+// TestSegCodecRejectsIneligible pins the eligibility rule: NULL, DOUBLE and
+// TEXT values refuse to encode, and mismatched schemas refuse to decode.
+func TestSegCodecRejectsIneligible(t *testing.T) {
+	for _, r := range []Row{
+		{Null},
+		{NewFloat(1.5)},
+		{NewText("x")},
+		{NewInt(1), Null},
+	} {
+		if _, err := EncodeSegRow(nil, r); err == nil {
+			t.Fatalf("EncodeSegRow(%v) succeeded, want error", r)
+		}
+	}
+	if _, _, err := DecodeSegRowInto(nil, []Type{Text}, nil, nil); err == nil {
+		t.Fatal("DecodeSegRowInto with Text schema succeeded, want error")
+	}
+	// Trailing garbage after a well-formed row must be rejected.
+	buf, err := EncodeSegRow(nil, Row{NewInt(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeSegRowInto(append(buf, 0x01), []Type{Int64}, nil, nil); err == nil {
+		t.Fatal("trailing bytes accepted, want error")
+	}
+}
+
+// TestSegDecodeArenaAliasing is the aliasing-hostile test: arrays carved out
+// of the arena for row A must stay intact while row B decodes into the same
+// growing arena, across reallocation boundaries.
+func TestSegDecodeArenaAliasing(t *testing.T) {
+	types := []Type{Int64, IntArray}
+	mk := func(base int64, n int) Row {
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = base + int64(i)
+		}
+		return Row{NewInt(base), NewIntArray(a)}
+	}
+	rowA := mk(100, 48) // large enough to force the first growth
+	rowB := mk(9000, 512)
+
+	bufA, err := EncodeSegRow(nil, rowA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB, err := EncodeSegRow(nil, rowB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decA, arena, err := DecodeSegRowInto(bufA, types, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heldA := decA[1].A // retained view into the arena
+	// Decoding B keeps (does not truncate) the arena, so A's view must
+	// survive the reallocation that B's 512 elements force.
+	decB, arena, err := DecodeSegRowInto(bufB, types, nil, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range heldA {
+		if v != 100+int64(i) {
+			t.Fatalf("row A array clobbered at %d: got %d", i, v)
+		}
+	}
+	for i, v := range decB[1].A {
+		if v != 9000+int64(i) {
+			t.Fatalf("row B array wrong at %d: got %d", i, v)
+		}
+	}
+	// The carved slices must be capacity-clamped: appending to A's view
+	// cannot overwrite B's data.
+	grown := append(heldA, -1)
+	if decB[1].A[0] != 9000 {
+		t.Fatalf("append through row A view clobbered row B: %d", decB[1].A[0])
+	}
+	_ = grown
+	_ = arena
+}

@@ -1,0 +1,297 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Segment is the immutable columnar label file of one table: the row
+// payloads (opaque to this package — sqldb encodes them with the tag-free
+// segment codec) packed back to back in a page-aligned data region, plus an
+// in-memory directory mapping each primary key to its payload's offset and
+// length. The directory is decoded once at open, so a cold lookup costs only
+// the payload's own pages — no header, B+tree or slotted-page traffic —
+// which is where the paper-style label layout wins over the heap path.
+//
+// File layout (all little-endian):
+//
+//	page 0              header: magic, version, row/column counts, pk width,
+//	                    directory location, data size, column kind tags
+//	pages 1..D          data region: payloads back to back, spilling across
+//	                    page boundaries, zero-padded to a page
+//	pages D+1..end      directory: per row varint key0, varint key1,
+//	                    uvarint payload length, zero-padded to a page
+//
+// A segment is written once by WriteSegmentFile during bulk load and never
+// mutated; its bytes are a pure function of the row set, which is what keeps
+// build output byte-identical at every worker count.
+type Segment struct {
+	file *PagedFile
+	pool *Pool
+
+	cols  []byte // column kind tags, opaque to storage
+	pkLen int
+
+	keys []Key    // ascending, one per row
+	offs []int64  // payload start offsets within the data region
+	lens []uint32 // payload lengths
+}
+
+// SegmentData is the input to WriteSegmentFile: one table's rows in key
+// order, already encoded.
+type SegmentData struct {
+	Cols  []byte   // one kind tag per column
+	PKLen int      // leading key components in use (1 or 2)
+	Keys  []Key    // strictly ascending
+	Lens  []uint32 // payload length per row
+	Data  []byte   // concatenated payloads, len == sum(Lens)
+}
+
+const (
+	segmentMagic   = 0x50545331 // "PTS1"
+	segmentVersion = 1
+	segHeaderBytes = 44
+)
+
+// WriteSegmentFile writes sd to a fresh segment file at path, replacing any
+// existing file. Writes are page-granular through a PagedFile so the device
+// model charges them like any other build I/O.
+func WriteSegmentFile(path string, dev DeviceModel, clock *Clock, sd SegmentData) error {
+	if len(sd.Keys) != len(sd.Lens) {
+		return fmt.Errorf("storage: segment %s: %d keys vs %d lens", path, len(sd.Keys), len(sd.Lens))
+	}
+	if sd.PKLen < 1 || sd.PKLen > 2 {
+		return fmt.Errorf("storage: segment %s: pk width %d out of range", path, sd.PKLen)
+	}
+	if segHeaderBytes+len(sd.Cols) > PageSize {
+		return fmt.Errorf("storage: segment %s: %d columns overflow the header page", path, len(sd.Cols))
+	}
+	var total uint64
+	for i, ln := range sd.Lens {
+		total += uint64(ln)
+		if i > 0 && !keyLess(sd.Keys[i-1], sd.Keys[i]) {
+			return fmt.Errorf("storage: segment %s: keys not strictly ascending at row %d", path, i)
+		}
+	}
+	if total != uint64(len(sd.Data)) {
+		return fmt.Errorf("storage: segment %s: %d data bytes vs %d from lens", path, len(sd.Data), total)
+	}
+
+	// Build the directory image.
+	var dir []byte
+	for i, k := range sd.Keys {
+		dir = binary.AppendVarint(dir, k[0])
+		dir = binary.AppendVarint(dir, k[1])
+		dir = binary.AppendUvarint(dir, uint64(sd.Lens[i]))
+	}
+
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: segment %s: %w", path, err)
+	}
+	f, err := OpenPagedFile(path, dev, clock)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	dataPages := (len(sd.Data) + PageSize - 1) / PageSize
+	dirPage := 1 + dataPages
+
+	var page [PageSize]byte
+	binary.LittleEndian.PutUint32(page[0:], segmentMagic)
+	binary.LittleEndian.PutUint32(page[4:], segmentVersion)
+	binary.LittleEndian.PutUint64(page[8:], uint64(len(sd.Keys)))
+	binary.LittleEndian.PutUint32(page[16:], uint32(len(sd.Cols)))
+	binary.LittleEndian.PutUint32(page[20:], uint32(sd.PKLen))
+	binary.LittleEndian.PutUint32(page[24:], uint32(dirPage))
+	binary.LittleEndian.PutUint64(page[28:], uint64(len(dir)))
+	binary.LittleEndian.PutUint64(page[36:], uint64(len(sd.Data)))
+	copy(page[segHeaderBytes:], sd.Cols)
+	if err := writeSegPage(f, page[:]); err != nil {
+		return err
+	}
+	if err := writeSegRegion(f, sd.Data); err != nil {
+		return err
+	}
+	if err := writeSegRegion(f, dir); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// writeSegPage allocates the next page and stores buf (len PageSize) there.
+func writeSegPage(f *PagedFile, buf []byte) error {
+	id, err := f.Allocate()
+	if err != nil {
+		return err
+	}
+	return f.WritePage(id, buf)
+}
+
+// writeSegRegion stores b page by page, zero-padding the tail.
+func writeSegRegion(f *PagedFile, b []byte) error {
+	var page [PageSize]byte
+	for len(b) > 0 {
+		n := copy(page[:], b)
+		for i := n; i < PageSize; i++ {
+			page[i] = 0
+		}
+		if err := writeSegPage(f, page[:]); err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	return nil
+}
+
+// keyLess orders keys by first then second component.
+func keyLess(a, b Key) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// OpenSegment opens a segment over file, decoding the directory into memory.
+// The header and directory pages are read directly from the device — they
+// are touched exactly once per open, so caching them would only displace
+// label pages from the pool.
+func OpenSegment(file *PagedFile, pool *Pool) (*Segment, error) {
+	var page [PageSize]byte
+	if file.NumPages() == 0 {
+		return nil, fmt.Errorf("storage: empty segment file")
+	}
+	if err := file.ReadPage(0, page[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(page[0:]) != segmentMagic {
+		return nil, fmt.Errorf("storage: bad segment magic")
+	}
+	if v := binary.LittleEndian.Uint32(page[4:]); v != segmentVersion {
+		return nil, fmt.Errorf("storage: segment version %d not supported", v)
+	}
+	nRows := binary.LittleEndian.Uint64(page[8:])
+	nCols := binary.LittleEndian.Uint32(page[16:])
+	pkLen := binary.LittleEndian.Uint32(page[20:])
+	dirPage := binary.LittleEndian.Uint32(page[24:])
+	dirBytes := binary.LittleEndian.Uint64(page[28:])
+	dataBytes := binary.LittleEndian.Uint64(page[36:])
+	if segHeaderBytes+int(nCols) > PageSize || pkLen < 1 || pkLen > 2 {
+		return nil, fmt.Errorf("storage: corrupt segment header")
+	}
+	s := &Segment{
+		file:  file,
+		pool:  pool,
+		cols:  append([]byte(nil), page[segHeaderBytes:segHeaderBytes+int(nCols)]...),
+		pkLen: int(pkLen),
+		keys:  make([]Key, 0, nRows),
+		offs:  make([]int64, 0, nRows),
+		lens:  make([]uint32, 0, nRows),
+	}
+
+	// Read and decode the directory.
+	dir := make([]byte, dirBytes)
+	for off := uint64(0); off < dirBytes; off += PageSize {
+		id := PageID(uint64(dirPage) + off/PageSize)
+		if err := file.ReadPage(id, page[:]); err != nil {
+			return nil, err
+		}
+		copy(dir[off:], page[:])
+	}
+	var dataOff int64
+	for i := uint64(0); i < nRows; i++ {
+		var k Key
+		v, n := binary.Varint(dir)
+		if n <= 0 {
+			return nil, fmt.Errorf("storage: corrupt segment directory at row %d", i)
+		}
+		k[0], dir = v, dir[n:]
+		v, n = binary.Varint(dir)
+		if n <= 0 {
+			return nil, fmt.Errorf("storage: corrupt segment directory at row %d", i)
+		}
+		k[1], dir = v, dir[n:]
+		ln, n := binary.Uvarint(dir)
+		if n <= 0 {
+			return nil, fmt.Errorf("storage: corrupt segment directory at row %d", i)
+		}
+		dir = dir[n:]
+		if i > 0 && !keyLess(s.keys[i-1], k) {
+			return nil, fmt.Errorf("storage: segment directory not ascending at row %d", i)
+		}
+		s.keys = append(s.keys, k)
+		s.offs = append(s.offs, dataOff)
+		s.lens = append(s.lens, uint32(ln))
+		dataOff += int64(ln)
+	}
+	if uint64(dataOff) != dataBytes {
+		return nil, fmt.Errorf("storage: segment directory sums to %d bytes, header says %d", dataOff, dataBytes)
+	}
+	return s, nil
+}
+
+// NumRows returns the row count.
+func (s *Segment) NumRows() int { return len(s.keys) }
+
+// Cols returns the column kind tags recorded at write time.
+func (s *Segment) Cols() []byte { return s.cols }
+
+// PKLen returns the number of key components in use.
+func (s *Segment) PKLen() int { return s.pkLen }
+
+// Key returns row i's key.
+func (s *Segment) Key(i int) Key { return s.keys[i] }
+
+// RowLen returns row i's payload length in bytes.
+func (s *Segment) RowLen(i int) uint32 { return s.lens[i] }
+
+// Find binary-searches the directory for key, returning the row index. The
+// loop is written out (no sort.Search closure) to stay allocation-free on
+// the query hot path.
+func (s *Segment) Find(key Key) (int, bool) {
+	lo, hi := 0, len(s.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keyLess(s.keys[mid], key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.keys) && s.keys[lo] == key {
+		return lo, true
+	}
+	return 0, false
+}
+
+// ReadRow copies row i's payload out of the data region through the buffer
+// pool, reusing buf's capacity when it suffices. Payload pages are the only
+// pages touched, so a cold lookup is charged exactly its payload's pages.
+func (s *Segment) ReadRow(i int, buf []byte) ([]byte, error) {
+	if i < 0 || i >= len(s.keys) {
+		return nil, fmt.Errorf("storage: segment row %d of %d", i, len(s.keys))
+	}
+	ln := int(s.lens[i])
+	var out []byte
+	if cap(buf) >= ln {
+		out = buf[:ln]
+	} else {
+		out = make([]byte, ln)
+	}
+	rem := out
+	page := PageID(1 + s.offs[i]/PageSize)
+	off := uint32(s.offs[i] % PageSize)
+	for len(rem) > 0 {
+		fr, err := s.pool.Get(s.file, page)
+		if err != nil {
+			return nil, err
+		}
+		c := copy(rem, fr.Data()[off:])
+		s.pool.Unpin(fr)
+		rem = rem[c:]
+		page++
+		off = 0
+	}
+	return out, nil
+}

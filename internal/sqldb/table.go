@@ -2,6 +2,8 @@ package sqldb
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 
 	"ptldb/internal/sqldb/exec"
@@ -10,7 +12,12 @@ import (
 )
 
 // Table is one stored table: an append-only heap of encoded rows plus a
-// B+tree primary-key index mapping key values to heap locators.
+// B+tree primary-key index mapping key values to heap locators. Tables whose
+// columns are all BIGINT/BIGINT[] (the label tables) additionally carry an
+// immutable columnar segment built at bulk load; when attached, the scratch
+// read paths (LookupPKScratch/ScanScratch) serve rows from it instead of the
+// B+tree/heap pair, while the non-scratch paths stay on the heap as the
+// general-executor correctness oracle.
 type Table struct {
 	def    TableDef
 	db     *DB
@@ -19,6 +26,13 @@ type Table struct {
 	heapFile, idxFile *storage.PagedFile
 	heap              *storage.RowStore
 	idx               *storage.BTree
+
+	// Columnar segment, attached when a .seg file exists and the handle has
+	// segments enabled. segTypes caches the column types in storage order so
+	// hot-path decodes never walk the TableDef.
+	segFile  *storage.PagedFile
+	seg      *storage.Segment
+	segTypes []sqltypes.Type
 
 	// Access counters: primary-key lookups answered (hit or miss) and full
 	// scans started. They let tests verify the paper's secondary-storage
@@ -90,6 +104,10 @@ func (t *Table) Insert(row sqltypes.Row) error {
 			return fmt.Errorf("sqldb: %s: duplicate primary key %v", t.def.Name, key)
 		}
 	}
+	// A point write would leave an attached segment stale; drop it first.
+	if err := t.dropSegment(); err != nil {
+		return err
+	}
 	loc, err := t.heap.Append(sqltypes.EncodeRow(nil, row))
 	if err != nil {
 		return err
@@ -112,6 +130,9 @@ func (t *Table) ReplaceByPK(row sqltypes.Row) error {
 	}
 	key, err := t.keyOf(row)
 	if err != nil {
+		return err
+	}
+	if err := t.dropSegment(); err != nil {
 		return err
 	}
 	loc, err := t.heap.Append(sqltypes.EncodeRow(nil, row))
@@ -179,7 +200,119 @@ func (t *Table) BulkLoad(rows []sqltypes.Row) error {
 	if keys == nil {
 		return nil
 	}
-	return t.idx.BulkLoad(entries)
+	if err := t.idx.BulkLoad(entries); err != nil {
+		return err
+	}
+	return t.buildSegment(rows, keys)
+}
+
+// segPath returns the table's segment file path.
+func (t *Table) segPath() string {
+	return filepath.Join(t.db.dir, t.def.Name+".seg")
+}
+
+// segEligible reports whether the table's schema allows a columnar segment:
+// a primary key plus all-BIGINT/BIGINT[] columns.
+func (t *Table) segEligible() bool {
+	if len(t.pkCols) == 0 {
+		return false
+	}
+	for _, c := range t.def.Columns {
+		if !sqltypes.SegEncodable(c.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildSegment writes the table's columnar segment from the freshly
+// bulk-loaded rows (already validated, in strictly ascending key order) and
+// attaches it unless the handle has segments disabled. The file is written
+// regardless of the DisableSegments flag so the on-disk image is a pure
+// function of the data — the build-determinism tests compare whole
+// directories across worker counts and configurations. Tables with an
+// ineligible schema, or with NULL values (allowed by checkRow but not
+// representable in the tag-free segment codec), simply skip the segment and
+// stay on the heap path.
+func (t *Table) buildSegment(rows []sqltypes.Row, keys []storage.Key) error {
+	if !t.segEligible() {
+		return nil
+	}
+	sd := storage.SegmentData{
+		Cols:  make([]byte, len(t.def.Columns)),
+		PKLen: len(t.pkCols),
+		Keys:  keys,
+		Lens:  make([]uint32, 0, len(rows)),
+	}
+	for i, c := range t.def.Columns {
+		sd.Cols[i] = byte(c.Type)
+	}
+	for _, r := range rows {
+		start := len(sd.Data)
+		data, err := sqltypes.EncodeSegRow(sd.Data, r)
+		if err != nil {
+			return nil // NULL value somewhere: not segment-representable
+		}
+		sd.Data = data
+		sd.Lens = append(sd.Lens, uint32(len(sd.Data)-start))
+	}
+	if err := storage.WriteSegmentFile(t.segPath(), t.db.dev, &t.db.clock, sd); err != nil {
+		return err
+	}
+	if t.db.noSegments {
+		return nil
+	}
+	return t.attachSegment(t.segPath())
+}
+
+// attachSegment opens the segment file at path and routes the scratch read
+// paths through it, validating the stored layout against the table schema.
+func (t *Table) attachSegment(path string) error {
+	f, err := storage.OpenPagedFile(path, t.db.dev, &t.db.clock)
+	if err != nil {
+		return err
+	}
+	t.db.pool.Register(f)
+	seg, err := storage.OpenSegment(f, t.db.pool)
+	if err != nil {
+		_ = f.Close()
+		return fmt.Errorf("sqldb: %s: %w", t.def.Name, err)
+	}
+	cols := seg.Cols()
+	if len(cols) != len(t.def.Columns) || seg.PKLen() != len(t.pkCols) {
+		_ = f.Close()
+		return fmt.Errorf("sqldb: %s: segment layout (%d cols, pk %d) does not match schema (%d cols, pk %d)",
+			t.def.Name, len(cols), seg.PKLen(), len(t.def.Columns), len(t.pkCols))
+	}
+	types := make([]sqltypes.Type, len(cols))
+	for i, k := range cols {
+		if sqltypes.Type(k) != t.def.Columns[i].Type {
+			_ = f.Close()
+			return fmt.Errorf("sqldb: %s: segment column %d is %s, schema says %s",
+				t.def.Name, i, sqltypes.Type(k), t.def.Columns[i].Type)
+		}
+		types[i] = sqltypes.Type(k)
+	}
+	t.segFile, t.seg, t.segTypes = f, seg, types
+	return nil
+}
+
+// dropSegment detaches and deletes the table's segment. Point writes
+// (Insert/ReplaceByPK) call it so a segment can never serve stale rows; the
+// engine's tables are bulk-load-then-read-only, so in practice this only
+// fires for the metadata table, which is never segmented.
+func (t *Table) dropSegment() error {
+	if t.seg != nil {
+		err := t.segFile.Close()
+		t.segFile, t.seg, t.segTypes = nil, nil, nil
+		if err != nil {
+			return err
+		}
+	}
+	if err := os.Remove(t.segPath()); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 func (t *Table) keyOf(row sqltypes.Row) (storage.Key, error) {
@@ -241,6 +374,30 @@ func (t *Table) LookupPKScratch(keyVals []int64, s *exec.RowScratch) (sqltypes.R
 	t.lookups.Add(1)
 	var key storage.Key
 	copy(key[:], keyVals)
+	if t.seg != nil {
+		// Segment path: binary search the in-memory directory, copy the
+		// payload's pages, decode tag-free. No header, B+tree or slotted-page
+		// traffic — cold I/O is exactly the payload's pages.
+		i, ok := t.seg.Find(key)
+		if !ok {
+			return nil, false, nil
+		}
+		data, err := t.seg.ReadRow(i, s.Buf)
+		if err != nil {
+			return nil, false, err
+		}
+		s.Buf = data
+		row, arena, err := sqltypes.DecodeSegRowInto(data, t.segTypes, s.Row, s.Arena)
+		if err != nil {
+			return nil, false, fmt.Errorf("sqldb: %s: %w", t.def.Name, err)
+		}
+		s.Row, s.Arena = row, arena
+		t.db.reg.Segment.Hits.Add(1)
+		t.db.reg.Segment.ColumnsDecoded.Add(uint64(len(t.segTypes)))
+		t.db.reg.Segment.BytesRead.Add(uint64(len(data)))
+		t.db.reg.Exec.RowsScanned.Add(1)
+		return row, true, nil
+	}
 	loc, ok, err := t.idx.Get(key)
 	if err != nil || !ok {
 		return nil, false, err
@@ -283,6 +440,35 @@ func (t *Table) ScanScratch(s *exec.RowScratch, fn func(sqltypes.Row) error) err
 			t.db.reg.Exec.RowsScanned.Add(1)
 			return fn(row)
 		})
+	}
+	if t.seg != nil {
+		// Segment path: the directory is already in key order, so iterating
+		// it reproduces the cursor walk without touching the B+tree. Counters
+		// accumulate locally and publish once at the end.
+		rows, bytesRead := uint64(0), uint64(0)
+		n := t.seg.NumRows()
+		for i := 0; i < n; i++ {
+			data, err := t.seg.ReadRow(i, s.Buf)
+			if err != nil {
+				return err
+			}
+			s.Buf = data
+			row, arena, err := sqltypes.DecodeSegRowInto(data, t.segTypes, s.Row, s.Arena[:0])
+			if err != nil {
+				return fmt.Errorf("sqldb: %s: %w", t.def.Name, err)
+			}
+			s.Row, s.Arena = row, arena
+			rows++
+			bytesRead += uint64(len(data))
+			if err := fn(row); err != nil {
+				return err
+			}
+		}
+		t.db.reg.Segment.Hits.Add(rows)
+		t.db.reg.Segment.ColumnsDecoded.Add(rows * uint64(len(t.segTypes)))
+		t.db.reg.Segment.BytesRead.Add(bytesRead)
+		t.db.reg.Exec.RowsScanned.Add(rows)
+		return nil
 	}
 	cur, err := t.idx.SeekFirst()
 	if err != nil {

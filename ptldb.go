@@ -115,6 +115,13 @@ type Config struct {
 	// executor. The ptldb-bench -fused=off ablation and the differential
 	// tests use this; it has no effect on query answers.
 	DisableFusedExec bool
+	// DisableSegments turns off the columnar label segments on the read path:
+	// label lookups and scans go back to the B+tree/heap pair. Segment files
+	// are still written during builds — the on-disk image is independent of
+	// this flag — they are simply not opened. The ptldb-bench -segments=off
+	// ablation and the differential tests use this; it has no effect on query
+	// answers.
+	DisableSegments bool
 	// BuildWorkers bounds the preprocessing parallelism (default GOMAXPROCS):
 	// TTL label construction runs rank-batched waves of this width, and the
 	// table loads of Create / AddTargetSet / AddVersion run on a worker pool
@@ -245,6 +252,7 @@ func CreateWithStats(dir string, tt *Network, cfg Config) (*DB, PreprocessStats,
 	start = time.Now()
 	sdb, err := sqldb.Open(dir, sqldb.Options{
 		Device: dev, PoolPages: cfg.PoolPages, DisableFusedExec: cfg.DisableFusedExec,
+		DisableSegments: cfg.DisableSegments,
 	})
 	if err != nil {
 		return nil, stats, err
@@ -279,6 +287,7 @@ func Open(dir string, cfg Config) (*DB, error) {
 	}
 	sdb, err := sqldb.Open(dir, sqldb.Options{
 		Device: dev, PoolPages: cfg.PoolPages, DisableFusedExec: cfg.DisableFusedExec,
+		DisableSegments: cfg.DisableSegments,
 	})
 	if err != nil {
 		return nil, err

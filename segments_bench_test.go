@@ -1,0 +1,66 @@
+package ptldb
+
+// BenchmarkSegments measures the columnar label segments against the
+// B+tree/heap read path on the same database directory — the numbers
+// recorded in BENCH_segments.json. The warm sub-benchmarks run on the RAM
+// device so the delta is pure decode CPU; the cold sub-benchmarks drop the
+// buffer pool before every query and report the device page reads per query
+// (pages/op), which is where the compressed format pays off.
+
+import "testing"
+
+func BenchmarkSegments(b *testing.B) {
+	tt, dir := benchSetup(b)
+	const pool = 4096
+	src, dst, starts, _ := benchWorkload(tt, pool)
+
+	for _, path := range []string{"segments", "heap"} {
+		db, err := Open(dir, Config{Device: "ram", DisableSegments: path == "heap"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		set := benchEnsureSet(b, db, tt, 0.01, 4)
+
+		b.Run("warm/V2V-EA/"+path, func(b *testing.B) {
+			runQueries(b, db, func(i int) error {
+				j := i % pool
+				_, _, err := db.EarliestArrival(src[j], dst[j], starts[j])
+				return err
+			})
+		})
+		b.Run("warm/KNN-EA/"+path, func(b *testing.B) {
+			runQueries(b, db, func(i int) error {
+				_, err := db.EAKNN(set, src[i%pool], starts[i%pool], 4)
+				return err
+			})
+		})
+		b.Run("cold/V2V-EA/"+path, func(b *testing.B) {
+			b.ReportAllocs()
+			before := db.Snapshot().Pool.Misses
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := db.DropCaches(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				j := i % pool
+				if _, _, err := db.EarliestArrival(src[j], dst[j], starts[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			misses := db.Snapshot().Pool.Misses - before
+			b.ReportMetric(float64(misses)/float64(b.N), "pages/op")
+		})
+
+		// Sanity: the intended read path served this handle. Hits may be 0
+		// when -bench filters out every sub-benchmark of this path.
+		if hits := db.Snapshot().Segment.Hits; path == "heap" && hits != 0 {
+			b.Fatalf("heap handle served %d rows from segments", hits)
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

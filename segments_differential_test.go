@@ -1,0 +1,72 @@
+package ptldb
+
+import (
+	"testing"
+
+	"ptldb/internal/timetable"
+)
+
+// segmentsDifferential builds one database from tt, runs the full seeded
+// query battery with columnar segments enabled (the default), reopens the
+// same directory with DisableSegments, reruns the identical battery, and
+// requires every answer to match. The segment counters prove which read
+// path actually served each handle.
+func segmentsDifferential(t *testing.T, tt *Network, targets []StopID) {
+	t.Helper()
+	dir := t.TempDir()
+
+	sdb, err := Create(dir, tt, Config{Device: "ram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sdb.AddTargetSet("poi", targets, 4); err != nil {
+		sdb.Close()
+		t.Fatal(err)
+	}
+	segmented := fusedBattery(t, sdb, tt)
+	if hits := sdb.Snapshot().Segment.Hits; hits == 0 {
+		t.Error("segments-on handle served no rows from segments")
+	}
+	if err := sdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	hdb, err := Open(dir, Config{Device: "ram", DisableSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hdb.Close()
+	heap := fusedBattery(t, hdb, tt)
+	if hits := hdb.Snapshot().Segment.Hits; hits != 0 {
+		t.Errorf("DisableSegments handle served %d rows from segments, want 0", hits)
+	}
+
+	if len(segmented) != len(heap) {
+		t.Fatalf("battery sizes differ: %d vs %d", len(segmented), len(heap))
+	}
+	for i := range segmented {
+		if segmented[i] != heap[i] {
+			t.Errorf("answer %d differs:\n  segments: %s\n  heap:     %s", i, segmented[i], heap[i])
+		}
+	}
+}
+
+// TestSegmentsMatchHeapPaperExample runs the differential battery on the
+// paper's Figure 1 network, where every answer is small enough to check by
+// hand.
+func TestSegmentsMatchHeapPaperExample(t *testing.T) {
+	tt := timetable.PaperExample()
+	segmentsDifferential(t, tt, []StopID{4, 6})
+}
+
+// TestSegmentsMatchHeapSyntheticCity runs the differential battery on a
+// synthetic city large enough that label runs span multiple segment pages.
+func TestSegmentsMatchHeapSyntheticCity(t *testing.T) {
+	tt, err := GenerateCity("Austin", 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tt.NumStops()
+	targets := []StopID{StopID(1 % n), StopID(2 % n), StopID(5 % n), StopID(n - 1)}
+	segmentsDifferential(t, tt, targets)
+}
