@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint build test race bench-concurrency bench-quick bench-build bench-segments
+.PHONY: check lint build test race bench-concurrency bench-quick bench-build bench-segments bench-vcache
 
 # The pre-merge gate: vet + lint + build + full suite under the race detector.
 check:
@@ -36,6 +36,11 @@ bench-build:
 # BENCH_segments.json): warm ns/op plus cold device pages per query.
 bench-segments:
 	$(GO) test -run '^$$' -bench 'BenchmarkSegments' -benchtime 100x .
+
+# Resident vector cache vs the segment read path, warm (see
+# BENCH_vcache.json); the budget sweep lives in `ptldb-bench -exp vcache`.
+bench-vcache:
+	$(GO) test -run '^$$' -bench 'BenchmarkVCache' -benchtime 100x .
 
 # Smoke run of the fused-vs-general executor benchmarks (see BENCH_exec.json):
 # a few iterations each, enough to catch fused-path fallbacks or crashes

@@ -56,8 +56,13 @@ func benchSetup(b *testing.B) (*Network, string) {
 			benchState.err = err
 			return
 		}
+		// benchDatasetFormat versions the cached dataset directory: bump it
+		// whenever the on-disk format changes (e.g. the segment header CRC in
+		// v2), or a stale cache would silently demote every table to the heap
+		// path and the benchmarks would measure the wrong tier.
+		const benchDatasetFormat = 2
 		dir := filepath.Join(os.TempDir(),
-			fmt.Sprintf("ptldb-gobench-%s-%04d", benchState.city, int(benchState.scale*10000)))
+			fmt.Sprintf("ptldb-gobench-%s-%04d-f%d", benchState.city, int(benchState.scale*10000), benchDatasetFormat))
 		if _, err := os.Stat(filepath.Join(dir, "catalog.json")); err != nil {
 			db, pre, err := CreateWithStats(dir, tt, Config{Device: "ram"})
 			if err != nil {

@@ -38,6 +38,8 @@ func main() {
 		workers  = flag.Int("build-workers", 0, "preprocessing parallelism for database builds (0 = GOMAXPROCS)")
 		fused    = flag.String("fused", "on", "fused label-query execution: on or off (ablation)")
 		segments = flag.String("segments", "on", "columnar label segments on the read path: on or off (ablation)")
+		vcache   = flag.String("vcache", "on", "resident vector cache over the segments: on or off (ablation)")
+		vcBytes  = flag.Int64("vcache-bytes", 0, "vector-cache budget in bytes (0 = default)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		out      = flag.String("o", "", "write the report to a file instead of stdout")
@@ -93,6 +95,14 @@ func main() {
 	default:
 		fatal(fmt.Errorf("-segments must be on or off, got %q", *segments))
 	}
+	switch *vcache {
+	case "on":
+	case "off":
+		cfg.VCacheOff = true
+	default:
+		fatal(fmt.Errorf("-vcache must be on or off, got %q", *vcache))
+	}
+	cfg.VCacheBytes = *vcBytes
 	var agg *obs.Aggregator
 	if *obsOut != "" {
 		agg = obs.NewAggregator()

@@ -34,6 +34,8 @@ func main() {
 		ordFlag = flag.String("order", "neighbor-degree", "vertex ordering: neighbor-degree, degree, random")
 		workers = flag.Int("workers", 0, "preprocessing parallelism (0 = GOMAXPROCS); output is identical for every value")
 		segs    = flag.String("segments", "on", "read label tables through columnar segments during this build session: on or off (segment files are written either way)")
+		vcache  = flag.String("vcache", "on", "resident vector cache during this build session: on or off")
+		vcBytes = flag.Int64("vcache-bytes", 0, "vector-cache budget in bytes (0 = default)")
 		obsOut  = flag.String("obs-out", "", "write the build's observability snapshot (JSON) to this file")
 		list    = flag.Bool("list", false, "list synthetic city profiles and exit")
 	)
@@ -76,13 +78,18 @@ func main() {
 	if *segs != "on" && *segs != "off" {
 		fatal(fmt.Errorf("-segments must be on or off, got %q", *segs))
 	}
+	if *vcache != "on" && *vcache != "off" {
+		fatal(fmt.Errorf("-vcache must be on or off, got %q", *vcache))
+	}
 	db, stats, err := ptldb.CreateWithStats(*dbDir, tt, ptldb.Config{
-		Device:          "ram",
-		BucketSeconds:   int32(*bucket),
-		Ordering:        *ordFlag,
-		Seed:            *seed,
-		BuildWorkers:    *workers,
-		DisableSegments: *segs == "off",
+		Device:             "ram",
+		BucketSeconds:      int32(*bucket),
+		Ordering:           *ordFlag,
+		Seed:               *seed,
+		BuildWorkers:       *workers,
+		DisableSegments:    *segs == "off",
+		DisableVectorCache: *vcache == "off",
+		VectorCacheBytes:   *vcBytes,
 	})
 	if err != nil {
 		fatal(err)

@@ -39,6 +39,8 @@ func main() {
 		dbDir    = flag.String("db", "", "database directory (required)")
 		device   = flag.String("device", "ssd", "simulated device: hdd, ssd, ram")
 		segments = flag.String("segments", "on", "columnar label segments on the read path: on or off")
+		vcache   = flag.String("vcache", "on", "resident vector cache over the segments: on or off")
+		vcBytes  = flag.Int64("vcache-bytes", 0, "vector-cache budget in bytes (0 = default)")
 		slow     = flag.Duration("slow", 0, "log queries slower than this to stderr (0 = off)")
 		obsDump  = flag.Bool("obs", false, "print the observability snapshot (JSON) to stderr on exit")
 	)
@@ -49,8 +51,12 @@ func main() {
 	if *segments != "on" && *segments != "off" {
 		fatal(fmt.Errorf("-segments must be on or off, got %q", *segments))
 	}
+	if *vcache != "on" && *vcache != "off" {
+		fatal(fmt.Errorf("-vcache must be on or off, got %q", *vcache))
+	}
 	db, err := ptldb.Open(*dbDir, ptldb.Config{
 		Device: *device, SlowQueryThreshold: *slow, DisableSegments: *segments == "off",
+		DisableVectorCache: *vcache == "off", VectorCacheBytes: *vcBytes,
 	})
 	if err != nil {
 		fatal(err)

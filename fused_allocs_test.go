@@ -13,7 +13,9 @@ import (
 // fusedAllocBudgets pin the steady-state allocations per query of each fused
 // Code on the small benchmark city. A regression here means something on the
 // fused hot path started escaping to the heap — fix the escape, don't raise
-// the budget.
+// the budget. The same budgets apply to both label tiers: a warm vector-cache
+// hit serves slice views and must not allocate a single byte more than the
+// segment path it replaces.
 var fusedAllocBudgets = []struct {
 	name   string
 	budget float64
@@ -29,36 +31,76 @@ func TestFusedAllocsBudget(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are perturbed by the race detector")
 	}
-	tt, db := buildSmallCity(t)
-	if err := db.AddTargetSet("poi", []StopID{1, 3, 5, 7, 11, 13}, 4); err != nil {
+	tt, err := GenerateCity("Salt Lake City", 0.02, 42)
+	if err != nil {
 		t.Fatal(err)
 	}
-	s, g := StopID(2), StopID(9)
-	tq := tt.MinTime() + 600
-	te := tt.MaxTime()
-	queries := map[string]func() error{
-		"v2v-ea":       func() error { _, _, err := db.EarliestArrival(s, g, tq); return err },
-		"v2v-sd":       func() error { _, _, err := db.ShortestDuration(s, g, tq, te); return err },
-		"knn-naive-ea": func() error { _, err := db.EAKNNNaive("poi", s, tq, 4); return err },
-		"knn-ea":       func() error { _, err := db.EAKNN("poi", s, tq, 4); return err },
-		"otm-ld":       func() error { _, err := db.LDOTM("poi", s, te); return err },
+	dir := t.TempDir()
+	db, err := Create(dir, tt, Config{Device: "ram"})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, tc := range fusedAllocBudgets {
-		fn := queries[tc.name]
-		// Warm the plan cache, scratch buffers and buffer pool so the
-		// measurement sees only steady-state work.
-		for i := 0; i < 3; i++ {
-			if err := fn(); err != nil {
-				t.Fatal(tc.name, err)
+	if err := db.AddTargetSet("poi", []StopID{1, 3, 5, 7, 11, 13}, 4); err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The budgets hold on both label tiers: the default handle serves warm
+	// queries from resident vectors, the DisableVectorCache handle from
+	// segments.
+	for _, cfg := range []struct {
+		tier string
+		conf Config
+	}{
+		{"vcache", Config{Device: "ram"}},
+		{"segments", Config{Device: "ram", DisableVectorCache: true}},
+	} {
+		t.Run(cfg.tier, func(t *testing.T) {
+			db, err := Open(dir, cfg.conf)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		got := testing.AllocsPerRun(100, func() {
-			if err := fn(); err != nil {
-				t.Fatal(tc.name, err)
+			defer db.Close()
+
+			s, g := StopID(2), StopID(9)
+			tq := tt.MinTime() + 600
+			te := tt.MaxTime()
+			queries := map[string]func() error{
+				"v2v-ea":       func() error { _, _, err := db.EarliestArrival(s, g, tq); return err },
+				"v2v-sd":       func() error { _, _, err := db.ShortestDuration(s, g, tq, te); return err },
+				"knn-naive-ea": func() error { _, err := db.EAKNNNaive("poi", s, tq, 4); return err },
+				"knn-ea":       func() error { _, err := db.EAKNN("poi", s, tq, 4); return err },
+				"otm-ld":       func() error { _, err := db.LDOTM("poi", s, te); return err },
+			}
+			for _, tc := range fusedAllocBudgets {
+				fn := queries[tc.name]
+				// Warm the plan cache, scratch buffers, buffer pool and (on
+				// the default handle) the vector cache, so the measurement
+				// sees only steady-state work.
+				for i := 0; i < 3; i++ {
+					if err := fn(); err != nil {
+						t.Fatal(tc.name, err)
+					}
+				}
+				got := testing.AllocsPerRun(100, func() {
+					if err := fn(); err != nil {
+						t.Fatal(tc.name, err)
+					}
+				})
+				if got > tc.budget {
+					t.Errorf("%s (%s): %v allocs/query, budget %v — the fused hot path regressed",
+						tc.name, cfg.tier, got, tc.budget)
+				}
+			}
+			if cfg.tier == "vcache" {
+				snap := db.Snapshot()
+				if snap.VCache == nil || snap.VCache.Hits == 0 {
+					t.Error("vcache tier measurement never hit the vector cache")
+				}
 			}
 		})
-		if got > tc.budget {
-			t.Errorf("%s: %v allocs/query, budget %v — the fused hot path regressed", tc.name, got, tc.budget)
-		}
 	}
 }

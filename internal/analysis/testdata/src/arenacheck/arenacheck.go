@@ -78,3 +78,24 @@ func sum(s *rowScratch) int64 {
 	}
 	return total
 }
+
+// matLike mirrors the vector cache's materialized column: a long-lived
+// struct that outlives every scratch row it was built from.
+type matLike struct {
+	ints []int64
+}
+
+// Publishing an arena view as a resident vector is the materialization bug
+// arenacheck exists to catch: the next decoded row overwrites the "cached"
+// column in place.
+func publishArenaAsVector(s *rowScratch, m *matLike) {
+	m.ints = s.Arena[:8] // want `arena-derived slice stored in struct field ints`
+}
+
+// The sanctioned build: rows flow through the scratch arena, but the
+// resident vector is a fresh copy the cache owns outright.
+func publishCopiedVector(s *rowScratch, m *matLike) {
+	out := make([]int64, 8)
+	copy(out, s.Arena[:8])
+	m.ints = out
+}

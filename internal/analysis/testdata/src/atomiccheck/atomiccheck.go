@@ -101,3 +101,39 @@ func (m *metricsRegistry) racyReset() {
 func (m *metricsRegistry) racyBatchFlush(local uint64) {
 	m.rowsScanned += local // want `non-atomic access to field rowsScanned, which is accessed with sync/atomic at line \d+`
 }
+
+// vcacheCounters mirrors the resident vector cache's hit/miss pair: the
+// Acquire hot path bumps both atomically with no lock held, so any plain
+// access tears against every concurrent lookup.
+type vcacheCounters struct {
+	vhits   uint64
+	vmisses uint64
+}
+
+func (c *vcacheCounters) onAcquire(resident bool) {
+	if resident {
+		atomic.AddUint64(&c.vhits, 1)
+		return
+	}
+	atomic.AddUint64(&c.vmisses, 1)
+}
+
+// The disciplined hit-rate read: atomic loads of both counters.
+func (c *vcacheCounters) hitRate() float64 {
+	h := atomic.LoadUint64(&c.vhits)
+	m := atomic.LoadUint64(&c.vmisses)
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+func (c *vcacheCounters) racyHitRead() uint64 {
+	return c.vhits // want `non-atomic access to field vhits, which is accessed with sync/atomic at line \d+`
+}
+
+// Resetting the counters between benchmark phases with plain stores tears
+// against in-flight queries; the reset must use atomic stores too.
+func (c *vcacheCounters) racyReset() {
+	c.vmisses = 0 // want `non-atomic access to field vmisses, which is accessed with sync/atomic at line \d+`
+}

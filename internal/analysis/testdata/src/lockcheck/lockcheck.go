@@ -259,3 +259,51 @@ func slowLogUnderLock(sh *shard, log pagedFile, page int) error {
 	defer sh.mu.Unlock()
 	return log.WritePage(page, nil) // want `device I/O \(WritePage\) while shard mutex sh\.mu is held`
 }
+
+// --- resident vector cache admission (vcache singleflight) ---
+
+// vcCache mirrors the vector cache: an annotated admission mutex guarding
+// the building latch and the byte account, with the decode (device reads)
+// strictly between critical sections.
+type vcCache struct {
+	mu       sync.Mutex // lockcheck:shard
+	resident int64
+	file     pagedFile
+}
+
+type vcEntry struct {
+	building chan struct{}
+}
+
+// The disciplined singleflight: the latch is created and later closed under
+// the lock (close never blocks), while the segment read runs between the two
+// critical sections.
+func cleanMaterialize(c *vcCache, e *vcEntry, page int) error {
+	c.mu.Lock()
+	latch := make(chan struct{})
+	e.building = latch
+	c.mu.Unlock()
+	err := c.file.ReadPage(page, nil)
+	c.mu.Lock()
+	e.building = nil
+	close(latch)
+	c.resident += 1
+	c.mu.Unlock()
+	return err
+}
+
+// Waiting on another builder's latch inside the critical section deadlocks:
+// the builder needs the same lock to publish and release the latch.
+func waitForBuildUnderLock(c *vcCache, e *vcEntry) {
+	c.mu.Lock()
+	<-e.building // want `channel receive while shard mutex c\.mu is held`
+	c.mu.Unlock()
+}
+
+// Decoding the segment while the admission lock is held serializes every
+// lookup in the database behind the device.
+func materializeUnderLock(c *vcCache, page int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.file.ReadPage(page, nil) // want `device I/O \(ReadPage\) while shard mutex c\.mu is held`
+}

@@ -56,6 +56,11 @@ type Config struct {
 	// reverting label access to the B+tree/heap pair (the -segments=off
 	// ablation). Builds still write segment files either way.
 	SegmentsOff bool
+	// VCacheOff disables the resident vector cache, serving label reads from
+	// the columnar segments (the -vcache=off ablation).
+	VCacheOff bool
+	// VCacheBytes overrides the vector-cache budget (0 = ptldb's default).
+	VCacheBytes int64
 	// BuildWorkers is the preprocessing parallelism of database builds
 	// (0 = GOMAXPROCS). The built databases are identical for every value.
 	BuildWorkers int
@@ -90,6 +95,12 @@ func (c Config) Defaults() Config {
 	}
 	return c
 }
+
+// datasetFormat versions the cache-dir naming. Bump it whenever the on-disk
+// image changes incompatibly (segment format v2 added region checksums):
+// a stale cache would otherwise open with its segments silently demoted to
+// the heap path, quietly invalidating every benchmark number.
+const datasetFormat = 2
 
 // Densities are the paper's target-density values D = |T| / |V|.
 var Densities = []float64{0.001, 0.005, 0.01, 0.05, 0.1}
@@ -161,7 +172,7 @@ func (w *Workspace) Dataset(city string) (*Dataset, error) {
 		}
 	}
 	dir := filepath.Join(w.cfg.CacheDir,
-		fmt.Sprintf("%s_s%04d_r%d", sanitize(city), int(w.cfg.Scale*10000), w.cfg.Seed))
+		fmt.Sprintf("%s_s%04d_r%d_f%d", sanitize(city), int(w.cfg.Scale*10000), w.cfg.Seed, datasetFormat))
 	ds := &Dataset{Profile: prof, TT: tt, Dir: dir}
 
 	statsPath := filepath.Join(dir, "preproc.json")
@@ -176,6 +187,7 @@ func (w *Workspace) Dataset(city string) (*Dataset, error) {
 	w.logf("preprocessing %s: %d stops, %d connections", city, tt.NumStops(), tt.NumConnections())
 	db, stats, err := ptldb.CreateWithStats(dir, tt, ptldb.Config{
 		Device: "ram", PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff, DisableSegments: w.cfg.SegmentsOff,
+		DisableVectorCache: w.cfg.VCacheOff, VectorCacheBytes: w.cfg.VCacheBytes,
 		BuildWorkers: w.cfg.BuildWorkers,
 	})
 	if err != nil {
@@ -209,6 +221,7 @@ func sanitize(s string) string {
 func (w *Workspace) Open(ds *Dataset, device string) (*ptldb.DB, error) {
 	return ptldb.Open(ds.Dir, ptldb.Config{
 		Device: device, PoolPages: w.cfg.PoolPages, DisableFusedExec: w.cfg.FusedOff, DisableSegments: w.cfg.SegmentsOff,
+		DisableVectorCache: w.cfg.VCacheOff, VectorCacheBytes: w.cfg.VCacheBytes,
 		TraceHook: w.cfg.TraceHook,
 	})
 }

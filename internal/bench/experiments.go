@@ -11,7 +11,7 @@ import (
 var ExperimentIDs = []string{
 	"table7", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 	"storage", "build", "ablation-bucket", "ablation-ordering",
-	"ablation-layout", "ablation-engine",
+	"ablation-layout", "ablation-engine", "vcache",
 }
 
 // Run executes one experiment by id.
@@ -45,6 +45,8 @@ func (w *Workspace) Run(id string) (*Table, error) {
 		return w.AblationLayout()
 	case "ablation-engine":
 		return w.AblationEngine()
+	case "vcache":
+		return w.Vcache()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (want one of %v)", id, ExperimentIDs)
 	}

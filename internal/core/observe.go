@@ -36,9 +36,12 @@ func (s *Store) SetTraceHook(fn func(obs.Trace)) { s.traceHook = fn }
 // it is meant for).
 func (s *Store) observe(code obs.Code, st *sqldb.Stmt, params ...sqltypes.Value) (*exec.Relation, error) {
 	reg := s.DB.Registry()
-	var missesBefore uint64
+	var missesBefore, vhitsBefore uint64
 	if s.traceHook != nil {
 		missesBefore = reg.Pool.Misses.Load()
+		if reg.VCache != nil {
+			vhitsBefore = reg.VCache.Hits.Load()
+		}
 	}
 	start := time.Now()
 	rel, info, err := st.QueryInfo(params...)
@@ -50,14 +53,18 @@ func (s *Store) observe(code obs.Code, st *sqldb.Stmt, params ...sqltypes.Value)
 		return nil, err
 	}
 	if s.traceHook != nil {
-		s.traceHook(obs.Trace{
+		tr := obs.Trace{
 			Code:      code.String(),
 			Fused:     info.Fused,
 			Bailout:   info.Bailout,
 			Rows:      len(rel.Rows),
 			Wall:      wall,
 			PagesRead: reg.Pool.Misses.Load() - missesBefore,
-		})
+		}
+		if reg.VCache != nil {
+			tr.VCacheHits = reg.VCache.Hits.Load() - vhitsBefore
+		}
+		s.traceHook(tr)
 	}
 	return rel, nil
 }
@@ -66,9 +73,12 @@ func (s *Store) observe(code obs.Code, st *sqldb.Stmt, params ...sqltypes.Value)
 // path (Raw/RawTraced): same counters under obs.CodeRaw, never fused.
 func (s *Store) observeRaw(run func() (*exec.Relation, error)) (*exec.Relation, error) {
 	reg := s.DB.Registry()
-	var missesBefore uint64
+	var missesBefore, vhitsBefore uint64
 	if s.traceHook != nil {
 		missesBefore = reg.Pool.Misses.Load()
+		if reg.VCache != nil {
+			vhitsBefore = reg.VCache.Hits.Load()
+		}
 	}
 	start := time.Now()
 	rel, err := run()
@@ -80,12 +90,16 @@ func (s *Store) observeRaw(run func() (*exec.Relation, error)) (*exec.Relation, 
 		return nil, err
 	}
 	if s.traceHook != nil {
-		s.traceHook(obs.Trace{
+		tr := obs.Trace{
 			Code:      obs.CodeRaw.String(),
 			Rows:      len(rel.Rows),
 			Wall:      wall,
 			PagesRead: reg.Pool.Misses.Load() - missesBefore,
-		})
+		}
+		if reg.VCache != nil {
+			tr.VCacheHits = reg.VCache.Hits.Load() - vhitsBefore
+		}
+		s.traceHook(tr)
 	}
 	return rel, nil
 }

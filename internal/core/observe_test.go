@@ -152,6 +152,45 @@ func TestExplainPreparedGoldensSegmentsOff(t *testing.T) {
 	}
 }
 
+// TestExplainPreparedGoldensVectorCache pins the vector-tier renderings: with
+// a resident vector cache configured every access-path operator upgrades to
+// its Vector* name (the warm steady state — label reads served from decoded
+// column vectors) while the rest of the tree is unchanged. Derived from
+// explainGoldens by exactly that substitution, like the heap set.
+func TestExplainPreparedGoldensVectorCache(t *testing.T) {
+	labels := ttl.Build(timetable.PaperExample(), order.Identity(7)).Augment()
+	db, err := sqldb.Open(t.TempDir(), sqldb.Options{
+		Device: storage.RAM, PoolPages: 4096, VectorCacheBytes: 64 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	st, err := Build(db, labels, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddTargetSet("poi", []timetable.StopID{4, 6}, 4); err != nil {
+		t.Fatal(err)
+	}
+	vectorOps := strings.NewReplacer(
+		"SegmentLookup", "VectorLookup",
+		"SegmentScan", "VectorScan",
+		"SegmentProbe", "VectorProbe",
+	)
+	for name, segGolden := range explainGoldens {
+		want := vectorOps.Replace(segGolden)
+		got, err := st.ExplainPrepared(name)
+		if err != nil {
+			t.Errorf("explain %q: %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("explain %q with vector cache:\n got:\n%s want:\n%s", name, got, want)
+		}
+	}
+}
+
 func TestExplainPreparedErrors(t *testing.T) {
 	st, _ := paperStore(t)
 	for _, name := range []string{"knn-ea", "knn-ea:nope", "bogus", "bogus:poi", ""} {

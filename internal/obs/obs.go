@@ -32,22 +32,32 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// Gauge is a level that can move both ways (resident bytes, open handles),
+// safe for concurrent use. The zero value is ready.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // Code identifies one query shape of the paper: Codes 1-4 in their EA/LD/SD
 // variants, plus Raw for ad-hoc SQL issued through the store.
 type Code int
 
 // The query codes, in the order the paper introduces them.
 const (
-	CodeV2VEA Code = iota // Code 1, earliest arrival
-	CodeV2VLD             // Code 1, latest departure
-	CodeV2VSD             // Code 1, shortest duration
-	CodeKNNNaiveEA        // Code 2, EA
-	CodeKNNNaiveLD        // Code 2, LD analogue
-	CodeKNNEA             // Code 3, kNN
-	CodeKNNLD             // Code 4, kNN
-	CodeOTMEA             // Code 3, one-to-many
-	CodeOTMLD             // Code 4, one-to-many
-	CodeRaw               // ad-hoc SQL
+	CodeV2VEA      Code = iota // Code 1, earliest arrival
+	CodeV2VLD                  // Code 1, latest departure
+	CodeV2VSD                  // Code 1, shortest duration
+	CodeKNNNaiveEA             // Code 2, EA
+	CodeKNNNaiveLD             // Code 2, LD analogue
+	CodeKNNEA                  // Code 3, kNN
+	CodeKNNLD                  // Code 4, kNN
+	CodeOTMEA                  // Code 3, one-to-many
+	CodeOTMLD                  // Code 4, one-to-many
+	CodeRaw                    // ad-hoc SQL
 	NumCodes
 )
 
@@ -202,14 +212,16 @@ func (m *ExecMetrics) Snapshot() ExecSnapshot {
 }
 
 // SegmentMetrics are the columnar label segment counters: rows served from
-// a segment (hits), columns decoded out of segment payloads, and compressed
-// payload bytes read. Device page reads for segment files flow through the
-// buffer pool and are counted in PoolMetrics (and hence in Trace.PagesRead)
-// like any other page.
+// a segment (hits), columns decoded out of segment payloads, compressed
+// payload bytes read, and segment files rejected at open (corrupt or
+// truncated — the table degraded to the heap path). Device page reads for
+// segment files flow through the buffer pool and are counted in PoolMetrics
+// (and hence in Trace.PagesRead) like any other page.
 type SegmentMetrics struct {
 	Hits           Counter
 	ColumnsDecoded Counter
 	BytesRead      Counter
+	OpenFailures   Counter
 }
 
 // SegmentSnapshot is a point-in-time copy of SegmentMetrics.
@@ -217,6 +229,7 @@ type SegmentSnapshot struct {
 	Hits           uint64 `json:"hits"`
 	ColumnsDecoded uint64 `json:"columns_decoded"`
 	BytesRead      uint64 `json:"bytes_read"`
+	OpenFailures   uint64 `json:"open_failures,omitempty"`
 }
 
 // Snapshot copies the segment counters.
@@ -225,6 +238,44 @@ func (m *SegmentMetrics) Snapshot() SegmentSnapshot {
 		Hits:           m.Hits.Load(),
 		ColumnsDecoded: m.ColumnsDecoded.Load(),
 		BytesRead:      m.BytesRead.Load(),
+		OpenFailures:   m.OpenFailures.Load(),
+	}
+}
+
+// VCacheMetrics are the resident vector cache's counters: lookups served
+// from materialized column vectors (hits), lookups that found the table not
+// resident (misses), whole-table evictions under budget pressure,
+// materializations performed (singleflight — concurrent first-touch queries
+// share one), the current resident bytes, and the latency of each
+// materialization (segment read + decode).
+type VCacheMetrics struct {
+	Hits             Counter
+	Misses           Counter
+	Evictions        Counter
+	Materializations Counter
+	ResidentBytes    Gauge
+	Materialize      Histogram
+}
+
+// VCacheSnapshot is a point-in-time copy of VCacheMetrics.
+type VCacheSnapshot struct {
+	Hits             uint64            `json:"hits"`
+	Misses           uint64            `json:"misses"`
+	Evictions        uint64            `json:"evictions"`
+	Materializations uint64            `json:"materializations"`
+	ResidentBytes    int64             `json:"resident_bytes"`
+	Materialize      HistogramSnapshot `json:"materialize"`
+}
+
+// Snapshot copies the vector cache counters.
+func (m *VCacheMetrics) Snapshot() VCacheSnapshot {
+	return VCacheSnapshot{
+		Hits:             m.Hits.Load(),
+		Misses:           m.Misses.Load(),
+		Evictions:        m.Evictions.Load(),
+		Materializations: m.Materializations.Load(),
+		ResidentBytes:    m.ResidentBytes.Load(),
+		Materialize:      m.Materialize.Snapshot(),
 	}
 }
 
@@ -242,18 +293,23 @@ type QuerySnapshot struct {
 
 // Registry aggregates every metrics family of one database handle. Pool
 // points into the buffer pool's own counters (the pool predates the
-// registry in the open sequence); Exec and Query live inline.
+// registry in the open sequence); VCache points into the vector cache's
+// counters and is nil when the cache is disabled; Exec and Query live
+// inline.
 type Registry struct {
 	Pool    *PoolMetrics
+	VCache  *VCacheMetrics
 	Exec    ExecMetrics
 	Segment SegmentMetrics
 	Query   [NumCodes]QueryMetrics
 }
 
 // Snapshot is a JSON-marshalable copy of a Registry, the payload of
-// DB.Snapshot and ptldb-bench -obs-out.
+// DB.Snapshot and ptldb-bench -obs-out. VCache is nil when the handle runs
+// without a vector cache.
 type Snapshot struct {
 	Pool    PoolSnapshot             `json:"pool"`
+	VCache  *VCacheSnapshot          `json:"vcache,omitempty"`
 	Exec    ExecSnapshot             `json:"exec"`
 	Segment SegmentSnapshot          `json:"segment"`
 	Query   map[string]QuerySnapshot `json:"query"`
@@ -265,6 +321,10 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{Exec: r.Exec.Snapshot(), Segment: r.Segment.Snapshot(), Query: map[string]QuerySnapshot{}}
 	if r.Pool != nil {
 		s.Pool = r.Pool.Snapshot()
+	}
+	if r.VCache != nil {
+		vc := r.VCache.Snapshot()
+		s.VCache = &vc
 	}
 	for c := Code(0); c < NumCodes; c++ {
 		q := &r.Query[c]
@@ -294,6 +354,10 @@ type Trace struct {
 	// the query ran. Under concurrent queries the attribution is
 	// approximate: the delta includes pages read by overlapping queries.
 	PagesRead uint64 `json:"pages_read"`
+	// VCacheHits counts resident-vector-cache hits while the query ran
+	// (same approximate attribution as PagesRead). Zero when the cache is
+	// disabled.
+	VCacheHits uint64 `json:"vcache_hits,omitempty"`
 }
 
 // SlowQueryLogger writes one line per trace whose wall time reaches the
@@ -337,13 +401,14 @@ type Aggregator struct {
 
 // TraceTotals are one code's aggregated trace records.
 type TraceTotals struct {
-	Count     uint64        `json:"count"`
-	Fused     uint64        `json:"fused"`
-	Bailouts  uint64        `json:"bailouts,omitempty"`
-	Rows      uint64        `json:"rows"`
-	PagesRead uint64        `json:"pages_read"`
-	WallTotal time.Duration `json:"wall_total_ns"`
-	WallMax   time.Duration `json:"wall_max_ns"`
+	Count      uint64        `json:"count"`
+	Fused      uint64        `json:"fused"`
+	Bailouts   uint64        `json:"bailouts,omitempty"`
+	Rows       uint64        `json:"rows"`
+	PagesRead  uint64        `json:"pages_read"`
+	VCacheHits uint64        `json:"vcache_hits,omitempty"`
+	WallTotal  time.Duration `json:"wall_total_ns"`
+	WallMax    time.Duration `json:"wall_max_ns"`
 }
 
 // NewAggregator returns an empty aggregator.
@@ -369,6 +434,7 @@ func (a *Aggregator) Observe(tr Trace) {
 	}
 	t.Rows += uint64(tr.Rows)
 	t.PagesRead += tr.PagesRead
+	t.VCacheHits += tr.VCacheHits
 	t.WallTotal += tr.Wall
 	if tr.Wall > t.WallMax {
 		t.WallMax = tr.Wall

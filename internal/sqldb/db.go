@@ -23,6 +23,7 @@ import (
 	"ptldb/internal/sqldb/sql"
 	"ptldb/internal/sqldb/sqltypes"
 	"ptldb/internal/sqldb/storage"
+	"ptldb/internal/sqldb/vcache"
 )
 
 // ColumnDef declares one column.
@@ -57,6 +58,12 @@ type Options struct {
 	// of this flag); they are simply not opened. Used by the -segments=off
 	// ablation and by differential tests.
 	DisableSegments bool
+	// VectorCacheBytes is the resident vector cache's byte budget: segmented
+	// tables are decoded once into flat column vectors and served as slice
+	// views until evicted. 0 disables the cache (the default at this layer;
+	// the ptldb facade supplies its own default budget). The cache requires
+	// segments — with DisableSegments set it never engages.
+	VectorCacheBytes int64
 }
 
 // DB is one open database directory.
@@ -68,6 +75,14 @@ type DB struct {
 
 	noFused    bool
 	noSegments bool
+
+	// vcache is the resident vector cache; nil when the handle was opened
+	// with a zero budget (or with segments disabled).
+	vcache *vcache.Cache
+	// segFailLog gates the degraded-segment warning to one line per handle:
+	// a corrupt .seg demotes its table to the heap path, it does not fail
+	// the open.
+	segFailLog sync.Once
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -108,6 +123,10 @@ func Open(dir string, opts Options) (*DB, error) {
 		stmts:      map[string]*Stmt{},
 	}
 	db.reg.Pool = db.pool.Metrics()
+	if opts.VectorCacheBytes > 0 && !opts.DisableSegments {
+		db.reg.VCache = &obs.VCacheMetrics{}
+		db.vcache = vcache.New(opts.VectorCacheBytes, db.reg.VCache)
+	}
 	cat, err := os.ReadFile(db.catalogPath())
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -139,9 +158,15 @@ func (db *DB) Pool() *storage.Pool { return db.pool }
 // Device returns the device model the database was opened with.
 func (db *DB) Device() storage.DeviceModel { return db.dev }
 
-// DropCaches flushes and empties the buffer pool, emulating the paper's
-// server restart + OS cache drop before each experiment.
-func (db *DB) DropCaches() error { return db.pool.DropCaches() }
+// DropCaches flushes and empties the buffer pool — and evicts the resident
+// vector cache — emulating the paper's server restart + OS cache drop before
+// each experiment (a restart would lose both in-memory tiers).
+func (db *DB) DropCaches() error {
+	if db.vcache != nil {
+		db.vcache.DropAll()
+	}
+	return db.pool.DropCaches()
+}
 
 // CreateTable creates a new empty table.
 func (db *DB) CreateTable(def TableDef) (*Table, error) {
@@ -219,13 +244,18 @@ func (db *DB) openTable(def TableDef) (*Table, error) {
 	// Attach the table's columnar segment when one exists on disk and the
 	// handle has segments enabled. OpenPagedFile creates missing files, so
 	// probe with Stat first — a table without a segment must stay seg-less.
+	// A segment that fails validation (truncated or corrupted .seg) demotes
+	// the table to the heap path instead of failing the open: the heap and
+	// index are the source of truth, the segment is a redundant acceleration
+	// structure. The failure is counted and logged once per handle.
 	if !db.noSegments {
 		segPath := filepath.Join(db.dir, name+".seg")
 		if _, err := os.Stat(segPath); err == nil {
 			if err := t.attachSegment(segPath); err != nil {
-				_ = heapFile.Close()
-				_ = idxFile.Close()
-				return nil, err
+				db.reg.Segment.OpenFailures.Add(1)
+				db.segFailLog.Do(func() {
+					fmt.Fprintf(os.Stderr, "sqldb: segment for table %q unusable, serving from heap: %v\n", name, err)
+				})
 			}
 		}
 	}
@@ -460,6 +490,7 @@ func (db *DB) Prepare(query string) (*Stmt, error) {
 		st.fused = exec.Fuse(sel)
 		if st.fused != nil {
 			st.fused.SetSegments(!db.noSegments)
+			st.fused.SetVectorCache(db.vcache != nil)
 		}
 	}
 	return st, nil
@@ -468,6 +499,10 @@ func (db *DB) Prepare(query string) (*Stmt, error) {
 // SegmentsEnabled reports whether the handle reads label tables through
 // their columnar segments (Options.DisableSegments unset).
 func (db *DB) SegmentsEnabled() bool { return !db.noSegments }
+
+// VectorCacheEnabled reports whether the handle serves segmented tables
+// through the resident vector cache (Options.VectorCacheBytes > 0).
+func (db *DB) VectorCacheEnabled() bool { return db.vcache != nil }
 
 // Fused reports whether the statement compiled to a fused plan.
 func (s *Stmt) Fused() bool { return s.fused != nil }

@@ -29,11 +29,17 @@ func (p *FusedPlan) Explain() string {
 	return b.String()
 }
 
-// Access-path operator names: segment-backed handles resolve labels through
-// the columnar segment (directory binary search + payload pages), heap-backed
-// ones through the B+tree/heap pair. The operator semantics are identical;
-// the name records which storage path serves the rows.
+// Access-path operator names: vector-cached handles resolve labels from
+// resident decoded column vectors, segment-backed ones through the columnar
+// segment (directory binary search + payload pages), heap-backed ones through
+// the B+tree/heap pair. The operator semantics are identical; the name
+// records which storage tier serves the rows (the Vector* names describe the
+// warm steady state — a cold or evicted table still falls through to the
+// segment at runtime).
 func (p *FusedPlan) lookupOp() string {
+	if p.vectors {
+		return "VectorLookup"
+	}
 	if p.segments {
 		return "SegmentLookup"
 	}
@@ -41,6 +47,9 @@ func (p *FusedPlan) lookupOp() string {
 }
 
 func (p *FusedPlan) scanOp() string {
+	if p.vectors {
+		return "VectorScan"
+	}
 	if p.segments {
 		return "SegmentScan"
 	}
@@ -48,6 +57,9 @@ func (p *FusedPlan) scanOp() string {
 }
 
 func (p *FusedPlan) probeOp() string {
+	if p.vectors {
+		return "VectorProbe"
+	}
 	if p.segments {
 		return "SegmentProbe"
 	}

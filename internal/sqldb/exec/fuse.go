@@ -41,6 +41,9 @@ type FusedPlan struct {
 	// inside the storage layer's ScratchTable implementation, which this
 	// package reaches through the same interface either way.
 	segments bool
+	// vectors records whether the handle additionally serves segmented tables
+	// from the resident vector cache. Like segments, Explain-only.
+	vectors bool
 
 	v2v  *fusedV2V
 	knn  *fusedKNNNaive
@@ -55,6 +58,11 @@ func (p *FusedPlan) Kind() string { return p.kind }
 // so Explain renders the matching access-path operators. Called once at
 // prepare time, before the plan is shared.
 func (p *FusedPlan) SetSegments(on bool) { p.segments = on }
+
+// SetVectorCache records whether the resident vector cache fronts the
+// segments, so Explain renders the Vector* access-path operators. Called once
+// at prepare time, before the plan is shared.
+func (p *FusedPlan) SetVectorCache(on bool) { p.vectors = on }
 
 // fusedV2V is Code 1: join of one lout and one lin label, MIN/MAX scalar.
 type fusedV2V struct {

@@ -1,0 +1,179 @@
+package sqldb
+
+// segment_degrade_test.go checks the engine-level fault policy: a corrupt or
+// truncated .seg file must not fail Open. The damaged table demotes to the
+// heap path (counted in Segment.OpenFailures, logged once), healthy tables
+// keep their segments, and every query answer stays correct either way.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ptldb/internal/sqldb/exec"
+	"ptldb/internal/sqldb/sqltypes"
+	"ptldb/internal/sqldb/storage"
+)
+
+// buildDegradeDB bulk-loads two segment-eligible tables into dir and closes
+// the database, leaving good.seg and bad.seg on disk.
+func buildDegradeDB(t *testing.T, dir string) {
+	t.Helper()
+	db, err := Open(dir, Options{Device: storage.RAM, PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"good", "bad"} {
+		tbl := mkTable(t, db, name, []string{"k"}, "k", "v", "xs:arr")
+		rows := make([]sqltypes.Row, 0, 200)
+		for i := int64(0); i < 200; i++ {
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewInt(i), sqltypes.NewInt(i * 3),
+				sqltypes.NewIntArray([]int64{i, i + 1, i + 2}),
+			})
+		}
+		if err := tbl.BulkLoad(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkDegradedReads verifies both tables answer correctly through the
+// scratch read paths (the ones the fused executor uses — and the only ones
+// that can be served by a segment or the vector cache).
+func checkDegradedReads(t *testing.T, db *DB) {
+	t.Helper()
+	var s exec.RowScratch
+	for _, name := range []string{"good", "bad"} {
+		tbl, ok := db.Table(name)
+		if !ok {
+			t.Fatalf("table %q missing", name)
+		}
+		if got := tbl.RowCount(); got != 200 {
+			t.Fatalf("%s: RowCount = %d, want 200", name, got)
+		}
+		row, ok, err := tbl.LookupPKScratch([]int64{123}, &s)
+		if err != nil || !ok {
+			t.Fatalf("%s: LookupPKScratch(123) = %v, %v", name, ok, err)
+		}
+		if row[1].I != 369 || len(row[2].A) != 3 || row[2].A[2] != 125 {
+			t.Fatalf("%s: LookupPKScratch(123) returned %v", name, row)
+		}
+		var n int
+		var sum int64
+		if err := tbl.ScanScratch(&s, func(r sqltypes.Row) error {
+			n++
+			sum += r[1].I
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n != 200 || sum != 3*199*200/2 {
+			t.Fatalf("%s: scan saw %d rows, sum %d", name, n, sum)
+		}
+	}
+}
+
+// TestOpenDegradesCorruptSegmentToHeap flips a data byte in one table's
+// segment: Open must succeed, count the failure, serve the damaged table from
+// the heap and the intact table from its segment.
+func TestOpenDegradesCorruptSegmentToHeap(t *testing.T) {
+	dir := t.TempDir()
+	buildDegradeDB(t, dir)
+
+	segPath := filepath.Join(dir, "bad.seg")
+	image, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	image[storage.PageSize+17] ^= 0x20 // data region: caught by the data CRC
+	if err := os.WriteFile(segPath, image, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(dir, Options{Device: storage.RAM, PoolPages: 256})
+	if err != nil {
+		t.Fatalf("Open with corrupt segment must degrade, not fail: %v", err)
+	}
+	defer db.Close()
+	if got := db.Registry().Snapshot().Segment.OpenFailures; got != 1 {
+		t.Errorf("Segment.OpenFailures = %d, want 1", got)
+	}
+
+	hits0 := db.Registry().Snapshot().Segment.Hits
+	checkDegradedReads(t, db)
+	snap := db.Registry().Snapshot()
+	if snap.Segment.Hits == hits0 {
+		t.Error("intact table served no rows from its segment")
+	}
+	// The damaged table runs on the heap: its 200-row scan plus lookups must
+	// exceed what the segment counter saw (which covers only "good").
+	if snap.Segment.Hits-hits0 > 201 {
+		t.Errorf("segment hits %d suggest the corrupt table was served from its segment", snap.Segment.Hits-hits0)
+	}
+}
+
+// TestOpenDegradesTruncatedSegmentToHeap is the same policy for a segment
+// file cut off mid-data (e.g. a crashed copy).
+func TestOpenDegradesTruncatedSegmentToHeap(t *testing.T) {
+	dir := t.TempDir()
+	buildDegradeDB(t, dir)
+
+	segPath := filepath.Join(dir, "bad.seg")
+	image, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segPath, image[:storage.PageSize], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(dir, Options{Device: storage.RAM, PoolPages: 256})
+	if err != nil {
+		t.Fatalf("Open with truncated segment must degrade, not fail: %v", err)
+	}
+	defer db.Close()
+	if got := db.Registry().Snapshot().Segment.OpenFailures; got != 1 {
+		t.Errorf("Segment.OpenFailures = %d, want 1", got)
+	}
+	checkDegradedReads(t, db)
+}
+
+// TestOpenDegradedTableSkipsVectorCache: with the vector cache enabled, the
+// damaged table has no segment to materialize from — the cache must simply
+// never see it while the intact table still becomes resident.
+func TestOpenDegradedTableSkipsVectorCache(t *testing.T) {
+	dir := t.TempDir()
+	buildDegradeDB(t, dir)
+
+	segPath := filepath.Join(dir, "bad.seg")
+	image, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	image[storage.PageSize+17] ^= 0x20
+	if err := os.WriteFile(segPath, image, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(dir, Options{Device: storage.RAM, PoolPages: 256, VectorCacheBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	checkDegradedReads(t, db)
+	checkDegradedReads(t, db) // second pass: "good" now hits resident vectors
+	snap := db.Registry().Snapshot()
+	if snap.VCache == nil {
+		t.Fatal("vcache metrics missing on a VectorCacheBytes handle")
+	}
+	if snap.VCache.Hits == 0 {
+		t.Error("intact table never hit the vector cache")
+	}
+	if snap.VCache.ResidentBytes <= 0 {
+		t.Errorf("ResidentBytes = %d, want > 0", snap.VCache.ResidentBytes)
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 )
 
@@ -17,7 +18,8 @@ import (
 // File layout (all little-endian):
 //
 //	page 0              header: magic, version, row/column counts, pk width,
-//	                    directory location, data size, column kind tags
+//	                    directory location, data size, data/directory/header
+//	                    CRC-32C checksums, column kind tags
 //	pages 1..D          data region: payloads back to back, spilling across
 //	                    page boundaries, zero-padded to a page
 //	pages D+1..end      directory: per row varint key0, varint key1,
@@ -25,7 +27,10 @@ import (
 //
 // A segment is written once by WriteSegmentFile during bulk load and never
 // mutated; its bytes are a pure function of the row set, which is what keeps
-// build output byte-identical at every worker count.
+// build output byte-identical at every worker count. OpenSegment verifies
+// both region checksums and the exact page layout, so a truncated or
+// bit-flipped file is rejected at open — the caller degrades to the heap
+// path instead of serving corrupt labels.
 type Segment struct {
 	file *PagedFile
 	pool *Pool
@@ -33,9 +38,11 @@ type Segment struct {
 	cols  []byte // column kind tags, opaque to storage
 	pkLen int
 
-	keys []Key    // ascending, one per row
-	offs []int64  // payload start offsets within the data region
-	lens []uint32 // payload lengths
+	keys      []Key    // ascending, one per row
+	offs      []int64  // payload start offsets within the data region
+	lens      []uint32 // payload lengths
+	dataBytes uint64   // logical data-region size (sum of lens)
+	dataCRC   uint32   // CRC-32C of the logical data region
 }
 
 // SegmentData is the input to WriteSegmentFile: one table's rows in key
@@ -50,9 +57,22 @@ type SegmentData struct {
 
 const (
 	segmentMagic   = 0x50545331 // "PTS1"
-	segmentVersion = 1
-	segHeaderBytes = 44
+	segmentVersion = 2          // v2 added the region and header checksums
+	segHeaderCRCAt = 52         // offset of the header's own checksum
+	segHeaderBytes = 56         // fixed fields + header CRC; column tags follow
 )
+
+// segCRCTable is the Castagnoli polynomial all three checksums use.
+var segCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// headerCRC checksums the whole header page except the stored checksum
+// itself: the fixed fields, the column tags, and the zero padding (the
+// writer zeroes it, so including it costs nothing and leaves no byte of the
+// page outside some checksum).
+func headerCRC(page []byte) uint32 {
+	crc := crc32.Checksum(page[:segHeaderCRCAt], segCRCTable)
+	return crc32.Update(crc, segCRCTable, page[segHeaderBytes:PageSize])
+}
 
 // WriteSegmentFile writes sd to a fresh segment file at path, replacing any
 // existing file. Writes are page-granular through a PagedFile so the device
@@ -107,7 +127,10 @@ func WriteSegmentFile(path string, dev DeviceModel, clock *Clock, sd SegmentData
 	binary.LittleEndian.PutUint32(page[24:], uint32(dirPage))
 	binary.LittleEndian.PutUint64(page[28:], uint64(len(dir)))
 	binary.LittleEndian.PutUint64(page[36:], uint64(len(sd.Data)))
+	binary.LittleEndian.PutUint32(page[44:], crc32.Checksum(sd.Data, segCRCTable))
+	binary.LittleEndian.PutUint32(page[48:], crc32.Checksum(dir, segCRCTable))
 	copy(page[segHeaderBytes:], sd.Cols)
+	binary.LittleEndian.PutUint32(page[segHeaderCRCAt:], headerCRC(page[:]))
 	if err := writeSegPage(f, page[:]); err != nil {
 		return err
 	}
@@ -154,12 +177,21 @@ func keyLess(a, b Key) bool {
 }
 
 // OpenSegment opens a segment over file, decoding the directory into memory.
-// The header and directory pages are read directly from the device — they
-// are touched exactly once per open, so caching them would only displace
+// The header, directory and data pages are read directly from the device —
+// each is touched exactly once per open, so caching them would only displace
 // label pages from the pool.
+//
+// Every header field is validated against the file's actual page count and
+// both region checksums are verified before the segment is returned, so a
+// truncated file, a bit flip anywhere in a meaningful byte, or a header
+// inflated to provoke huge allocations all fail the open instead of
+// panicking or mis-decoding later. (Flips in the zero padding of a region's
+// last page are outside the checksums and harmless: no decode ever reads
+// them.)
 func OpenSegment(file *PagedFile, pool *Pool) (*Segment, error) {
 	var page [PageSize]byte
-	if file.NumPages() == 0 {
+	totalPages := uint64(file.NumPages())
+	if totalPages == 0 {
 		return nil, fmt.Errorf("storage: empty segment file")
 	}
 	if err := file.ReadPage(0, page[:]); err != nil {
@@ -177,20 +209,46 @@ func OpenSegment(file *PagedFile, pool *Pool) (*Segment, error) {
 	dirPage := binary.LittleEndian.Uint32(page[24:])
 	dirBytes := binary.LittleEndian.Uint64(page[28:])
 	dataBytes := binary.LittleEndian.Uint64(page[36:])
+	dataCRC := binary.LittleEndian.Uint32(page[44:])
+	dirCRC := binary.LittleEndian.Uint32(page[48:])
+	if got := binary.LittleEndian.Uint32(page[segHeaderCRCAt:]); got != headerCRC(page[:]) {
+		return nil, fmt.Errorf("storage: segment header checksum %08x does not match", got)
+	}
 	if segHeaderBytes+int(nCols) > PageSize || pkLen < 1 || pkLen > 2 {
 		return nil, fmt.Errorf("storage: corrupt segment header")
 	}
+	// The page layout is fully determined by the header sizes; requiring an
+	// exact match against the file's real page count catches truncation (and
+	// trailing garbage) before any region is read. Bounding both sizes by the
+	// file itself first keeps the ceiling divisions overflow-free.
+	if dataBytes > totalPages*PageSize || dirBytes > totalPages*PageSize {
+		return nil, fmt.Errorf("storage: segment region sizes exceed the file")
+	}
+	dataPages := (dataBytes + PageSize - 1) / PageSize
+	dirPages := (dirBytes + PageSize - 1) / PageSize
+	if uint64(dirPage) != 1+dataPages || totalPages != 1+dataPages+dirPages {
+		return nil, fmt.Errorf("storage: segment layout mismatch: %d pages, header implies %d data + %d directory",
+			totalPages, dataPages, dirPages)
+	}
+	// Every directory entry is at least three bytes, so nRows is bounded by
+	// the (already page-count-checked) directory size — a forged row count
+	// cannot provoke a huge allocation.
+	if nRows > dirBytes/3 {
+		return nil, fmt.Errorf("storage: segment claims %d rows in a %d-byte directory", nRows, dirBytes)
+	}
 	s := &Segment{
-		file:  file,
-		pool:  pool,
-		cols:  append([]byte(nil), page[segHeaderBytes:segHeaderBytes+int(nCols)]...),
-		pkLen: int(pkLen),
-		keys:  make([]Key, 0, nRows),
-		offs:  make([]int64, 0, nRows),
-		lens:  make([]uint32, 0, nRows),
+		file:      file,
+		pool:      pool,
+		cols:      append([]byte(nil), page[segHeaderBytes:segHeaderBytes+int(nCols)]...),
+		pkLen:     int(pkLen),
+		keys:      make([]Key, 0, nRows),
+		offs:      make([]int64, 0, nRows),
+		lens:      make([]uint32, 0, nRows),
+		dataBytes: dataBytes,
+		dataCRC:   dataCRC,
 	}
 
-	// Read and decode the directory.
+	// Read and checksum the directory, then decode it.
 	dir := make([]byte, dirBytes)
 	for off := uint64(0); off < dirBytes; off += PageSize {
 		id := PageID(uint64(dirPage) + off/PageSize)
@@ -198,6 +256,9 @@ func OpenSegment(file *PagedFile, pool *Pool) (*Segment, error) {
 			return nil, err
 		}
 		copy(dir[off:], page[:])
+	}
+	if got := crc32.Checksum(dir, segCRCTable); got != dirCRC {
+		return nil, fmt.Errorf("storage: segment directory checksum %08x, header says %08x", got, dirCRC)
 	}
 	var dataOff int64
 	for i := uint64(0); i < nRows; i++ {
@@ -213,7 +274,7 @@ func OpenSegment(file *PagedFile, pool *Pool) (*Segment, error) {
 		}
 		k[1], dir = v, dir[n:]
 		ln, n := binary.Uvarint(dir)
-		if n <= 0 {
+		if n <= 0 || ln > dataBytes {
 			return nil, fmt.Errorf("storage: corrupt segment directory at row %d", i)
 		}
 		dir = dir[n:]
@@ -225,8 +286,27 @@ func OpenSegment(file *PagedFile, pool *Pool) (*Segment, error) {
 		s.lens = append(s.lens, uint32(ln))
 		dataOff += int64(ln)
 	}
+	if len(dir) != 0 {
+		return nil, fmt.Errorf("storage: %d trailing bytes after segment directory", len(dir))
+	}
 	if uint64(dataOff) != dataBytes {
 		return nil, fmt.Errorf("storage: segment directory sums to %d bytes, header says %d", dataOff, dataBytes)
+	}
+	// Verify the data region, streaming page by page so the open allocates
+	// nothing proportional to the data size.
+	crc := uint32(0)
+	for off := uint64(0); off < dataBytes; off += PageSize {
+		if err := file.ReadPage(PageID(1+off/PageSize), page[:]); err != nil {
+			return nil, err
+		}
+		n := dataBytes - off
+		if n > PageSize {
+			n = PageSize
+		}
+		crc = crc32.Update(crc, segCRCTable, page[:n])
+	}
+	if crc != dataCRC {
+		return nil, fmt.Errorf("storage: segment data checksum %08x, header says %08x", crc, dataCRC)
 	}
 	return s, nil
 }
@@ -245,6 +325,32 @@ func (s *Segment) Key(i int) Key { return s.keys[i] }
 
 // RowLen returns row i's payload length in bytes.
 func (s *Segment) RowLen(i int) uint32 { return s.lens[i] }
+
+// Keys returns the segment's key directory: ascending, one entry per row.
+// The slice is shared with the segment and must not be modified; it remains
+// valid (the memory is immutable) even after the segment is dropped, so the
+// vector cache aliases it instead of copying.
+func (s *Segment) Keys() []Key { return s.keys }
+
+// LoadData reads the segment's whole logical data region directly from the
+// device — deliberately bypassing the buffer pool, so a one-shot bulk read
+// (vector materialization) cannot displace label pages — and verifies the
+// data checksum again before returning it. The result is freshly allocated
+// and owned by the caller.
+func (s *Segment) LoadData() ([]byte, error) {
+	var page [PageSize]byte
+	out := make([]byte, s.dataBytes)
+	for off := uint64(0); off < s.dataBytes; off += PageSize {
+		if err := s.file.ReadPage(PageID(1+off/PageSize), page[:]); err != nil {
+			return nil, err
+		}
+		copy(out[off:], page[:])
+	}
+	if crc := crc32.Checksum(out, segCRCTable); crc != s.dataCRC {
+		return nil, fmt.Errorf("storage: segment data checksum %08x, header says %08x", crc, s.dataCRC)
+	}
+	return out, nil
+}
 
 // Find binary-searches the directory for key, returning the row index. The
 // loop is written out (no sort.Search closure) to stay allocation-free on

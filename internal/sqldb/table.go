@@ -9,6 +9,7 @@ import (
 	"ptldb/internal/sqldb/exec"
 	"ptldb/internal/sqldb/sqltypes"
 	"ptldb/internal/sqldb/storage"
+	"ptldb/internal/sqldb/vcache"
 )
 
 // Table is one stored table: an append-only heap of encoded rows plus a
@@ -33,6 +34,12 @@ type Table struct {
 	segFile  *storage.PagedFile
 	seg      *storage.Segment
 	segTypes []sqltypes.Type
+
+	// vcE is the table's slot in the handle's resident vector cache,
+	// non-nil only when the cache is enabled and a segment is attached
+	// (the cache materializes from the segment). When the slot declines a
+	// table (budget too small) reads fall through to the segment tier.
+	vcE *vcache.Entry
 
 	// Access counters: primary-key lookups answered (hit or miss) and full
 	// scans started. They let tests verify the paper's secondary-storage
@@ -294,6 +301,9 @@ func (t *Table) attachSegment(path string) error {
 		types[i] = sqltypes.Type(k)
 	}
 	t.segFile, t.seg, t.segTypes = f, seg, types
+	if t.db.vcache != nil {
+		t.vcE = t.db.vcache.Register()
+	}
 	return nil
 }
 
@@ -302,6 +312,12 @@ func (t *Table) attachSegment(path string) error {
 // engine's tables are bulk-load-then-read-only, so in practice this only
 // fires for the metadata table, which is never segmented.
 func (t *Table) dropSegment() error {
+	if t.vcE != nil {
+		// Invalidate the cached vectors first so no reader can observe the
+		// cache serving rows the heap no longer agrees with.
+		t.vcE.Drop()
+		t.vcE = nil
+	}
 	if t.seg != nil {
 		err := t.segFile.Close()
 		t.segFile, t.seg, t.segTypes = nil, nil, nil
@@ -313,6 +329,94 @@ func (t *Table) dropSegment() error {
 		return err
 	}
 	return nil
+}
+
+// materialize decodes the table's whole segment into column vectors for the
+// resident vector cache: the key directory is shared with the segment (both
+// immutable), scalar columns become one int64 per row, and array columns are
+// flattened with a starts index. The data region is read directly from the
+// device — one bulk pass that must not displace label pages from the buffer
+// pool — and every row goes through the same segment codec the per-lookup
+// path uses, so the vectors can never disagree with it.
+func (t *Table) materialize() (*vcache.Mat, error) {
+	data, err := t.seg.LoadData()
+	if err != nil {
+		return nil, err
+	}
+	n := t.seg.NumRows()
+	m := &vcache.Mat{Keys: t.seg.Keys(), Cols: make([]vcache.Col, len(t.segTypes))}
+	for ci, typ := range t.segTypes {
+		if typ == sqltypes.Int64 {
+			m.Cols[ci].Ints = make([]int64, n)
+		} else {
+			m.Cols[ci].Starts = make([]int32, n+1)
+		}
+	}
+	var (
+		row   sqltypes.Row
+		arena []int64
+		off   int64
+	)
+	for i := 0; i < n; i++ {
+		ln := int64(t.seg.RowLen(i))
+		r, a, err := sqltypes.DecodeSegRowInto(data[off:off+ln], t.segTypes, row, arena[:0])
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: %s: %w", t.def.Name, err)
+		}
+		row, arena = r, a
+		off += ln
+		for ci := range m.Cols {
+			col := &m.Cols[ci]
+			if col.Starts == nil {
+				col.Ints[i] = r[ci].I
+				continue
+			}
+			col.Ints = append(col.Ints, r[ci].A...)
+			if len(col.Ints) > (1<<31)-1 {
+				return nil, fmt.Errorf("sqldb: %s: column %d overflows the vector index", t.def.Name, ci)
+			}
+			col.Starts[i+1] = int32(len(col.Ints))
+		}
+	}
+	m.Bytes = int64(len(m.Keys)) * 16
+	for ci := range m.Cols {
+		m.Bytes += int64(cap(m.Cols[ci].Ints))*8 + int64(cap(m.Cols[ci].Starts))*4
+	}
+	return m, nil
+}
+
+// vcacheMat returns the table's materialized vectors, building them on first
+// touch, or nil when the cache declines the table (budget too small for it,
+// or invalidated) and the segment tier should serve instead.
+func (t *Table) vcacheMat() (*vcache.Mat, error) {
+	if m := t.vcE.Acquire(); m != nil {
+		return m, nil
+	}
+	return t.vcE.Materialize(t.materialize)
+}
+
+// vcacheRow assembles row i of m into s.Row. The value headers are written
+// into the scratch, but the array payloads alias the cached vectors — no
+// copy, no arena traffic. The views satisfy the ScratchTable retention
+// contract trivially: the vectors are immutable and the garbage collector
+// keeps them alive as long as any view exists, even across eviction.
+func (t *Table) vcacheRow(m *vcache.Mat, i int, s *exec.RowScratch) sqltypes.Row {
+	var r sqltypes.Row
+	if cap(s.Row) >= len(m.Cols) {
+		r = s.Row[:len(m.Cols)]
+	} else {
+		r = make(sqltypes.Row, len(m.Cols))
+	}
+	for ci := range m.Cols {
+		col := &m.Cols[ci]
+		if col.Starts == nil {
+			r[ci] = sqltypes.NewInt(col.Ints[i])
+		} else {
+			r[ci] = sqltypes.NewIntArray(col.Array(i))
+		}
+	}
+	s.Row = r
+	return r
 }
 
 func (t *Table) keyOf(row sqltypes.Row) (storage.Key, error) {
@@ -374,6 +478,25 @@ func (t *Table) LookupPKScratch(keyVals []int64, s *exec.RowScratch) (sqltypes.R
 	t.lookups.Add(1)
 	var key storage.Key
 	copy(key[:], keyVals)
+	if t.vcE != nil {
+		// Vector-cache tier: binary search the resident key directory and
+		// serve slice views of the decoded columns — no pool, no payload
+		// copy, no varint decode. Falls through to the segment tier when the
+		// cache declines the table.
+		m, err := t.vcacheMat()
+		if err != nil {
+			return nil, false, err
+		}
+		if m != nil {
+			i, ok := m.Find(key)
+			if !ok {
+				return nil, false, nil
+			}
+			row := t.vcacheRow(m, i, s)
+			t.db.reg.Exec.RowsScanned.Add(1)
+			return row, true, nil
+		}
+	}
 	if t.seg != nil {
 		// Segment path: binary search the in-memory directory, copy the
 		// payload's pages, decode tag-free. No header, B+tree or slotted-page
@@ -440,6 +563,24 @@ func (t *Table) ScanScratch(s *exec.RowScratch, fn func(sqltypes.Row) error) err
 			t.db.reg.Exec.RowsScanned.Add(1)
 			return fn(row)
 		})
+	}
+	if t.vcE != nil {
+		// Vector-cache tier: iterate the resident vectors in key order,
+		// assembling each row as uncopied views.
+		m, err := t.vcacheMat()
+		if err != nil {
+			return err
+		}
+		if m != nil {
+			n := len(m.Keys)
+			for i := 0; i < n; i++ {
+				if err := fn(t.vcacheRow(m, i, s)); err != nil {
+					return err
+				}
+			}
+			t.db.reg.Exec.RowsScanned.Add(uint64(n))
+			return nil
+		}
 	}
 	if t.seg != nil {
 		// Segment path: the directory is already in key order, so iterating

@@ -1,0 +1,285 @@
+// Package vcache is the resident vector cache: a byte-budgeted cache of
+// materialized segments — per-table decoded []int64 column vectors plus the
+// key directory — served to the scratch read paths as direct slice views.
+// A hit skips the buffer pool, the payload copy and the varint decode
+// entirely; the only per-lookup work left is a binary search over the key
+// directory and writing value headers that alias the cached columns.
+//
+// The design follows the buffer pool one level up the memory hierarchy
+// (vcache → segment → heap → device):
+//
+//   - Materialization is singleflight, the same latch protocol as the pool's
+//     coalesced page loads: the first miss builds the table's vectors while
+//     concurrent missers wait on a ready channel, so one decode serves all.
+//   - Eviction is clock/second-chance over whole tables: every hit sets the
+//     entry's reference bit; the clock hand clears bits until it finds an
+//     unreferenced resident table and unpublishes it. Evicted vectors are
+//     not freed eagerly — in-flight queries may still hold views into them;
+//     the garbage collector reclaims the arrays when the last view dies,
+//     which is what makes serving uncopied slices safe.
+//   - The mutex guards only the admission bookkeeping (ring, budget,
+//     building latches). Decode and device I/O always happen outside it.
+//
+// The cache is sized in bytes (Config.VectorCacheBytes); a table whose
+// vectors alone exceed the whole budget is marked too-big once and served
+// from its segment forever after. Tables are registered per database handle
+// today, but nothing in the accounting assumes one database — a shared
+// multi-city cache only needs entries registered from several handles.
+package vcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ptldb/internal/obs"
+	"ptldb/internal/sqldb/storage"
+)
+
+// Mat is one table's materialized segment: the key directory plus fully
+// decoded column vectors. A Mat is immutable after construction; readers
+// alias its slices freely, and eviction merely unpublishes the pointer.
+type Mat struct {
+	// Keys is the ascending key directory (shared with the segment's own
+	// in-memory directory; both are immutable).
+	Keys []storage.Key
+	// Cols holds one decoded vector per table column, in storage order.
+	Cols []Col
+	// Bytes is the Mat's budget charge: the backing arrays of the keys and
+	// every column vector.
+	Bytes int64
+}
+
+// Col is one decoded column. Scalar (BIGINT) columns store row i's value at
+// Ints[i] and leave Starts nil; array (BIGINT[]) columns flatten every row
+// into Ints with Starts[i]:Starts[i+1] delimiting row i's elements.
+type Col struct {
+	Ints   []int64
+	Starts []int32 // nil for scalar columns; len(Keys)+1 otherwise
+}
+
+// Array returns row i's elements of an array column. The view aliases the
+// cached vector: immutable, and kept alive by the garbage collector even
+// across eviction, so callers may retain it as long as they need.
+func (c *Col) Array(i int) []int64 {
+	return c.Ints[c.Starts[i]:c.Starts[i+1]:c.Starts[i+1]]
+}
+
+// Find binary-searches the key directory for key, returning the row index.
+// Written out (no sort.Search closure) to stay allocation-free on the query
+// hot path, mirroring Segment.Find.
+func (m *Mat) Find(key storage.Key) (int, bool) {
+	lo, hi := 0, len(m.Keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.Keys[mid].Less(key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(m.Keys) && m.Keys[lo] == key {
+		return lo, true
+	}
+	return 0, false
+}
+
+// Cache is one byte-budgeted set of materialized tables.
+type Cache struct {
+	budget int64
+	met    *obs.VCacheMetrics
+
+	// mu guards the entry ring, the resident-byte account and the building
+	// latches. It is never held across a decode, a device read or a blocking
+	// channel operation — materialization happens between critical sections,
+	// exactly like the pool's coalesced loads.
+	mu       sync.Mutex // lockcheck:shard
+	entries  []*Entry
+	hand     int
+	resident int64
+}
+
+// New returns a cache with the given byte budget. The budget must be
+// positive (a zero budget means "no cache" and is the caller's decision);
+// met receives the cache's counters and must be non-nil.
+func New(budget int64, met *obs.VCacheMetrics) *Cache {
+	return &Cache{budget: budget, met: met}
+}
+
+// Budget returns the configured byte budget.
+func (c *Cache) Budget() int64 { return c.budget }
+
+// Entry is one table's slot in the cache. The mat pointer is published with
+// an atomic store after admission and read with a single atomic load on the
+// hot path; everything else is guarded by the cache mutex.
+type Entry struct {
+	cache *Cache
+	mat   atomic.Pointer[Mat]
+	ref   atomic.Bool // second-chance bit, set on every hit
+
+	// Guarded by cache.mu:
+	building chan struct{} // non-nil while a materialization is in flight
+	size     int64         // bytes charged while resident
+	tooBig   bool          // vectors exceed the whole budget; never retry
+	dropped  bool          // invalidated (segment dropped); never materialize
+}
+
+// Register adds a table slot to the cache's clock ring.
+func (c *Cache) Register() *Entry {
+	e := &Entry{cache: c}
+	c.mu.Lock()
+	c.entries = append(c.entries, e)
+	c.mu.Unlock()
+	return e
+}
+
+// Acquire returns the entry's materialized vectors, or nil when the table is
+// not resident. It is the hot-path gate: one atomic load, the reference bit,
+// and a hit/miss counter — no locks, no allocation.
+func (e *Entry) Acquire() *Mat {
+	if m := e.mat.Load(); m != nil {
+		e.ref.Store(true)
+		e.cache.met.Hits.Add(1)
+		return m
+	}
+	e.cache.met.Misses.Add(1)
+	return nil
+}
+
+// Materialize returns the entry's vectors, building them with build if
+// necessary. Concurrent callers coalesce: one runs build (outside the cache
+// lock — build reads the device and decodes every row), the rest wait on the
+// latch and share the result. A nil, nil return means the cache declines to
+// hold this table (invalidated, or too big for the whole budget) and the
+// caller should fall back to the segment path.
+func (e *Entry) Materialize(build func() (*Mat, error)) (*Mat, error) {
+	c := e.cache
+	for {
+		if m := e.mat.Load(); m != nil {
+			return m, nil
+		}
+		c.mu.Lock()
+		if e.dropped || e.tooBig {
+			c.mu.Unlock()
+			return nil, nil
+		}
+		if m := e.mat.Load(); m != nil {
+			c.mu.Unlock()
+			return m, nil
+		}
+		wait := e.building
+		var latch chan struct{}
+		if wait == nil {
+			latch = make(chan struct{})
+			e.building = latch
+		}
+		c.mu.Unlock()
+		if wait != nil {
+			// Someone else is building; wait outside the lock and re-check.
+			<-wait
+			continue
+		}
+
+		start := time.Now()
+		m, err := build()
+		c.mu.Lock()
+		e.building = nil
+		// close is non-blocking, so releasing the latch under the lock is
+		// safe (the same protocol the pool uses for frame-load completion).
+		close(latch)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		if e.dropped {
+			// Invalidated while building (a point write dropped the
+			// segment): discard the stale vectors.
+			c.mu.Unlock()
+			return nil, nil
+		}
+		if m.Bytes > c.budget {
+			e.tooBig = true
+			c.mu.Unlock()
+			return nil, nil
+		}
+		c.evictLocked(m.Bytes)
+		e.size = m.Bytes
+		c.resident += m.Bytes
+		e.mat.Store(m)
+		e.ref.Store(true)
+		c.mu.Unlock()
+
+		c.met.Materializations.Add(1)
+		c.met.ResidentBytes.Add(m.Bytes)
+		c.met.Materialize.Observe(time.Since(start))
+		return m, nil
+	}
+}
+
+// evictLocked runs the clock hand until need bytes fit under the budget:
+// resident entries with the reference bit set get a second chance (the bit
+// is cleared), unreferenced ones are unpublished. Terminates because every
+// full sweep either evicts a table or clears every reference bit, and the
+// admission check already guaranteed need fits an empty cache.
+func (c *Cache) evictLocked(need int64) {
+	for c.resident+need > c.budget {
+		if c.resident == 0 || len(c.entries) == 0 {
+			return
+		}
+		e := c.entries[c.hand]
+		c.hand = (c.hand + 1) % len(c.entries)
+		if e.mat.Load() == nil {
+			continue
+		}
+		if e.ref.Swap(false) {
+			continue // second chance
+		}
+		c.evictEntryLocked(e)
+		c.met.Evictions.Add(1)
+	}
+}
+
+// evictEntryLocked unpublishes e's vectors and returns their bytes to the
+// budget. In-flight readers holding views stay correct: the arrays are
+// immutable and live until the garbage collector sees the last view die.
+func (c *Cache) evictEntryLocked(e *Entry) {
+	e.mat.Store(nil)
+	c.resident -= e.size
+	c.met.ResidentBytes.Add(-e.size)
+	e.size = 0
+}
+
+// Drop invalidates an entry: its vectors are unpublished and it will never
+// materialize again. Tables call it when their segment is dropped (a point
+// write landed), so the cache can never serve stale rows.
+func (e *Entry) Drop() {
+	c := e.cache
+	c.mu.Lock()
+	e.dropped = true
+	if e.mat.Load() != nil {
+		c.evictEntryLocked(e)
+	}
+	c.mu.Unlock()
+}
+
+// DropAll evicts every resident table — the cold-start emulation behind
+// DB.DropCaches ("restart the server and clear the OS cache"): a restart
+// would lose an in-memory cache, so cold measurements must too. Entries stay
+// registered and re-materialize on their next miss.
+func (c *Cache) DropAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if e.mat.Load() != nil {
+			c.evictEntryLocked(e)
+		}
+		e.ref.Store(false)
+	}
+}
+
+// Resident reports the bytes currently held across all tables.
+func (c *Cache) Resident() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident
+}

@@ -54,6 +54,11 @@ func TestFacadeObservability(t *testing.T) {
 			t.Errorf("trace = %+v", tr)
 		}
 	}
+	// The first query materializes the label tables (a cache miss); warm
+	// repeats must report their label reads as vector-cache hits.
+	if last := traces[len(traces)-1]; last.VCacheHits == 0 {
+		t.Errorf("warm trace carries no vcache hits: %+v", last)
+	}
 	if lines := strings.Count(slow.String(), "\n"); lines != n {
 		t.Errorf("slow log has %d lines, want %d:\n%s", lines, n, slow.String())
 	}
@@ -67,6 +72,16 @@ func TestFacadeObservability(t *testing.T) {
 	}
 	if snap.Pool.Hits == 0 {
 		t.Errorf("snapshot pool hits = 0")
+	}
+	if snap.VCache == nil {
+		t.Error("snapshot has no vcache block on a default-config handle")
+	} else {
+		if snap.VCache.Hits == 0 || snap.VCache.Materializations == 0 {
+			t.Errorf("vcache snapshot = %+v, want hits and materializations > 0", snap.VCache)
+		}
+		if snap.VCache.ResidentBytes <= 0 {
+			t.Errorf("vcache resident bytes = %d, want > 0", snap.VCache.ResidentBytes)
+		}
 	}
 
 	plan, err := db.ExplainPrepared("v2v-ea")

@@ -19,6 +19,8 @@ echo "== bench smoke (fused executor, 5 iterations)"
 go test -run '^$' -bench 'BenchmarkFusedExec' -benchtime 5x .
 echo "== bench smoke (columnar segments, 5 iterations)"
 go test -run '^$' -bench 'BenchmarkSegments' -benchtime 5x .
+echo "== bench smoke (resident vector cache, 5 iterations)"
+go test -run '^$' -bench 'BenchmarkVCache' -benchtime 5x .
 echo "== bench smoke (parallel build, 1 iteration)"
 go test -run '^$' -bench 'BenchmarkBuildParallel/workers=4' -benchtime 1x ./internal/ttl
 echo "== OK"

@@ -15,7 +15,13 @@ func BenchmarkSegments(b *testing.B) {
 	src, dst, starts, _ := benchWorkload(tt, pool)
 
 	for _, path := range []string{"segments", "heap"} {
-		db, err := Open(dir, Config{Device: "ram", DisableSegments: path == "heap"})
+		// DisableVectorCache pins the segments handle to the segment tier;
+		// the vcache-vs-segments comparison is BenchmarkVCache's job.
+		db, err := Open(dir, Config{
+			Device:             "ram",
+			DisableSegments:    path == "heap",
+			DisableVectorCache: true,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

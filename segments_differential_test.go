@@ -15,7 +15,10 @@ func segmentsDifferential(t *testing.T, tt *Network, targets []StopID) {
 	t.Helper()
 	dir := t.TempDir()
 
-	sdb, err := Create(dir, tt, Config{Device: "ram"})
+	// DisableVectorCache keeps this battery pinned to the segment tier; the
+	// vcache tier has its own three-way differential in
+	// vcache_differential_test.go.
+	sdb, err := Create(dir, tt, Config{Device: "ram", DisableVectorCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}

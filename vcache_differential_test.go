@@ -1,0 +1,214 @@
+package ptldb
+
+import (
+	"sync"
+	"testing"
+
+	"ptldb/internal/timetable"
+)
+
+// vcacheDifferential builds one database from tt and runs the full seeded
+// query battery three ways over the same directory: with the resident vector
+// cache (the default), with the cache disabled (segment tier), and with
+// segments disabled entirely (heap tier). All three answer lists must be
+// identical, and the cache/segment counters prove which tier actually served
+// each handle.
+func vcacheDifferential(t *testing.T, tt *Network, targets []StopID) {
+	t.Helper()
+	dir := t.TempDir()
+
+	vdb, err := Create(dir, tt, Config{Device: "ram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vdb.AddTargetSet("poi", targets, 4); err != nil {
+		vdb.Close()
+		t.Fatal(err)
+	}
+	vectored := fusedBattery(t, vdb, tt)
+	if vc := vdb.Snapshot().VCache; vc == nil {
+		t.Error("default handle has no vector cache metrics")
+	} else if vc.Hits == 0 {
+		t.Error("vcache handle served no rows from resident vectors")
+	}
+	if err := vdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sdb, err := Open(dir, Config{Device: "ram", DisableVectorCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segmented := fusedBattery(t, sdb, tt)
+	snap := sdb.Snapshot()
+	if snap.VCache != nil && snap.VCache.Hits != 0 {
+		t.Errorf("DisableVectorCache handle hit the cache %d times, want 0", snap.VCache.Hits)
+	}
+	if snap.Segment.Hits == 0 {
+		t.Error("DisableVectorCache handle served no rows from segments")
+	}
+	if err := sdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	hdb, err := Open(dir, Config{Device: "ram", DisableSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hdb.Close()
+	heap := fusedBattery(t, hdb, tt)
+	if hits := hdb.Snapshot().Segment.Hits; hits != 0 {
+		t.Errorf("DisableSegments handle served %d rows from segments, want 0", hits)
+	}
+
+	if len(vectored) != len(segmented) || len(vectored) != len(heap) {
+		t.Fatalf("battery sizes differ: %d vs %d vs %d", len(vectored), len(segmented), len(heap))
+	}
+	for i := range vectored {
+		if vectored[i] != segmented[i] || vectored[i] != heap[i] {
+			t.Errorf("answer %d differs:\n  vcache:   %s\n  segments: %s\n  heap:     %s",
+				i, vectored[i], segmented[i], heap[i])
+		}
+	}
+}
+
+// TestVCacheMatchesSegmentsAndHeapPaperExample runs the three-way battery on
+// the paper's Figure 1 network, where every answer is checkable by hand.
+func TestVCacheMatchesSegmentsAndHeapPaperExample(t *testing.T) {
+	tt := timetable.PaperExample()
+	vcacheDifferential(t, tt, []StopID{4, 6})
+}
+
+// TestVCacheMatchesSegmentsAndHeapSyntheticCity runs the three-way battery on
+// a synthetic city large enough that label runs span multiple segment pages
+// and several tables compete for cache residency.
+func TestVCacheMatchesSegmentsAndHeapSyntheticCity(t *testing.T) {
+	tt, err := GenerateCity("Austin", 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tt.NumStops()
+	targets := []StopID{StopID(1 % n), StopID(2 % n), StopID(5 % n), StopID(n - 1)}
+	vcacheDifferential(t, tt, targets)
+}
+
+// TestVCacheConcurrentEvictionChurn reopens a database with a budget sized
+// just below the working set, so the label tables continuously evict each
+// other, then runs concurrent queries against the churning cache under -race.
+// Answers must match the single-threaded reference regardless of which tier
+// (resident vectors, segment, or a mid-materialization fallback) serves each
+// call, and the eviction counter must prove the churn actually happened.
+func TestVCacheConcurrentEvictionChurn(t *testing.T) {
+	tt, err := GenerateCity("Austin", 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	db, err := Create(dir, tt, Config{Device: "ram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tt.NumStops()
+	targets := []StopID{StopID(1 % n), StopID(2 % n), StopID(5 % n), StopID(n - 1)}
+	if err := db.AddTargetSet("poi", targets, 4); err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+
+	// Reference answers, computed single-threaded with an unconstrained
+	// cache; the same pass warms every table so ResidentBytes below is the
+	// true working set.
+	type q struct {
+		s, g StopID
+		t    Time
+		k    int
+	}
+	queries := make([]q, 48)
+	wantArr := make([]Time, len(queries))
+	wantOK := make([]bool, len(queries))
+	wantKNN := make([][]Result, len(queries))
+	for i := range queries {
+		queries[i] = q{
+			s: StopID(i % n),
+			g: StopID((i * 7) % n),
+			t: tt.MinTime() + Time(i)*60,
+			k: 1 + i%4,
+		}
+		wantArr[i], wantOK[i], err = db.EarliestArrival(queries[i].s, queries[i].g, queries[i].t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKNN[i], err = db.EAKNN("poi", queries[i].s, queries[i].t, queries[i].k)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	working := db.Snapshot().VCache.ResidentBytes
+	if working <= 0 {
+		t.Fatalf("ResidentBytes = %d after warm pass, want > 0", working)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A budget a hair under the working set: every table fits alone, the
+	// full set does not, so steady state is perpetual eviction churn.
+	churn, err := Open(dir, Config{Device: "ram", VectorCacheBytes: working - working/16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer churn.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for round := 0; round < 12; round++ {
+				i := (worker*13 + round*29) % len(queries)
+				arr, ok, err := churn.EarliestArrival(queries[i].s, queries[i].g, queries[i].t)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if arr != wantArr[i] || ok != wantOK[i] {
+					t.Errorf("worker %d: EA query %d = %d,%v; want %d,%v", worker, i, arr, ok, wantArr[i], wantOK[i])
+				}
+				res, err := churn.EAKNN("poi", queries[i].s, queries[i].t, queries[i].k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res) != len(wantKNN[i]) {
+					t.Errorf("worker %d: EAKNN query %d returned %d results, want %d", worker, i, len(res), len(wantKNN[i]))
+					continue
+				}
+				for j := range res {
+					if res[j] != wantKNN[i][j] {
+						t.Errorf("worker %d: EAKNN query %d result %d = %v, want %v", worker, i, j, res[j], wantKNN[i][j])
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	vc := churn.Snapshot().VCache
+	if vc == nil {
+		t.Fatal("churn handle has no vector cache metrics")
+	}
+	if vc.Evictions == 0 {
+		t.Error("under-budget cache recorded no evictions; churn did not happen")
+	}
+	if vc.Hits == 0 {
+		t.Error("churn handle never served from resident vectors")
+	}
+	if vc.ResidentBytes > working-working/16 {
+		t.Errorf("ResidentBytes %d exceeds the %d budget", vc.ResidentBytes, working-working/16)
+	}
+}
