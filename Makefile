@@ -6,8 +6,9 @@ GO ?= go
 check:
 	sh scripts/check.sh
 
-# Project-specific static analysis (sqlcheck, lockcheck, atomiccheck,
-# arenacheck, errcheck) — see internal/analysis and DESIGN.md §8.
+# Project-specific static analysis (sqlcheck, lockcheck, lockordercheck,
+# atomiccheck, arenacheck, allocheck, errcheck, plus stale-waiver hygiene) —
+# see internal/analysis and DESIGN.md §8 and §12.
 lint:
 	$(GO) run ./cmd/ptldb-analyze ./...
 

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -55,12 +56,7 @@ func run(jsonOut bool, names string, patterns []string) error {
 	}
 	findings := analysis.Run(pkgs, checkers)
 	if jsonOut {
-		if findings == nil {
-			findings = []analysis.Finding{}
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := encodeFindings(os.Stdout, findings); err != nil {
 			return err
 		}
 	} else {
@@ -75,6 +71,19 @@ func run(jsonOut bool, names string, patterns []string) error {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// encodeFindings writes the findings as the -json output: an indented JSON
+// array (never null — an empty run is []), one object per finding with the
+// fixed field order file, line, col, checker, message. CI parsers and the
+// golden test depend on that order staying stable.
+func encodeFindings(w io.Writer, findings []analysis.Finding) error {
+	if findings == nil {
+		findings = []analysis.Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
 }
 
 // selectCheckers resolves the -checkers flag against the default suite.

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"ptldb/internal/analysis"
+)
+
+// TestEncodeFindingsGolden pins the -json output byte-for-byte: the field
+// order (file, line, col, checker, message) is a documented contract for CI
+// parsers, so a change to Finding's MarshalJSON must show up here.
+func TestEncodeFindingsGolden(t *testing.T) {
+	findings := []analysis.Finding{
+		{
+			Pos:     token.Position{Filename: "internal/sqldb/table.go", Line: 42, Column: 7},
+			Checker: "allocheck",
+			Message: "map literal allocates (hot path via LookupPKScratch)",
+		},
+		{
+			Pos:     token.Position{Filename: "internal/sqldb/vcache/vcache.go", Line: 9, Column: 2},
+			Checker: "lockordercheck",
+			Message: "lock-order cycle among a ↔ b: opposite acquisition orders can deadlock",
+		},
+	}
+	const want = `[
+  {
+    "file": "internal/sqldb/table.go",
+    "line": 42,
+    "col": 7,
+    "checker": "allocheck",
+    "message": "map literal allocates (hot path via LookupPKScratch)"
+  },
+  {
+    "file": "internal/sqldb/vcache/vcache.go",
+    "line": 9,
+    "col": 2,
+    "checker": "lockordercheck",
+    "message": "lock-order cycle among a ↔ b: opposite acquisition orders can deadlock"
+  }
+]
+`
+	var b strings.Builder
+	if err := encodeFindings(&b, findings); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("json output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestEncodeFindingsEmpty pins the no-findings shape: an empty array, never
+// null, so `jq length` and friends keep working on clean runs.
+func TestEncodeFindingsEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := encodeFindings(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "[]\n" {
+		t.Errorf("empty output = %q, want %q", got, "[]\n")
+	}
+}

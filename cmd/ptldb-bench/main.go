@@ -141,8 +141,10 @@ func main() {
 		sink = f
 	}
 
-	fmt.Fprintf(sink, "# PTLDB evaluation — scale %.3g, %d queries/experiment, seed %d\n\n",
-		w.Config().Scale, w.Config().Queries, w.Config().Seed)
+	if _, err := fmt.Fprintf(sink, "# PTLDB evaluation — scale %.3g, %d queries/experiment, seed %d\n\n",
+		w.Config().Scale, w.Config().Queries, w.Config().Seed); err != nil {
+		fatal(err)
+	}
 	start := time.Now()
 	for _, id := range ids {
 		t0 := time.Now()

@@ -11,12 +11,21 @@
 //   - lockcheck: no device I/O or blocking channel operations while a
 //     buffer-pool shard mutex (a mutex field annotated "lockcheck:shard") is
 //     held, and every Lock has an Unlock on all return paths.
+//   - lockordercheck: a whole-module lock-acquisition graph over all
+//     annotated mutexes ("lockcheck:shard") and latches ("lockcheck:latch"),
+//     built on the CFG engine in cfg.go — cycles, two shard mutexes held at
+//     once, and undocumented or violated "level=N" ordering are findings.
 //   - atomiccheck: a field accessed through sync/atomic anywhere must be
 //     accessed atomically everywhere.
 //   - arenacheck: slices carved out of exec.RowScratch's append-only Arena
 //     must not be stored in struct fields, returned, or sent on channels.
-//   - errcheck: no silently discarded error results in internal/sqldb and
-//     internal/sqldb/storage.
+//   - allocheck: functions reachable from "// hotpath" roots must be
+//     statically allocation-free — no heap literals, closures, fmt, string
+//     building or interface boxing; append and make only through the arena
+//     capacity-growth protocol ("hotpath:cold" exempts a cold statement or
+//     callee).
+//   - errcheck: no silently discarded error results in internal/sqldb,
+//     internal/obs, and the cmd/ binaries.
 //
 // Checkers identify project constructs by convention (method names, the
 // Arena field name, the lockcheck:shard field annotation) rather than by
@@ -29,10 +38,12 @@
 //	//lint:ignore <checker> <reason>
 //
 // The reason is mandatory: a waiver without a written justification is
-// itself reported.
+// itself reported, and so is a stale waiver — one that no longer suppresses
+// any finding of a checker that ran.
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -42,9 +53,9 @@ import (
 
 // Finding is one checker diagnostic at a source position.
 type Finding struct {
-	Pos     token.Position `json:"pos"`
-	Checker string         `json:"checker"`
-	Message string         `json:"message"`
+	Pos     token.Position
+	Checker string
+	Message string
 }
 
 // String formats the finding like a compiler diagnostic.
@@ -52,22 +63,52 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Checker, f.Message)
 }
 
-// Checker is one analysis pass over a type-checked package.
+// MarshalJSON emits the flat, stable schema CI consumers parse (documented
+// in README): one object per finding with exactly the keys file, line, col,
+// checker, message — in that order.
+func (f Finding) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Checker string `json:"checker"`
+		Message string `json:"message"`
+	}{f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Checker, f.Message})
+}
+
+// Checker is one analysis pass; every checker also implements exactly one of
+// PackageChecker or ModuleChecker, which fixes its granularity.
 type Checker interface {
 	Name() string
+}
+
+// PackageChecker analyzes one type-checked package at a time.
+type PackageChecker interface {
+	Checker
 	Check(p *Package) []Finding
 }
 
+// ModuleChecker analyzes all loaded packages at once — for facts that only
+// exist whole-module, like the lock-acquisition graph or cross-package
+// hot-path reachability.
+type ModuleChecker interface {
+	Checker
+	CheckModule(pkgs []*Package) []Finding
+}
+
 // Checkers returns the full PTLDB suite with its production scoping:
-// errcheck is limited to the storage engine, where a swallowed error means
-// silent data loss; every other checker runs module-wide.
+// errcheck is limited to the storage engine (where a swallowed error means
+// silent data loss), the observability layer, and the CLI binaries; every
+// other checker runs module-wide.
 func Checkers() []Checker {
 	return []Checker{
 		NewSQLCheck(),
 		NewLockCheck(),
+		NewLockOrderCheck(),
 		NewAtomicCheck(),
 		NewArenaCheck(),
-		NewErrCheck("ptldb/internal/sqldb"),
+		NewAllocCheck(),
+		NewErrCheck("ptldb/internal/sqldb", "ptldb/internal/obs", "ptldb/cmd"),
 	}
 }
 
@@ -82,21 +123,31 @@ func CheckerNames() []string {
 
 // Run executes the checkers over the packages, drops findings waived by
 // lint:ignore directives, and returns the rest sorted by position. Malformed
-// directives (no checker name or no reason) are themselves findings.
+// directives (no checker name or no reason) are themselves findings, and so
+// are stale ones: a waiver naming a checker that ran but suppressed nothing
+// has outlived its bug and must be deleted.
 func Run(pkgs []*Package, checkers []Checker) []Finding {
-	var out []Finding
-	for _, p := range pkgs {
-		dirs, bad := p.directives()
-		out = append(out, bad...)
-		for _, c := range checkers {
-			for _, f := range c.Check(p) {
-				if dirs.waived(f) {
-					continue
-				}
-				out = append(out, f)
+	dirs, out := collectDirectives(pkgs)
+	ran := map[string]bool{}
+	for _, c := range checkers {
+		ran[c.Name()] = true
+		var findings []Finding
+		switch ck := c.(type) {
+		case ModuleChecker:
+			findings = ck.CheckModule(pkgs)
+		case PackageChecker:
+			for _, p := range pkgs {
+				findings = append(findings, ck.Check(p)...)
 			}
 		}
+		for _, f := range findings {
+			if dirs.waive(f) {
+				continue
+			}
+			out = append(out, f)
+		}
 	}
+	out = append(out, dirs.stale(ran)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -122,46 +173,73 @@ type directiveKey struct {
 	checker string
 }
 
-type directiveSet map[directiveKey]bool
+// directiveState tracks whether a waiver earned its keep during this run.
+type directiveState struct {
+	pos  token.Position
+	used bool
+}
 
-// waived reports whether f is covered by a directive on its line or the line
-// directly above it.
-func (d directiveSet) waived(f Finding) bool {
+type directiveSet map[directiveKey]*directiveState
+
+// waive reports whether f is covered by a directive on its line or the line
+// directly above it, marking the directive live.
+func (d directiveSet) waive(f Finding) bool {
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		if d[directiveKey{f.Pos.Filename, line, f.Checker}] {
+		if st := d[directiveKey{f.Pos.Filename, line, f.Checker}]; st != nil {
+			st.used = true
 			return true
 		}
 	}
 	return false
 }
 
+// stale reports every directive that suppressed nothing, scoped to checkers
+// that actually ran — a waiver for a skipped checker can't prove itself.
+func (d directiveSet) stale(ran map[string]bool) []Finding {
+	var out []Finding
+	for key, st := range d {
+		if st.used || !ran[key.checker] {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:     st.pos,
+			Checker: "directive",
+			Message: fmt.Sprintf("stale lint:ignore: no %s finding on this or the next line; delete the waiver", key.checker),
+		})
+	}
+	return out
+}
+
 const directivePrefix = "lint:ignore"
 
-// directives scans the package's comments for lint:ignore waivers. A
-// directive must name a checker and give a reason; anything else is reported.
-func (p *Package) directives() (directiveSet, []Finding) {
+// collectDirectives scans every package's comments for lint:ignore waivers.
+// A directive must name a checker and give a reason; anything else is
+// returned as a finding.
+func collectDirectives(pkgs []*Package) (directiveSet, []Finding) {
 	set := directiveSet{}
 	var bad []Finding
-	for _, file := range p.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimPrefix(text, "/*")
-				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
-				if !strings.HasPrefix(text, directivePrefix) {
-					continue
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, "/*")
+					text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+					if !strings.HasPrefix(text, directivePrefix) {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+					if len(fields) < 2 {
+						bad = append(bad, Finding{
+							Pos:     pos,
+							Checker: "directive",
+							Message: "malformed lint:ignore: want \"lint:ignore <checker> <reason>\"",
+						})
+						continue
+					}
+					set[directiveKey{pos.Filename, pos.Line, fields[0]}] = &directiveState{pos: pos}
 				}
-				pos := p.Fset.Position(c.Pos())
-				fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
-				if len(fields) < 2 {
-					bad = append(bad, Finding{
-						Pos:     pos,
-						Checker: "directive",
-						Message: "malformed lint:ignore: want \"lint:ignore <checker> <reason>\"",
-					})
-					continue
-				}
-				set[directiveKey{pos.Filename, pos.Line, fields[0]}] = true
 			}
 		}
 	}

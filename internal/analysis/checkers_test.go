@@ -30,14 +30,56 @@ func TestErrCheck(t *testing.T) {
 	analysistest.Run(t, corpus("errcheck"), analysis.NewErrCheck())
 }
 
+func TestLockOrderCheck(t *testing.T) {
+	analysistest.Run(t, corpus("lockordercheck"), analysis.NewLockOrderCheck())
+}
+
+func TestAllocCheck(t *testing.T) {
+	analysistest.Run(t, corpus("allocheck"), analysis.NewAllocCheck())
+}
+
+// TestStaleWaiver drives the directive corpus straight through Run: the used
+// waiver suppresses its errcheck finding, the waiver naming a checker that
+// did not run stays unjudged, and the stale waiver is the run's only
+// finding. The stale report lands on the directive's own comment line, which
+// cannot also carry a want comment — hence no analysistest here.
+func TestStaleWaiver(t *testing.T) {
+	dir := corpus("directive")
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := analysis.Run(pkgs, []analysis.Checker{analysis.NewErrCheck()})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the stale waiver", findings)
+	}
+	f := findings[0]
+	if f.Checker != "directive" {
+		t.Errorf("checker = %q, want %q", f.Checker, "directive")
+	}
+	const wantMsg = "stale lint:ignore: no errcheck finding on this or the next line; delete the waiver"
+	if f.Message != wantMsg {
+		t.Errorf("message = %q, want %q", f.Message, wantMsg)
+	}
+	if f.Pos.Line != 20 {
+		t.Errorf("line = %d, want 20 (the stale directive comment)", f.Pos.Line)
+	}
+}
+
 // TestCleanCorpus runs every checker (errcheck unscoped) over the negative
 // corpus, which must come out without a single finding.
 func TestCleanCorpus(t *testing.T) {
 	analysistest.Run(t, corpus("clean"),
 		analysis.NewSQLCheck(),
 		analysis.NewLockCheck(),
+		analysis.NewLockOrderCheck(),
 		analysis.NewAtomicCheck(),
 		analysis.NewArenaCheck(),
+		analysis.NewAllocCheck(),
 		analysis.NewErrCheck(),
 	)
 }

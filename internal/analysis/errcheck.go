@@ -20,11 +20,16 @@ import (
 // results, and forcing wrapper closures everywhere hurts more than it helps.
 // Writes into in-memory sinks (strings.Builder, bytes.Buffer, including via
 // fmt.Fprint*) are exempt too: their error results are documented to always
-// be nil.
+// be nil. So is best-effort terminal output — fmt.Print* (stdout) and
+// fmt.Fprint* aimed directly at os.Stdout or os.Stderr: a CLI has no
+// recovery for a broken terminal pipe, and the error carries no data-loss
+// risk. The same fmt.Fprint* into a file or unknown io.Writer stays a
+// finding.
 //
 // The checker is scoped by import-path prefix: the production suite runs it
-// over internal/sqldb and internal/sqldb/storage only (see Checkers), so the
-// rest of the module keeps idiomatic latitude.
+// over internal/sqldb (storage engine: a swallowed error is data loss),
+// internal/obs, and the cmd/ binaries (see Checkers), so the rest of the
+// module keeps idiomatic latitude.
 type errCheck struct {
 	prefixes []string
 }
@@ -101,10 +106,17 @@ func neverFails(p *Package, call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
-	if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
-		fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
-		if tv, ok := p.Info.Types[call.Args[0]]; ok {
-			return isInMemoryWriter(tv.Type)
+	if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if strings.HasPrefix(fn.Name(), "Print") {
+			return true // stdout: best-effort terminal output
+		}
+		if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			if isStdStream(p, call.Args[0]) {
+				return true
+			}
+			if tv, ok := p.Info.Types[call.Args[0]]; ok {
+				return isInMemoryWriter(tv.Type)
+			}
 		}
 		return false
 	}
@@ -112,6 +124,20 @@ func neverFails(p *Package, call *ast.CallExpr) bool {
 		return isInMemoryWriter(tv.Type)
 	}
 	return false
+}
+
+// isStdStream reports whether the expression is exactly os.Stdout or
+// os.Stderr — the two writers whose failed writes a CLI cannot act on.
+func isStdStream(p *Package, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := p.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
 }
 
 func isInMemoryWriter(t types.Type) bool {

@@ -1,0 +1,51 @@
+package analysis
+
+// modindex.go maps every function and method declared in the analyzed
+// packages to its declaration, so the module-level checkers (lockordercheck,
+// allocheck) can walk static call chains across package boundaries. Anything
+// outside the index — stdlib, interface methods, function values — is a
+// traversal boundary.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+type funcDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+type moduleIndex struct {
+	funcs map[*types.Func]funcDecl
+}
+
+func indexModule(pkgs []*Package) *moduleIndex {
+	idx := &moduleIndex{funcs: make(map[*types.Func]funcDecl)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					idx.funcs[obj] = funcDecl{pkg: p, decl: fd}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// callee resolves call to a function declared in the module, or ok=false at
+// a traversal boundary (stdlib, builtins, interface dispatch through a
+// method with no body here, function-typed values).
+func (idx *moduleIndex) callee(p *Package, call *ast.CallExpr) (funcDecl, *types.Func, bool) {
+	fn := calledFunc(p, call)
+	if fn == nil {
+		return funcDecl{}, nil, false
+	}
+	fd, ok := idx.funcs[fn]
+	return fd, fn, ok
+}

@@ -1,0 +1,86 @@
+// Package allocheck is the golden corpus for the static hot-path allocation
+// checker: one hot root seeded with every flagged allocation shape, one hot
+// root exercising each sanctioned exemption (growth guard, self-append,
+// error returns, panic, cold statements and cold callees), and cold/unmarked
+// functions that may allocate freely.
+package allocheck
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func (p point) dist() int { return p.x + p.y }
+
+type store interface{ get(k int64) int64 }
+
+// sink is a module-local callee with an interface parameter; calls into it
+// are descended, and concrete arguments box at the call site.
+func sink(v any) { _ = v }
+
+// hotpath — every statement below is a distinct flagged allocation shape.
+func hotBad(s []int64, p point, st store, name string, raw []byte) {
+	_ = map[int64]int64{1: 2} // want `map literal allocates \(hot path via hotBad\)`
+	_ = []int64{1, 2}         // want `slice literal allocates`
+	_ = &point{1, 2}          // want `&composite literal allocates`
+	_ = new(point)            // want `new allocates`
+	_ = make([]int64, 8)      // want `make outside the capacity-growth guard \(grow only under an if cap\(\.\.\.\) check\)`
+	t := append(s, 1)         // want `append outside the arena-growth protocol \(only x = append\(x, \.\.\.\) reusing capacity\)`
+	_ = t
+	f := func() int { return p.x } // want `closure captures p and allocates`
+	_ = f
+	g := p.dist // want `method value p\.dist binds its receiver and allocates`
+	_ = g
+	_ = fmt.Sprintf("%d", 1) // want `fmt\.Sprintf allocates`
+	_ = name + "!"           // want `string concatenation allocates`
+	_ = []byte(name)         // want `string conversion allocates`
+	_ = string(raw)          // want `string conversion allocates`
+	sink(p)                  // want `argument p boxes into an interface parameter`
+	_ = st.get(1)            // ok: interface dispatch is a stated boundary
+}
+
+// hotpath — every statement below is a sanctioned exemption and must come
+// out clean.
+func hotGood(s []int64, m map[int64]int64, p point, name string, n int) ([]int64, error) {
+	if cap(s) < n {
+		s = make([]int64, n) // ok: the arena capacity-growth protocol
+	}
+	s = append(s, 1) // ok: self-append reuses capacity
+	m[1] = 2         // ok: map writes are the runtime ratchet's business
+	_ = point{1, 2}  // ok: value struct literals live on the stack
+	h := point.dist  // ok: method expression, no receiver bound
+	_ = h
+	f := func(a int) int { return a + 1 } // ok: captures nothing
+	_ = f
+	sink(nil) // ok: nil boxes no payload
+	if n < 0 {
+		return nil, fmt.Errorf("allocheck: negative size %d for %s", n, name) // ok: failure paths may allocate
+	}
+	if n > 1<<20 {
+		panic(fmt.Sprintf("allocheck: absurd size %d", n)) // ok: panic arguments are exempt
+	}
+	// hotpath:cold — a deliberate slow path: the miss branch may rebuild
+	// its index from scratch.
+	coldIndex := map[int64]int64{1: 2}
+	_ = coldIndex
+	warmed := cold(n) // ok: cold callees are not descended into
+	_ = warmed
+	return s, nil
+}
+
+// cold allocates freely; hot callers may still call it because the marker
+// keeps the walker out.
+//
+// hotpath:cold — per-restart setup, never on a query path.
+func cold(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// unmarked is neither hot nor reachable from a hot root, so its allocations
+// are out of scope.
+func unmarked() *point {
+	return &point{x: 1, y: 2}
+}

@@ -65,3 +65,45 @@ func materialize(s *rowScratch, vals []int64) []int64 {
 	copy(out, s.Arena[start:])
 	return out
 }
+
+// latched pairs a publication latch with the admission mutex at the levels
+// the module documents: the latch (10) is held across re-taking the mutex
+// (20), the upward direction lockordercheck accepts.
+type latched struct {
+	mu    sync.Mutex    // lockcheck:shard level=20
+	ready chan struct{} // lockcheck:latch level=10
+	val   int64
+}
+
+// publish opens the latch under the mutex, builds outside it, and re-locks
+// to publish while still holding the latch.
+func publish(l *latched, build func() int64) {
+	l.mu.Lock()
+	latch := make(chan struct{})
+	l.ready = latch
+	l.mu.Unlock()
+	v := build()
+	l.mu.Lock()
+	l.val = v
+	l.ready = nil
+	close(latch)
+	l.mu.Unlock()
+}
+
+// lookup is allocation-free through the whole scratch protocol: guarded
+// growth, self-append, scalar copy-out, and failure paths that may
+// allocate.
+//
+// hotpath — allocheck root for the negative corpus.
+func lookup(s *rowScratch, vals []int64, n int) (int64, error) {
+	if n < 0 || n >= len(vals) {
+		return 0, fmt.Errorf("clean: row %d of %d", n, len(vals))
+	}
+	if cap(s.Arena)-len(s.Arena) < len(vals) {
+		grown := make([]int64, len(s.Arena), len(s.Arena)+len(vals))
+		copy(grown, s.Arena)
+		s.Arena = grown
+	}
+	s.Arena = append(s.Arena, vals...)
+	return s.Arena[len(s.Arena)-len(vals)+n], nil
+}

@@ -1,0 +1,27 @@
+// Package directive is the corpus for waiver hygiene: a used lint:ignore
+// (suppresses a real finding — stays silent), a stale one (suppresses
+// nothing — itself reported), and one naming a checker that did not run
+// (never reported; its verdict must wait for a run that could have fired).
+// The stale finding lands on the directive's own comment line, which cannot
+// also carry a want comment, so TestStaleWaiver asserts on Run's output
+// directly instead of through the analysistest harness.
+package directive
+
+type file struct{}
+
+func (file) Close() error { return nil }
+
+func used(f file) {
+	//lint:ignore errcheck the corpus demonstrates waiver suppression
+	f.Close()
+}
+
+func stale(f file) error {
+	//lint:ignore errcheck nothing on the next line drops an error
+	return f.Close()
+}
+
+func otherChecker(f file) {
+	//lint:ignore sqlcheck sqlcheck does not run over this corpus
+	_ = f.Close()
+}

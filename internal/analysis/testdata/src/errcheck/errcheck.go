@@ -1,7 +1,8 @@
 // Package errcheck is the golden corpus for the errcheck checker: bare call
 // statements that drop an error are seeded findings; explicit blank
-// assignment, defer, go statements, and in-memory writers are the sanctioned
-// exemptions.
+// assignment, defer, go statements, in-memory writers, and best-effort
+// terminal output (fmt.Print* and fmt.Fprint* aimed literally at os.Stdout
+// or os.Stderr) are the sanctioned exemptions.
 package errcheck
 
 import (
@@ -39,6 +40,10 @@ func writers(f file) string {
 	b.WriteString("in-memory")    // ok: strings.Builder never fails
 	buf.WriteByte('x')            // ok: bytes.Buffer never fails
 	fmt.Fprintf(&b, "%d", 1)      // ok: Fprintf into an in-memory writer
-	fmt.Fprintln(os.Stderr, "hi") // want `error result of fmt\.Fprintln is discarded`
+	fmt.Fprintln(os.Stderr, "hi") // ok: terminal output is best-effort
+	fmt.Println("hi")             // ok: terminal output is best-effort
+	fmt.Fprintln(f, "hi")         // want `error result of fmt\.Fprintln is discarded`
+	w := os.Stderr
+	fmt.Fprintln(w, "hi") // want `error result of fmt\.Fprintln is discarded`
 	return b.String() + buf.String()
 }

@@ -1,0 +1,108 @@
+// Package lockordercheck is the golden corpus for the lock-order checker: a
+// miniature singleflight cache whose latch and mutex are correctly levelled
+// (clean), plus seeded versions of every rule — a latch/mutex acquisition
+// cycle, nested shard critical sections, and edge classes that never
+// documented their place in the order.
+package lockordercheck
+
+import "sync"
+
+// --- clean: the production singleflight protocol, correctly levelled -------
+
+type cache struct {
+	// mu guards the entry bookkeeping; level 20 orders it above the latch.
+	mu sync.Mutex // lockcheck:shard level=20
+}
+
+type entry struct {
+	building chan struct{} // lockcheck:latch level=10
+	val      int
+}
+
+// materialize is the coalesced build: the builder opens the latch under the
+// mutex, builds outside it, then re-locks to publish while still holding the
+// latch — the latch→mutex edge is upward (10 → 20), so this is clean.
+func materialize(c *cache, e *entry, build func() int) int {
+	for {
+		c.mu.Lock()
+		if e.val != 0 {
+			v := e.val
+			c.mu.Unlock()
+			return v
+		}
+		wait := e.building
+		var latch chan struct{}
+		if wait == nil {
+			latch = make(chan struct{})
+			e.building = latch
+		}
+		c.mu.Unlock()
+		if wait != nil {
+			<-wait // ok: nothing held while waiting
+			continue
+		}
+		v := build()
+		c.mu.Lock() // ok: latch (10) held, mutex (20) acquired — upward
+		e.building = nil
+		close(latch)
+		e.val = v
+		c.mu.Unlock()
+		return v
+	}
+}
+
+// --- cycle: opposite latch/mutex acquisition orders -------------------------
+
+type node struct {
+	mu    sync.Mutex    // lockcheck:shard level=30
+	ready chan struct{} // lockcheck:latch level=40
+}
+
+// waitUnderLock blocks on the latch while holding the mutex (30 → 40, the
+// documented direction), so on its own it is legal…
+func waitUnderLock(n *node) {
+	n.mu.Lock()
+	<-n.ready // want `lock-order cycle among lockordercheck\.node\.mu ↔ lockordercheck\.node\.ready: opposite acquisition orders can deadlock`
+	n.mu.Unlock()
+}
+
+// …but lockUnderLatch takes them in the opposite order, closing the cycle
+// and inverting the documented levels.
+func lockUnderLatch(n *node) {
+	n.ready = make(chan struct{})
+	n.mu.Lock() // want `lock-order violation: lockordercheck\.node\.mu \(level 30\) acquired while lockordercheck\.node\.ready \(level 40\) is held; acquisition levels must strictly increase`
+	n.mu.Unlock()
+	close(n.ready)
+}
+
+// --- nesting: two shard critical sections at once ----------------------------
+
+type shard struct {
+	mu sync.Mutex // lockcheck:shard level=50
+}
+
+func nested(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `two shard mutexes held at once: acquiring lockordercheck\.shard\.mu while lockordercheck\.shard\.mu is held \(shard critical sections must not nest\)`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// --- documentation gap: edge classes with no level ---------------------------
+
+type gapCache struct {
+	// lockcheck:shard
+	mu sync.Mutex // want `lock-order documentation gap: lockordercheck\.gapCache\.mu participates in the acquisition order but declares no level; annotate the field comment with level=N`
+}
+
+type gapEntry struct {
+	// lockcheck:latch
+	ready chan struct{} // want `lock-order documentation gap: lockordercheck\.gapEntry\.ready participates in the acquisition order but declares no level; annotate the field comment with level=N`
+}
+
+func gapFlight(c *gapCache, e *gapEntry) {
+	e.ready = make(chan struct{})
+	c.mu.Lock()
+	c.mu.Unlock()
+	close(e.ready)
+}

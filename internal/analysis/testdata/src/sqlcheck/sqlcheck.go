@@ -43,18 +43,18 @@ const notFused = `SELECT a FROM nums`
 func dynamic() string { return "SELECT a FROM nums" }
 
 func examples(s store, d db) {
-	_ = d.Query("SELEC hub FROM lout")                      // want `does not parse`
-	_ = d.Query("SELECT a FROM nums")                       // ok: parses
-	_ = d.Query(fmt.Sprintf("SELECT a FROM %s", "nums"))    // ok: constant format, parses after substitution
-	_ = d.Query(fmt.Sprintf("SELEC a FROM %s", "nums"))     // want `does not parse`
-	_ = d.Exec("CREATE TABLE t (a BIGINT)")                 // ok: statement sink accepts DDL
-	_ = d.Exec("CREATE TABLE t (")                          // want `does not parse`
-	_, _ = d.CachedPrepare("SELECT a FROM nums")            // ok: parse-only sink
-	_, _ = d.Prepare("SELECT a FROM nums WHERE")            // want `does not parse`
-	_, _ = s.prepared(fusedEA, "lout", "lin")               // ok: Code 1 fuses
-	_, _ = s.prepared(notFused)                             // want `does not compile to a fused plan`
-	_, _ = s.prepared("SELECT %v FROM t")                   // want `unsupported format verb`
-	_ = d.Query(dynamic())                                  // ok: dynamic SQL is out of lint scope
+	_ = d.Query("SELEC hub FROM lout")                   // want `does not parse`
+	_ = d.Query("SELECT a FROM nums")                    // ok: parses
+	_ = d.Query(fmt.Sprintf("SELECT a FROM %s", "nums")) // ok: constant format, parses after substitution
+	_ = d.Query(fmt.Sprintf("SELEC a FROM %s", "nums"))  // want `does not parse`
+	_ = d.Exec("CREATE TABLE t (a BIGINT)")              // ok: statement sink accepts DDL
+	_ = d.Exec("CREATE TABLE t (")                       // want `does not parse`
+	_, _ = d.CachedPrepare("SELECT a FROM nums")         // ok: parse-only sink
+	_, _ = d.Prepare("SELECT a FROM nums WHERE")         // want `does not parse`
+	_, _ = s.prepared(fusedEA, "lout", "lin")            // ok: Code 1 fuses
+	_, _ = s.prepared(notFused)                          // want `does not compile to a fused plan`
+	_, _ = s.prepared("SELECT %v FROM t")                // want `unsupported format verb`
+	_ = d.Query(dynamic())                               // ok: dynamic SQL is out of lint scope
 
 	//lint:ignore sqlcheck golden corpus proves waivers suppress findings
 	_ = d.Query("SELEC waived FROM lint") // ok: waived by the directive above

@@ -27,6 +27,8 @@ import (
 type Counter struct{ v atomic.Uint64 }
 
 // Add increments the counter by n.
+//
+// hotpath — allocheck root: counter bumps run inside every query.
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Load returns the current value.
@@ -37,6 +39,8 @@ func (c *Counter) Load() uint64 { return c.v.Load() }
 type Gauge struct{ v atomic.Int64 }
 
 // Add moves the gauge by n (negative to decrease).
+//
+// hotpath — allocheck root: gauge moves run inside every query.
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Load returns the current level.
@@ -68,10 +72,15 @@ var codeNames = [NumCodes]string{
 	"raw",
 }
 
-// String returns the code's stable name ("v2v-ea", "knn-naive-ld", ...).
+// String returns the code's stable name ("v2v-ea", "knn-naive-ld", ...), or
+// a fixed sentinel for out-of-range values.
+//
+// hotpath — allocheck root: the trace path renders the code once per query
+// when a hook is installed, so even the out-of-range branch must not build a
+// string.
 func (c Code) String() string {
 	if c < 0 || c >= NumCodes {
-		return fmt.Sprintf("code-%d", int(c))
+		return "code-out-of-range"
 	}
 	return codeNames[c]
 }
@@ -101,6 +110,8 @@ type Histogram struct {
 }
 
 // Observe records one latency sample.
+//
+// hotpath — allocheck root: per-query latency recording.
 func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -387,7 +398,8 @@ func (l *SlowQueryLogger) Observe(tr Trace) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	fmt.Fprintf(l.w, "slow query: code=%s path=%s wall=%v rows=%d pages=%d\n",
+	// Best-effort log sink: a failed slow-query line must not fail the query.
+	_, _ = fmt.Fprintf(l.w, "slow query: code=%s path=%s wall=%v rows=%d pages=%d\n",
 		tr.Code, path, tr.Wall, tr.Rows, tr.PagesRead)
 }
 

@@ -112,7 +112,7 @@ func TestCodeNames(t *testing.T) {
 		}
 		seen[name] = true
 	}
-	if Code(99).String() != "code-99" {
+	if Code(99).String() != "code-out-of-range" {
 		t.Errorf("out-of-range code name = %q", Code(99).String())
 	}
 }

@@ -34,6 +34,8 @@ func (p *FusedPlan) Run(cat Catalog, params []sqltypes.Value) (*Relation, error)
 // fusedInt reads the 1-based parameter n as an integer. Anything else —
 // missing, NULL, float, text — bails to the general executor, which owns
 // the exact semantics (and error messages) of those cases.
+//
+// hotpath — allocheck root: parameter decode for every fused code.
 func fusedInt(params []sqltypes.Value, n int) (int64, error) {
 	if n < 1 || n > len(params) || params[n-1].T != sqltypes.Int64 {
 		return 0, ErrNotFused
@@ -51,6 +53,9 @@ type label struct {
 // returned arrays stay valid for s's lifetime (the scratch arena is append-
 // only). A missing stop yields an empty label; an unexpected table layout
 // yields ErrNotFused.
+//
+// hotpath — allocheck root: the per-query label fetch shared by every fused
+// code; it must not allocate beyond the scratch it is handed.
 func fusedLabel(cat Catalog, table string, v int64, s *RowScratch) (label, error) {
 	tb, ok := cat.Table(table)
 	if !ok {
@@ -96,6 +101,8 @@ func fusedLabel(cat Catalog, table string, v int64, s *RowScratch) (label, error
 // hubSorted reports whether the label is sorted by (hub, td) — the order
 // core.ensureLabelOrder establishes at build time, which enables the merge
 // join.
+//
+// hotpath — allocheck root: runs per query over whole labels.
 func hubSorted(l label) bool {
 	for i := 1; i < len(l.hubs); i++ {
 		if l.hubs[i] < l.hubs[i-1] ||
@@ -107,6 +114,8 @@ func hubSorted(l label) bool {
 }
 
 // runEnd returns the end of the equal-hub run starting at i.
+//
+// hotpath — allocheck root: inner loop of the merge join.
 func runEnd(hubs []int64, i int) int {
 	j := i + 1
 	for j < len(hubs) && hubs[j] == hubs[i] {
@@ -373,12 +382,18 @@ func entriesToRows(schema Schema, entries []kEntry) *Relation {
 	return &Relation{Schema: schema, Rows: rows}
 }
 
+// foldMin folds val into acc[v], keeping the minimum.
+//
+// hotpath — allocheck root: per-label-entry fold in the kNN scans.
 func foldMin(acc map[int64]int64, v, val int64) {
 	if cur, ok := acc[v]; !ok || val < cur {
 		acc[v] = val
 	}
 }
 
+// foldMax folds val into acc[v], keeping the maximum.
+//
+// hotpath — allocheck root: per-label-entry fold in the kNN scans.
 func foldMax(acc map[int64]int64, v, val int64) {
 	if cur, ok := acc[v]; !ok || val > cur {
 		acc[v] = val
@@ -734,6 +749,8 @@ func (p *FusedPlan) runCondensed(cat Catalog, params []sqltypes.Value) (*Relatio
 // floorDiv returns floor(a/b) for b > 0, matching FLOOR(a/b.0) in the
 // condensed SQL: the bucket of a negative timestamp is the one below zero,
 // where Go's integer division would truncate toward it.
+//
+// hotpath — allocheck root: per-entry bucket arithmetic in the condensed scan.
 func floorDiv(a, b int64) int64 {
 	q := a / b
 	if a%b != 0 && a < 0 {

@@ -60,7 +60,10 @@ func DecodeSegRowInto(buf []byte, types []Type, row Row, arena []int64) (Row, []
 			r[i] = NewInt(v)
 		case IntArray:
 			ln, k := binary.Uvarint(buf)
-			if k <= 0 {
+			// Every element costs at least one byte, so a length beyond the
+			// remaining buffer is corrupt — checked before it can size the
+			// arena (or overflow int) on attacker-controlled input.
+			if k <= 0 || ln > uint64(len(buf)-k) {
 				return nil, arena, fmt.Errorf("sqltypes: corrupt segment array at value %d", i)
 			}
 			buf = buf[k:]

@@ -293,11 +293,17 @@ func DecodeRowInto(buf []byte, row Row, arena []int64) (Row, []int64, error) {
 			if k <= 0 || uint64(len(buf)-k) < ln {
 				return nil, arena, fmt.Errorf("sqltypes: corrupt text at value %d", i)
 			}
+			// hotpath:cold — text columns never appear in the integer-only
+			// label tables the fused codes read; the copy is also what makes
+			// the value safe to retain past the scratch buffer.
 			r[i] = NewText(string(buf[k : k+int(ln)]))
 			buf = buf[k+int(ln):]
 		case IntArray:
 			ln, k := binary.Uvarint(buf)
-			if k <= 0 {
+			// Every element costs at least one byte, so a length beyond the
+			// remaining buffer is corrupt — checked before it can size the
+			// arena (or overflow int) on attacker-controlled input.
+			if k <= 0 || ln > uint64(len(buf)-k) {
 				return nil, arena, fmt.Errorf("sqltypes: corrupt array at value %d", i)
 			}
 			buf = buf[k:]
@@ -375,7 +381,9 @@ func DecodeRow(buf []byte) (Row, error) {
 			buf = buf[k+int(ln):]
 		case IntArray:
 			ln, k := binary.Uvarint(buf)
-			if k <= 0 {
+			// As in DecodeRowInto: each element costs at least one byte, so
+			// bound the length before it sizes the allocation.
+			if k <= 0 || ln > uint64(len(buf)-k) {
 				return nil, fmt.Errorf("sqltypes: corrupt array at value %d", i)
 			}
 			buf = buf[k:]

@@ -52,7 +52,10 @@ type Pool struct {
 
 // poolShard is one independently locked slice of the pool.
 type poolShard struct {
-	mu       sync.Mutex // lockcheck:shard
+	// mu is acquisition level 20: taken after a frame latch (level 10) on the
+	// write-back path, never while another shard-class mutex is held
+	// (lockordercheck).
+	mu       sync.Mutex // lockcheck:shard level=20
 	capacity int
 	metrics  *obs.PoolMetrics // points at the owning pool's counters
 	frames   map[frameKey]*Frame
@@ -79,8 +82,10 @@ type Frame struct {
 	shard *poolShard
 
 	// ready is closed once data is valid or loadErr is set; loadErr must
-	// only be read after ready is closed.
-	ready   chan struct{}
+	// only be read after ready is closed. The latch is acquisition level 10:
+	// the loader holds it open while re-taking shard mutexes (level 20) for
+	// write-back and publication, so it orders strictly below them.
+	ready   chan struct{} // lockcheck:latch level=10
 	loadErr error
 
 	data  [PageSize]byte
@@ -144,6 +149,10 @@ func (p *Pool) Register(f *PagedFile) {
 // Get pins the frame holding page id of file f, reading it from the device
 // on a miss. Concurrent Gets for the same uncached page coalesce into one
 // device read; all callers receive the same frame (or the same read error).
+//
+// hotpath — allocheck root: the resident-hit path (map probe, pin, latch
+// receive, counter) must stay allocation-free; the miss tail allocates only
+// inside installLocked, which is marked cold.
 func (p *Pool) Get(f *PagedFile, id PageID) (*Frame, error) {
 	key := frameKey{file: f.id, page: id}
 	sh := p.shard(key)
@@ -224,6 +233,9 @@ func (p *Pool) NewPage(f *PagedFile) (*Frame, error) {
 // every resident frame is pinned the shard overflows temporarily instead of
 // failing: pinned frames must live somewhere, and later allocations trim the
 // shard back to capacity. Caller holds sh.mu.
+//
+// hotpath:cold — the pool miss path: the one place a frame and its latch are
+// allocated; the runtime ratchet bounds how often it runs.
 func (sh *poolShard) installLocked(f *PagedFile, key frameKey) (fr *Frame, victims []*Frame) {
 	for len(sh.frames)-len(victims) >= sh.capacity {
 		victim := sh.lruHead

@@ -355,6 +355,8 @@ func (s *Segment) LoadData() ([]byte, error) {
 // Find binary-searches the directory for key, returning the row index. The
 // loop is written out (no sort.Search closure) to stay allocation-free on
 // the query hot path.
+//
+// hotpath — allocheck root: the segment-tier point lookup.
 func (s *Segment) Find(key Key) (int, bool) {
 	lo, hi := 0, len(s.keys)
 	for lo < hi {
@@ -374,6 +376,9 @@ func (s *Segment) Find(key Key) (int, bool) {
 // ReadRow copies row i's payload out of the data region through the buffer
 // pool, reusing buf's capacity when it suffices. Payload pages are the only
 // pages touched, so a cold lookup is charged exactly its payload's pages.
+//
+// hotpath — allocheck root: the segment-tier payload read; the only growth
+// is the cap-guarded scratch resize.
 func (s *Segment) ReadRow(i int, buf []byte) ([]byte, error) {
 	if i < 0 || i >= len(s.keys) {
 		return nil, fmt.Errorf("storage: segment row %d of %d", i, len(s.keys))

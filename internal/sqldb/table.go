@@ -338,6 +338,10 @@ func (t *Table) dropSegment() error {
 // device — one bulk pass that must not displace label pages from the buffer
 // pool — and every row goes through the same segment codec the per-lookup
 // path uses, so the vectors can never disagree with it.
+// materialize decodes the whole segment into column vectors for the vector
+// cache.
+//
+// hotpath:cold — runs once per residency, off the lookup path.
 func (t *Table) materialize() (*vcache.Mat, error) {
 	data, err := t.seg.LoadData()
 	if err != nil {
@@ -392,6 +396,9 @@ func (t *Table) vcacheMat() (*vcache.Mat, error) {
 	if m := t.vcE.Acquire(); m != nil {
 		return m, nil
 	}
+	// hotpath:cold — first-touch materialization: the bound-method closure
+	// and the decode it drives are the cache-miss cost, paid once per
+	// residency.
 	return t.vcE.Materialize(t.materialize)
 }
 
@@ -467,6 +474,9 @@ func (t *Table) LookupPK(keyVals []int64) (sqltypes.Row, bool, error) {
 // reusable buffers. The returned row is valid until the next call with the
 // same scratch; its array values live in s.Arena, which only ever grows, so
 // they remain valid for the scratch's lifetime.
+//
+// hotpath — allocheck root: every fused point lookup funnels through here;
+// all three tiers (vcache, segment, heap) must stay allocation-free.
 func (t *Table) LookupPKScratch(keyVals []int64, s *exec.RowScratch) (sqltypes.Row, bool, error) {
 	if len(keyVals) != len(t.pkCols) {
 		return nil, false, fmt.Errorf("sqldb: %s: lookup with %d key values, PK has %d columns",
@@ -542,19 +552,16 @@ func (t *Table) LookupPKScratch(keyVals []int64, s *exec.RowScratch) (sqltypes.R
 // ScanScratch implements exec.ScratchTable: Scan reusing s's buffers —
 // including the arena — for every row, so the callback must not retain the
 // row or any of its array values.
+//
+// hotpath — allocheck root: fused full-table scans (target sets, condensed
+// probes) iterate here; the per-row loop must stay allocation-free.
 func (t *Table) ScanScratch(s *exec.RowScratch, fn func(sqltypes.Row) error) error {
 	t.scans.Add(1)
-	decode := func(data []byte) (sqltypes.Row, error) {
-		row, arena, err := sqltypes.DecodeRowInto(data, s.Row, s.Arena[:0])
-		if err != nil {
-			return nil, err
-		}
-		s.Row, s.Arena = row, arena
-		return row, nil
-	}
 	if len(t.pkCols) == 0 {
+		// hotpath:cold — keyless tables never back a fused query; the heap
+		// walk may build its callback closure.
 		return t.heap.Scan(func(_ storage.Locator, data []byte) error {
-			row, err := decode(data)
+			row, err := t.decodeHeapRow(data, s)
 			if err != nil {
 				return err
 			}
@@ -611,6 +618,8 @@ func (t *Table) ScanScratch(s *exec.RowScratch, fn func(sqltypes.Row) error) err
 		t.db.reg.Exec.RowsScanned.Add(rows)
 		return nil
 	}
+	// hotpath:cold — cursor construction allocates once per scan; the loop
+	// below is the hot part.
 	cur, err := t.idx.SeekFirst()
 	if err != nil {
 		return err
@@ -626,7 +635,7 @@ func (t *Table) ScanScratch(s *exec.RowScratch, fn func(sqltypes.Row) error) err
 			return err
 		}
 		s.Buf = data
-		row, err := decode(data)
+		row, err := t.decodeHeapRow(data, s)
 		if err != nil {
 			return err
 		}
@@ -640,6 +649,18 @@ func (t *Table) ScanScratch(s *exec.RowScratch, fn func(sqltypes.Row) error) err
 	}
 	t.db.reg.Exec.RowsScanned.Add(rows)
 	return nil
+}
+
+// decodeHeapRow decodes one tagged heap row into s's reusable buffers,
+// resetting the arena — scan semantics: each row replaces the last. A method
+// rather than a closure so the scan loop stays allocation-free.
+func (t *Table) decodeHeapRow(data []byte, s *exec.RowScratch) (sqltypes.Row, error) {
+	row, arena, err := sqltypes.DecodeRowInto(data, s.Row, s.Arena[:0])
+	if err != nil {
+		return nil, err
+	}
+	s.Row, s.Arena = row, arena
+	return row, nil
 }
 
 // Scan calls fn for every row. Tables with a primary key iterate in key

@@ -92,8 +92,10 @@ type Cache struct {
 	// mu guards the entry ring, the resident-byte account and the building
 	// latches. It is never held across a decode, a device read or a blocking
 	// channel operation — materialization happens between critical sections,
-	// exactly like the pool's coalesced loads.
-	mu       sync.Mutex // lockcheck:shard
+	// exactly like the pool's coalesced loads. Acquisition level 20: taken
+	// after a latch (level 10), never while another shard-class mutex is held
+	// (lockordercheck).
+	mu       sync.Mutex // lockcheck:shard level=20
 	entries  []*Entry
 	hand     int
 	resident int64
@@ -117,8 +119,10 @@ type Entry struct {
 	mat   atomic.Pointer[Mat]
 	ref   atomic.Bool // second-chance bit, set on every hit
 
-	// Guarded by cache.mu:
-	building chan struct{} // non-nil while a materialization is in flight
+	// Guarded by cache.mu. The latch is acquisition level 10: a builder holds
+	// it while re-taking cache.mu (level 20) to publish, so the latch must
+	// order strictly below the mutex.
+	building chan struct{} // lockcheck:latch level=10 — non-nil while a materialization is in flight
 	size     int64         // bytes charged while resident
 	tooBig   bool          // vectors exceed the whole budget; never retry
 	dropped  bool          // invalidated (segment dropped); never materialize
@@ -136,6 +140,8 @@ func (c *Cache) Register() *Entry {
 // Acquire returns the entry's materialized vectors, or nil when the table is
 // not resident. It is the hot-path gate: one atomic load, the reference bit,
 // and a hit/miss counter — no locks, no allocation.
+//
+// hotpath — allocheck root: the warm-hit gate must stay allocation-free.
 func (e *Entry) Acquire() *Mat {
 	if m := e.mat.Load(); m != nil {
 		e.ref.Store(true)

@@ -1,10 +1,17 @@
 #!/bin/sh
-# Full pre-merge gate: vet, project lint, build, and the whole test suite
-# under the race detector with shuffled test order. Also available as
-# `make check`.
+# Full pre-merge gate: formatting, vet, project lint, build, and the whole
+# test suite under the race detector with shuffled test order. Also available
+# as `make check`.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 echo "== go vet ./..."
 go vet ./...
 echo "== ptldb-analyze ./... (project lint)"
