@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint build test race bench-concurrency bench-quick bench-build bench-segments bench-vcache
+.PHONY: check lint build test race bench-concurrency bench-quick bench-build bench-segments bench-vcache bench-serve
 
 # The pre-merge gate: vet + lint + build + full suite under the race detector.
 check:
@@ -42,6 +42,13 @@ bench-segments:
 # BENCH_vcache.json); the budget sweep lives in `ptldb-bench -exp vcache`.
 bench-vcache:
 	$(GO) test -run '^$$' -bench 'BenchmarkVCache' -benchtime 100x .
+
+# Open-loop load on the serving layer (see BENCH_serve.json): fixed
+# per-client arrival rate, p50/p99/p999 + qps across client counts,
+# coalescing on vs off; hard-fails if the coalescing probe shares nothing
+# or the server does not drain cleanly.
+bench-serve:
+	$(GO) run ./cmd/ptldb-bench -exp serve -cities Austin -scale 0.05 -queries 1000 -q
 
 # Smoke run of the fused-vs-general executor benchmarks (see BENCH_exec.json):
 # a few iterations each, enough to catch fused-path fallbacks or crashes

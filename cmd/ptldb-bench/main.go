@@ -19,6 +19,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -28,23 +29,27 @@ import (
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 0.05, "dataset scale relative to the paper (0 < scale <= 1)")
-		queries  = flag.Int("queries", 200, "queries per experiment (paper: 1000)")
-		cities   = flag.String("cities", "", "comma-separated dataset names (default: all 11)")
-		exps     = flag.String("exp", "all", "comma-separated experiment ids or 'all': "+strings.Join(bench.ExperimentIDs, ","))
-		cache    = flag.String("cache", "", "database cache directory (default: $TMPDIR/ptldb-bench-cache)")
-		seed     = flag.Int64("seed", 1, "workload and generator seed")
-		parallel = flag.Int("parallel", 1, "goroutines issuing queries concurrently (sim device time is divided by N)")
-		workers  = flag.Int("build-workers", 0, "preprocessing parallelism for database builds (0 = GOMAXPROCS)")
-		fused    = flag.String("fused", "on", "fused label-query execution: on or off (ablation)")
-		segments = flag.String("segments", "on", "columnar label segments on the read path: on or off (ablation)")
-		vcache   = flag.String("vcache", "on", "resident vector cache over the segments: on or off (ablation)")
-		vcBytes  = flag.Int64("vcache-bytes", 0, "vector-cache budget in bytes (0 = default)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		out      = flag.String("o", "", "write the report to a file instead of stdout")
-		obsOut   = flag.String("obs-out", "", "write per-code query observability totals (JSON) to this file")
-		quiet    = flag.Bool("q", false, "suppress progress output")
+		scale      = flag.Float64("scale", 0.05, "dataset scale relative to the paper (0 < scale <= 1)")
+		queries    = flag.Int("queries", 200, "queries per experiment (paper: 1000)")
+		cities     = flag.String("cities", "", "comma-separated dataset names (default: all 11)")
+		exps       = flag.String("exp", "all", "comma-separated experiment ids or 'all': "+strings.Join(bench.ExperimentIDs, ","))
+		cache      = flag.String("cache", "", "database cache directory (default: $TMPDIR/ptldb-bench-cache)")
+		seed       = flag.Int64("seed", 1, "workload and generator seed")
+		parallel   = flag.Int("parallel", 1, "goroutines issuing queries concurrently (sim device time is divided by N)")
+		workers    = flag.Int("build-workers", 0, "preprocessing parallelism for database builds (0 = GOMAXPROCS)")
+		fused      = flag.String("fused", "on", "fused label-query execution: on or off (ablation)")
+		segments   = flag.String("segments", "on", "columnar label segments on the read path: on or off (ablation)")
+		vcache     = flag.String("vcache", "on", "resident vector cache over the segments: on or off (ablation)")
+		vcBytes    = flag.Int64("vcache-bytes", 0, "vector-cache budget in bytes (0 = default)")
+		svClients  = flag.String("serve-clients", "", "comma-separated client counts for -exp serve (default 1,4,16,64)")
+		svRate     = flag.Float64("serve-rate", 0, "per-client request rate for -exp serve (default 50/s)")
+		svDuration = flag.Duration("serve-duration", 0, "offered-load window per serve cell (default 2s)")
+		svInflight = flag.Int("serve-inflight", 0, "server admission cap for -exp serve (default 64)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		out        = flag.String("o", "", "write the report to a file instead of stdout")
+		obsOut     = flag.String("obs-out", "", "write per-code query observability totals (JSON) to this file")
+		quiet      = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -103,6 +108,18 @@ func main() {
 		fatal(fmt.Errorf("-vcache must be on or off, got %q", *vcache))
 	}
 	cfg.VCacheBytes = *vcBytes
+	if *svClients != "" {
+		for _, c := range strings.Split(*svClients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil || n < 1 {
+				fatal(fmt.Errorf("-serve-clients: bad count %q", c))
+			}
+			cfg.ServeClients = append(cfg.ServeClients, n)
+		}
+	}
+	cfg.ServeRate = *svRate
+	cfg.ServeDuration = *svDuration
+	cfg.ServeMaxInFlight = *svInflight
 	var agg *obs.Aggregator
 	if *obsOut != "" {
 		agg = obs.NewAggregator()

@@ -1,5 +1,6 @@
 // Command ptldb-query answers route-planning queries against a built PTLDB
-// database.
+// database, either by opening the database directory or by talking to a
+// running ptldb-serve instance.
 //
 // Usage:
 //
@@ -14,6 +15,10 @@
 //	ptldb-query -db DIR explain 'SELECT ...'
 //	ptldb-query -db DIR plan NAME     (NAME from 'ptldb-query -db DIR plan')
 //	ptldb-query -db DIR sets
+//
+// With -url http://HOST:PORT instead of -db, the query commands (plus plan
+// and -obs) run against the server's HTTP API with identical output; the
+// sql, explain and sets commands need the open store and refuse -url.
 //
 // TIME accepts either seconds after midnight or HH:MM:SS.
 //
@@ -31,12 +36,29 @@ import (
 
 	"ptldb"
 	"ptldb/internal/gtfs"
+	"ptldb/internal/serve"
 	"ptldb/internal/timetable"
 )
 
+// backend is the query surface shared by the local path (*ptldb.DB) and the
+// client path (*serve.Client): both answer the seven query types with the
+// same signatures, so the command dispatch and output formatting below are
+// written once.
+type backend interface {
+	EarliestArrival(s, g ptldb.StopID, t ptldb.Time) (ptldb.Time, bool, error)
+	LatestDeparture(s, g ptldb.StopID, t ptldb.Time) (ptldb.Time, bool, error)
+	ShortestDuration(s, g ptldb.StopID, t, tEnd ptldb.Time) (ptldb.Time, bool, error)
+	EAKNN(set string, q ptldb.StopID, t ptldb.Time, k int) ([]ptldb.Result, error)
+	LDKNN(set string, q ptldb.StopID, t ptldb.Time, k int) ([]ptldb.Result, error)
+	EAOTM(set string, q ptldb.StopID, t ptldb.Time) ([]ptldb.Result, error)
+	LDOTM(set string, q ptldb.StopID, t ptldb.Time) ([]ptldb.Result, error)
+	ExplainPrepared(name string) (string, error)
+}
+
 func main() {
 	var (
-		dbDir    = flag.String("db", "", "database directory (required)")
+		dbDir    = flag.String("db", "", "database directory (required unless -url)")
+		urlFlag  = flag.String("url", "", "ptldb-serve base URL (e.g. http://127.0.0.1:8080); replaces -db")
 		device   = flag.String("device", "ssd", "simulated device: hdd, ssd, ram")
 		segments = flag.String("segments", "on", "columnar label segments on the read path: on or off")
 		vcache   = flag.String("vcache", "on", "resident vector cache over the segments: on or off")
@@ -45,8 +67,8 @@ func main() {
 		obsDump  = flag.Bool("obs", false, "print the observability snapshot (JSON) to stderr on exit")
 	)
 	flag.Parse()
-	if *dbDir == "" || flag.NArg() == 0 {
-		fatal(fmt.Errorf("usage: ptldb-query -db DIR CMD ARGS... (see source header)"))
+	if (*dbDir == "") == (*urlFlag == "") || flag.NArg() == 0 {
+		fatal(fmt.Errorf("usage: ptldb-query {-db DIR | -url URL} CMD ARGS... (see source header)"))
 	}
 	if *segments != "on" && *segments != "off" {
 		fatal(fmt.Errorf("-segments must be on or off, got %q", *segments))
@@ -54,6 +76,36 @@ func main() {
 	if *vcache != "on" && *vcache != "off" {
 		fatal(fmt.Errorf("-vcache must be on or off, got %q", *vcache))
 	}
+	args := flag.Args()
+
+	if *urlFlag != "" {
+		client := &serve.Client{BaseURL: *urlFlag}
+		if *obsDump {
+			defer func() {
+				snap, err := client.Obs()
+				check(err)
+				blob, err := json.MarshalIndent(snap, "", "  ")
+				check(err)
+				fmt.Fprintln(os.Stderr, string(blob))
+			}()
+		}
+		switch args[0] {
+		case "sql", "explain", "sets":
+			fatal(fmt.Errorf("%s needs the open store; use -db instead of -url", args[0]))
+		case "plan":
+			if len(args) == 1 {
+				names, err := client.ExplainNames()
+				check(err)
+				for _, name := range names {
+					fmt.Println(name)
+				}
+				return
+			}
+		}
+		run(client, args)
+		return
+	}
+
 	db, err := ptldb.Open(*dbDir, ptldb.Config{
 		Device: *device, SlowQueryThreshold: *slow, DisableSegments: *segments == "off",
 		DisableVectorCache: *vcache == "off", VectorCacheBytes: *vcBytes,
@@ -70,56 +122,7 @@ func main() {
 		}()
 	}
 
-	args := flag.Args()
 	switch args[0] {
-	case "ea", "ld":
-		need(args, 4)
-		s, g := stop(args[1]), stop(args[2])
-		t := when(args[3])
-		var v ptldb.Time
-		var ok bool
-		if args[0] == "ea" {
-			v, ok, err = db.EarliestArrival(s, g, t)
-		} else {
-			v, ok, err = db.LatestDeparture(s, g, t)
-		}
-		check(err)
-		if !ok {
-			fmt.Println("no journey")
-			return
-		}
-		fmt.Printf("%s (%d)\n", gtfs.FormatTime(v), v)
-	case "sd":
-		need(args, 5)
-		v, ok, err := db.ShortestDuration(stop(args[1]), stop(args[2]), when(args[3]), when(args[4]))
-		check(err)
-		if !ok {
-			fmt.Println("no journey")
-			return
-		}
-		fmt.Printf("%s (%d s)\n", gtfs.FormatTime(v), v)
-	case "eaknn", "ldknn":
-		need(args, 5)
-		k, err := strconv.Atoi(args[4])
-		check(err)
-		var rs []ptldb.Result
-		if args[0] == "eaknn" {
-			rs, err = db.EAKNN(args[1], stop(args[2]), when(args[3]), k)
-		} else {
-			rs, err = db.LDKNN(args[1], stop(args[2]), when(args[3]), k)
-		}
-		check(err)
-		printResults(rs)
-	case "eaotm", "ldotm":
-		need(args, 4)
-		var rs []ptldb.Result
-		if args[0] == "eaotm" {
-			rs, err = db.EAOTM(args[1], stop(args[2]), when(args[3]))
-		} else {
-			rs, err = db.LDOTM(args[1], stop(args[2]), when(args[3]))
-		}
-		check(err)
-		printResults(rs)
 	case "sql":
 		need(args, 2)
 		trimmed := strings.ToUpper(strings.TrimSpace(args[1]))
@@ -150,6 +153,10 @@ func main() {
 			fmt.Println("  ->", line)
 		}
 		fmt.Printf("(%d rows)\n", len(rel.Rows))
+	case "sets":
+		for name, ts := range db.TargetSets() {
+			fmt.Printf("%s: %d targets, kmax %d\n", name, len(ts.Targets), ts.KMax)
+		}
 	case "plan":
 		if len(args) == 1 {
 			for _, name := range db.ExplainNames() {
@@ -157,14 +164,70 @@ func main() {
 			}
 			return
 		}
+		run(db, args)
+	default:
+		run(db, args)
+	}
+}
+
+// run dispatches the query commands shared by the local and -url paths.
+func run(b backend, args []string) {
+	switch args[0] {
+	case "ea", "ld":
+		need(args, 4)
+		s, g := stop(args[1]), stop(args[2])
+		t := when(args[3])
+		var v ptldb.Time
+		var ok bool
+		var err error
+		if args[0] == "ea" {
+			v, ok, err = b.EarliestArrival(s, g, t)
+		} else {
+			v, ok, err = b.LatestDeparture(s, g, t)
+		}
+		check(err)
+		if !ok {
+			fmt.Println("no journey")
+			return
+		}
+		fmt.Printf("%s (%d)\n", gtfs.FormatTime(v), v)
+	case "sd":
+		need(args, 5)
+		v, ok, err := b.ShortestDuration(stop(args[1]), stop(args[2]), when(args[3]), when(args[4]))
+		check(err)
+		if !ok {
+			fmt.Println("no journey")
+			return
+		}
+		fmt.Printf("%s (%d s)\n", gtfs.FormatTime(v), v)
+	case "eaknn", "ldknn":
+		need(args, 5)
+		k, err := strconv.Atoi(args[4])
+		check(err)
+		var rs []ptldb.Result
+		if args[0] == "eaknn" {
+			rs, err = b.EAKNN(args[1], stop(args[2]), when(args[3]), k)
+		} else {
+			rs, err = b.LDKNN(args[1], stop(args[2]), when(args[3]), k)
+		}
+		check(err)
+		printResults(rs)
+	case "eaotm", "ldotm":
+		need(args, 4)
+		var rs []ptldb.Result
+		var err error
+		if args[0] == "eaotm" {
+			rs, err = b.EAOTM(args[1], stop(args[2]), when(args[3]))
+		} else {
+			rs, err = b.LDOTM(args[1], stop(args[2]), when(args[3]))
+		}
+		check(err)
+		printResults(rs)
+	case "plan":
 		need(args, 2)
-		plan, err := db.ExplainPrepared(args[1])
+		plan, err := b.ExplainPrepared(args[1])
 		check(err)
 		fmt.Print(plan)
-	case "sets":
-		for name, ts := range db.TargetSets() {
-			fmt.Printf("%s: %d targets, kmax %d\n", name, len(ts.Targets), ts.KMax)
-		}
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}

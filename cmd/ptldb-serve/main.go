@@ -1,0 +1,128 @@
+// Command ptldb-serve exposes a built PTLDB database over HTTP: the seven
+// query types of the paper plus the prepared-plan and observability
+// endpoints, with per-request timeouts, bounded in-flight admission control
+// and query-level request coalescing (see internal/serve and DESIGN.md §13).
+//
+// Usage:
+//
+//	ptldb-serve -db DIR [-addr 127.0.0.1:8080] [-device ssd]
+//	            [-max-inflight 64] [-timeout 5s] [-drain 10s]
+//	            [-coalesce on|off] [-slow DURATION]
+//
+// Endpoints (all GET, all JSON):
+//
+//	/query/ea?from=S&to=G&t=T            earliest arrival
+//	/query/ld?from=S&to=G&t=T            latest departure
+//	/query/sd?from=S&to=G&start=T&end=T  shortest duration
+//	/query/eaknn?set=N&from=S&t=T&k=K    EA k-nearest targets
+//	/query/ldknn?set=N&from=S&t=T&k=K    LD k-nearest targets
+//	/query/eaotm?set=N&from=S&t=T        EA one-to-many
+//	/query/ldotm?set=N&from=S&t=T        LD one-to-many
+//	/plan[?name=NAME]                    prepared plan(s)
+//	/obs                                 observability snapshot
+//	/healthz                             liveness
+//
+// Time parameters accept seconds after midnight or HH:MM:SS. SIGINT/SIGTERM
+// trigger a graceful drain: the listener closes, in-flight requests finish
+// (up to -drain), then the database is closed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ptldb"
+	"ptldb/internal/serve"
+)
+
+func main() {
+	var (
+		dbDir    = flag.String("db", "", "database directory (required)")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		device   = flag.String("device", "ssd", "simulated device: hdd, ssd, ram")
+		segments = flag.String("segments", "on", "columnar label segments on the read path: on or off")
+		vcache   = flag.String("vcache", "on", "resident vector cache over the segments: on or off")
+		vcBytes  = flag.Int64("vcache-bytes", 0, "vector-cache budget in bytes (0 = default)")
+		inflight = flag.Int("max-inflight", 64, "max concurrent query executions before 503")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
+		coalesce = flag.String("coalesce", "on", "query-level request coalescing: on or off")
+		slow     = flag.Duration("slow", 0, "log queries slower than this to stderr (0 = off)")
+	)
+	flag.Parse()
+	if *dbDir == "" {
+		fatal(fmt.Errorf("usage: ptldb-serve -db DIR [flags] (see source header)"))
+	}
+	for name, v := range map[string]string{"segments": *segments, "vcache": *vcache, "coalesce": *coalesce} {
+		if v != "on" && v != "off" {
+			fatal(fmt.Errorf("-%s must be on or off, got %q", name, v))
+		}
+	}
+
+	db, err := ptldb.Open(*dbDir, ptldb.Config{
+		Device: *device, SlowQueryThreshold: *slow,
+		DisableSegments: *segments == "off", DisableVectorCache: *vcache == "off",
+		VectorCacheBytes: *vcBytes,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := serve.New(db, serve.Options{
+		MaxInFlight:       *inflight,
+		Timeout:           *timeout,
+		DisableCoalescing: *coalesce == "off",
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		_ = db.Close()
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ptldb-serve: listening on http://%s (db %s, device %s, max-inflight %d, coalesce %s)\n",
+		l.Addr(), *dbDir, *device, *inflight, *coalesce)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "ptldb-serve: %v, draining (up to %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptldb-serve: drain incomplete: %v\n", err)
+		}
+		// Serve has returned http.ErrServerClosed by now; surface anything else.
+		if serr := <-errc; serr != nil && serr != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "ptldb-serve: %v\n", serr)
+		}
+		if cerr := db.Close(); cerr != nil {
+			fatal(cerr)
+		}
+		if err != nil {
+			os.Exit(1)
+		}
+		m := srv.Metrics()
+		fmt.Fprintf(os.Stderr, "ptldb-serve: drained clean (%d requests, %d executions, %d coalesced, %d rejected)\n",
+			m.Requests.Load(), m.Executions.Load(), m.Coalesced.Load(), m.Rejected.Load())
+	case err := <-errc:
+		// The listener died without a signal (port stolen, fd pressure).
+		_ = db.Close()
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptldb-serve:", err)
+	os.Exit(1)
+}

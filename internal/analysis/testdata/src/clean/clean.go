@@ -90,6 +90,41 @@ func publish(l *latched, build func() int64) {
 	l.mu.Unlock()
 }
 
+// flight/coalescer mirror the serving layer's request-coalescing protocol:
+// the per-key latch (10) is opened under the registry mutex (20) — a hold,
+// not an acquisition — detached executions publish by re-taking the mutex
+// with nothing held, and waiters block on the latch with nothing held.
+type flight struct {
+	done chan struct{} // lockcheck:latch level=10
+	val  int64
+}
+
+type coalescer struct {
+	mu      sync.Mutex // lockcheck:shard level=20
+	flights map[string]*flight
+}
+
+// share joins an in-flight execution for key or becomes its leader: the
+// leader runs build outside every lock and publishes under the mutex before
+// closing the latch; joiners block on the latch only after releasing mu.
+func share(c *coalescer, key string, build func() int64) int64 {
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+	f.val = build()
+	c.mu.Lock()
+	delete(c.flights, key)
+	close(f.done)
+	c.mu.Unlock()
+	return f.val
+}
+
 // lookup is allocation-free through the whole scratch protocol: guarded
 // growth, self-append, scalar copy-out, and failure paths that may
 // allocate.

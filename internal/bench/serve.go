@@ -1,0 +1,318 @@
+package bench
+
+// serve.go is the open-loop load experiment behind ptldb-bench -exp serve: a
+// real ptldb-serve server (in-process, real TCP listener on 127.0.0.1:0)
+// fronting a warm ram-device database, driven by C clients that each issue
+// earliest-arrival requests at a FIXED arrival rate — open loop, so queueing
+// delay shows up as latency instead of silently throttling the offered load.
+// The workload is skewed (a small hot set gets most of the traffic, like a
+// transit app's popular station pairs at rush hour), which is exactly the
+// shape request coalescing exploits: each (clients, coalesce on|off) cell
+// reports p50/p99/p999 latency, achieved qps and the server's own
+// execution/coalesce/reject counters, so the on/off delta is the experiment.
+//
+// After the grid, a synchronized identical-request burst asserts that
+// coalescing actually shares executions (shared count > 0) and a graceful
+// Shutdown asserts the drain protocol — the two properties scripts/check.sh
+// smoke-tests on every run.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ptldb/internal/serve"
+)
+
+// serveCell is the measured outcome of one (clients, coalesce) grid cell.
+type serveCell struct {
+	sent, ok, rejected, failed int
+	p50, p99, p999             time.Duration
+	qps                        float64
+	executions, coalesced      uint64
+}
+
+// Serve runs the open-loop serving-layer experiment on the first configured
+// city. Each cell starts a fresh server over the same warm database so the
+// counters are per-cell.
+func (w *Workspace) Serve() (*Table, error) {
+	cfg := w.cfg
+	city := cfg.Cities[0]
+	ds, err := w.Dataset(city)
+	if err != nil {
+		return nil, err
+	}
+	db, err := w.Open(ds, "ram")
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	// The request mix models a transit app's front page: the hot set is a few
+	// station departure boards — EA one-to-many queries, expensive and
+	// IDENTICAL for every user looking at the same station — taking most of
+	// the traffic, with a tail of cheap point-to-point EA queries drawn
+	// uniformly from the usual workload. Warm the database over the full mix
+	// first — the experiment measures the serving layer, not cold label I/O.
+	set, err := w.EnsureTargetSet(ds, db, 0.05, 4)
+	if err != nil {
+		return nil, err
+	}
+	wl := w.NewWorkload(ds, cfg.Queries)
+	const (
+		hotCount    = 4
+		hotFraction = 0.85
+	)
+	hot := make([]string, hotCount)
+	for i := range hot {
+		hot[i] = serve.OTMPath("eaotm", set, wl.Sources[i], wl.Starts[i])
+		if _, err := db.EAOTM(set, wl.Sources[i], wl.Starts[i]); err != nil {
+			return nil, err
+		}
+	}
+	tail := make([]string, cfg.Queries)
+	for i := range tail {
+		tail[i] = serve.V2VPath("ea", wl.Sources[i], wl.Goals[i], wl.Starts[i])
+		if _, _, err := db.EarliestArrival(wl.Sources[i], wl.Goals[i], wl.Starts[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		ID: "serve",
+		Title: fmt.Sprintf("open-loop serving on %s: hot set %d EA-OTM departure boards (D=0.05, %.0f%% of traffic) + uniform EA tail, clients x %.0f req/s each for %v",
+			city, hotCount, hotFraction*100, cfg.ServeRate, cfg.ServeDuration),
+		Columns: []string{"clients", "coalesce", "offered", "ok", "503", "failed",
+			"p50 us", "p99 us", "p999 us", "qps", "executions", "coalesced"},
+		Notes: []string{
+			"Open loop: each client fires at its fixed interval regardless of completions, so queueing inflates latency rather than deflating load.",
+			fmt.Sprintf("max-inflight %d; per-request timeout 5s; ram device, warm database; fresh server per cell.", cfg.ServeMaxInFlight),
+			"coalesced counts requests that shared another request's in-flight execution; executions counts store calls actually run.",
+		},
+	}
+
+	for _, clients := range cfg.ServeClients {
+		for _, coalesce := range []bool{true, false} {
+			cell, err := w.serveCell(db, hot, tail, clients, coalesce, hotFraction)
+			if err != nil {
+				return nil, err
+			}
+			onOff := "on"
+			if !coalesce {
+				onOff = "off"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", clients),
+				onOff,
+				fmt.Sprintf("%d", cell.sent),
+				fmt.Sprintf("%d", cell.ok),
+				fmt.Sprintf("%d", cell.rejected),
+				fmt.Sprintf("%d", cell.failed),
+				fmt.Sprintf("%d", cell.p50.Microseconds()),
+				fmt.Sprintf("%d", cell.p99.Microseconds()),
+				fmt.Sprintf("%d", cell.p999.Microseconds()),
+				fmt.Sprintf("%.0f", cell.qps),
+				fmt.Sprintf("%d", cell.executions),
+				fmt.Sprintf("%d", cell.coalesced),
+			})
+		}
+	}
+
+	shared, err := coalesceBurst(db, hot[0])
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"coalescing probe: synchronized identical-request burst shared %d executions (must be > 0).", shared))
+	return t, nil
+}
+
+// serveCell runs one open-loop cell: a fresh server on an ephemeral port,
+// `clients` goroutines each issuing one request every 1/rate seconds for the
+// configured duration, arrivals on a fixed schedule. Returns percentiles over
+// the 200-responses and the server's own counters, then asserts a clean
+// graceful shutdown.
+func (w *Workspace) serveCell(store serve.Store, hot, tail []string, clients int, coalesce bool, hotFraction float64) (serveCell, error) {
+	var cell serveCell
+	srv := serve.New(store, serve.Options{
+		MaxInFlight:       w.cfg.ServeMaxInFlight,
+		Timeout:           5 * time.Second,
+		DisableCoalescing: !coalesce,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return cell, err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+	httpc := &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{MaxIdleConns: 4 * clients, MaxIdleConnsPerHost: 4 * clients},
+	}
+
+	interval := time.Duration(float64(time.Second) / w.cfg.ServeRate)
+	perClient := int(w.cfg.ServeDuration / interval)
+	if perClient < 1 {
+		perClient = 1
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rejected  int
+		failed    int
+		wg        sync.WaitGroup
+		reqWG     sync.WaitGroup
+	)
+	start := time.Now().Add(10 * time.Millisecond)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Deterministic per-client choice stream; clients are staggered
+			// across one interval so arrivals do not align into bursts.
+			rng := rand.New(rand.NewSource(w.cfg.Seed + int64(c)*7919))
+			first := start.Add(time.Duration(c) * interval / time.Duration(clients))
+			for i := 0; i < perClient; i++ {
+				due := first.Add(time.Duration(i) * interval)
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+				var path string
+				if rng.Float64() < hotFraction {
+					path = hot[rng.Intn(len(hot))]
+				} else {
+					path = tail[rng.Intn(len(tail))]
+				}
+				reqWG.Add(1)
+				// Open loop: the request rides its own goroutine so a slow
+				// response never delays the next arrival.
+				go func() {
+					defer reqWG.Done()
+					t0 := time.Now()
+					resp, err := httpc.Get(base + path)
+					lat := time.Since(t0)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						failed++
+						return
+					}
+					_ = resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						latencies = append(latencies, lat)
+					case http.StatusServiceUnavailable:
+						rejected++
+					default:
+						failed++
+					}
+				}()
+			}
+		}(c)
+	}
+	wg.Wait()
+	reqWG.Wait()
+	elapsed := time.Since(start)
+
+	// Graceful drain must complete promptly with nothing in flight.
+	if err := shutdownServer(srv, errc); err != nil {
+		return cell, err
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	m := srv.Metrics()
+	cell = serveCell{
+		sent:       clients * perClient,
+		ok:         len(latencies),
+		rejected:   rejected,
+		failed:     failed,
+		p50:        pctl(latencies, 0.50),
+		p99:        pctl(latencies, 0.99),
+		p999:       pctl(latencies, 0.999),
+		qps:        float64(len(latencies)) / elapsed.Seconds(),
+		executions: m.Executions.Load(),
+		coalesced:  m.Coalesced.Load(),
+	}
+	return cell, nil
+}
+
+// coalesceBurst asserts that coalescing shares executions: waves of
+// goroutines released together against one identical request until the
+// server's coalesced counter moves. Warm EA queries finish in microseconds,
+// so a single wave can (rarely) miss the in-flight window; the retry loop
+// makes the probe deterministic in practice while keeping the failure mode —
+// coalescing silently broken — a hard error.
+func coalesceBurst(store serve.Store, path string) (uint64, error) {
+	srv := serve.New(store, serve.Options{MaxInFlight: 256, Timeout: 5 * time.Second})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+	httpc := &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256},
+	}
+
+	const waveSize = 64
+	for wave := 0; wave < 20 && srv.Metrics().Coalesced.Load() == 0; wave++ {
+		release := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < waveSize; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-release
+				resp, err := httpc.Get(base + path)
+				if err == nil {
+					_ = resp.Body.Close()
+				}
+			}()
+		}
+		close(release)
+		wg.Wait()
+	}
+	shared := srv.Metrics().Coalesced.Load()
+	if err := shutdownServer(srv, errc); err != nil {
+		return 0, err
+	}
+	if shared == 0 {
+		return 0, fmt.Errorf("bench: coalescing probe saw 0 shared executions across 20 synchronized bursts")
+	}
+	return shared, nil
+}
+
+// shutdownServer drains srv and requires both a clean Shutdown and Serve
+// returning http.ErrServerClosed — the graceful-drain contract.
+func shutdownServer(srv *serve.Server, errc chan error) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("bench: serve shutdown did not drain: %w", err)
+	}
+	if err := <-errc; err != http.ErrServerClosed {
+		return fmt.Errorf("bench: Serve returned %v, want http.ErrServerClosed", err)
+	}
+	return nil
+}
+
+// pctl reads the p-th percentile (nearest rank) from sorted latencies.
+func pctl(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -119,7 +119,7 @@ func (s *Store) setTable(prefix, set string) string { return prefix + "_" + set 
 // Version returns a view of the store bound to the named timetable version.
 func (s *Store) Version(name string) (*Store, error) {
 	if _, ok := s.meta.Versions[name]; !ok {
-		return nil, fmt.Errorf("core: unknown version %q", name)
+		return nil, invalidf("unknown version %q", name)
 	}
 	v := *s
 	v.version = name

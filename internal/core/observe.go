@@ -7,7 +7,6 @@ package core
 // renders the operator tree a prepared paper query will execute with.
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 	"time"
@@ -137,10 +136,10 @@ func (s *Store) ExplainPrepared(name string) (string, error) {
 		return s.v2vSD.Explain(), nil
 	}
 	if set == "" {
-		return "", fmt.Errorf("core: explain %q: kind %q needs a target set (\"%s:<set>\")", name, kind, kind)
+		return "", invalidf("explain %q: kind %q needs a target set (\"%s:<set>\")", name, kind, kind)
 	}
 	if _, ok := s.vm().TargetSets[set]; !ok {
-		return "", fmt.Errorf("core: explain %q: unknown target set %q", name, set)
+		return "", invalidf("explain %q: unknown target set %q", name, set)
 	}
 	var st *sqldb.Stmt
 	var err error
@@ -158,7 +157,7 @@ func (s *Store) ExplainPrepared(name string) (string, error) {
 	case "otm-ld":
 		st, err = s.prepared(sqlOTMLD, s.setTable("otm_ld", set), s.meta.BucketSeconds, s.loutTable())
 	default:
-		return "", fmt.Errorf("core: explain %q: unknown query kind %q", name, kind)
+		return "", invalidf("explain %q: unknown query kind %q", name, kind)
 	}
 	if err != nil {
 		return "", err

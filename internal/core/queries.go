@@ -286,18 +286,27 @@ func (s *Store) queryScalar(code obs.Code, st *sqldb.Stmt, params ...sqltypes.Va
 // EarliestArrival answers EA(s, g, t) with the paper's Code 1. ok is false
 // when no journey exists.
 func (s *Store) EarliestArrival(src, dst timetable.StopID, t timetable.Time) (arr timetable.Time, ok bool, err error) {
+	if err := s.checkStops(src, dst); err != nil {
+		return 0, false, err
+	}
 	return s.queryScalar(obs.CodeV2VEA, s.v2vEA,
 		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)), sqltypes.NewInt(int64(t)))
 }
 
 // LatestDeparture answers LD(s, g, t) with Code 1.
 func (s *Store) LatestDeparture(src, dst timetable.StopID, t timetable.Time) (dep timetable.Time, ok bool, err error) {
+	if err := s.checkStops(src, dst); err != nil {
+		return 0, false, err
+	}
 	return s.queryScalar(obs.CodeV2VLD, s.v2vLD,
 		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)), sqltypes.NewInt(int64(t)))
 }
 
 // ShortestDuration answers SD(s, g, t, tEnd) with Code 1.
 func (s *Store) ShortestDuration(src, dst timetable.StopID, t, tEnd timetable.Time) (dur timetable.Time, ok bool, err error) {
+	if err := s.checkStops(src, dst); err != nil {
+		return 0, false, err
+	}
 	return s.queryScalar(obs.CodeV2VSD, s.v2vSD,
 		sqltypes.NewInt(int64(src)), sqltypes.NewInt(int64(dst)),
 		sqltypes.NewInt(int64(t)), sqltypes.NewInt(int64(tEnd)))
@@ -328,21 +337,24 @@ func (s *Store) queryResults(code obs.Code, st *sqldb.Stmt, params ...sqltypes.V
 	return out, nil
 }
 
-// checkK validates k against a registered target set.
-func (s *Store) checkK(set string, k int) error {
+// checkK validates k and the query stop against a registered target set.
+func (s *Store) checkK(set string, q timetable.StopID, k int) error {
+	if err := s.checkStop(q); err != nil {
+		return err
+	}
 	ts, ok := s.vm().TargetSets[set]
 	if !ok {
-		return fmt.Errorf("core: unknown target set %q", set)
+		return invalidf("unknown target set %q", set)
 	}
 	if k < 1 || k > ts.KMax {
-		return fmt.Errorf("core: k=%d outside [1, kmax=%d] of target set %q", k, ts.KMax, set)
+		return invalidf("k=%d outside [1, kmax=%d] of target set %q", k, ts.KMax, set)
 	}
 	return nil
 }
 
 // EAKNNNaive answers EA-kNN(q, T, t, k) with the naive Code 2 query.
 func (s *Store) EAKNNNaive(set string, q timetable.StopID, t timetable.Time, k int) ([]Result, error) {
-	if err := s.checkK(set, k); err != nil {
+	if err := s.checkK(set, q, k); err != nil {
 		return nil, err
 	}
 	st, err := s.prepared(sqlKNNNaiveEA, s.setTable("ea_knn_naive", set), s.loutTable())
@@ -356,7 +368,7 @@ func (s *Store) EAKNNNaive(set string, q timetable.StopID, t timetable.Time, k i
 // LDKNNNaive answers LD-kNN(q, T, t, k) with the naive LD analogue of
 // Code 2.
 func (s *Store) LDKNNNaive(set string, q timetable.StopID, t timetable.Time, k int) ([]Result, error) {
-	if err := s.checkK(set, k); err != nil {
+	if err := s.checkK(set, q, k); err != nil {
 		return nil, err
 	}
 	st, err := s.prepared(sqlKNNNaiveLD, s.setTable("ld_knn_naive", set), s.loutTable())
@@ -369,7 +381,7 @@ func (s *Store) LDKNNNaive(set string, q timetable.StopID, t timetable.Time, k i
 
 // EAKNN answers EA-kNN(q, T, t, k) with the optimized Code 3 query.
 func (s *Store) EAKNN(set string, q timetable.StopID, t timetable.Time, k int) ([]Result, error) {
-	if err := s.checkK(set, k); err != nil {
+	if err := s.checkK(set, q, k); err != nil {
 		return nil, err
 	}
 	st, err := s.prepared(sqlKNNEA, s.setTable("knn_ea", set), s.meta.BucketSeconds, s.loutTable())
@@ -396,7 +408,7 @@ func (s *Store) clampLD(t timetable.Time) int64 {
 
 // LDKNN answers LD-kNN(q, T, t, k) with the optimized Code 4 query.
 func (s *Store) LDKNN(set string, q timetable.StopID, t timetable.Time, k int) ([]Result, error) {
-	if err := s.checkK(set, k); err != nil {
+	if err := s.checkK(set, q, k); err != nil {
 		return nil, err
 	}
 	st, err := s.prepared(sqlKNNLD, s.setTable("knn_ld", set), s.meta.BucketSeconds, s.loutTable())
@@ -410,8 +422,8 @@ func (s *Store) LDKNN(set string, q timetable.StopID, t timetable.Time, k int) (
 // EAOTM answers EA-OTM(q, T, t) with the one-to-many variant of Code 3,
 // returning the earliest arrival for every reachable target.
 func (s *Store) EAOTM(set string, q timetable.StopID, t timetable.Time) ([]Result, error) {
-	if _, ok := s.vm().TargetSets[set]; !ok {
-		return nil, fmt.Errorf("core: unknown target set %q", set)
+	if err := s.checkSet(set, q); err != nil {
+		return nil, err
 	}
 	st, err := s.prepared(sqlOTMEA, s.setTable("otm_ea", set), s.meta.BucketSeconds, s.loutTable())
 	if err != nil {
@@ -423,8 +435,8 @@ func (s *Store) EAOTM(set string, q timetable.StopID, t timetable.Time) ([]Resul
 
 // LDOTM answers LD-OTM(q, T, t) with the one-to-many variant of Code 4.
 func (s *Store) LDOTM(set string, q timetable.StopID, t timetable.Time) ([]Result, error) {
-	if _, ok := s.vm().TargetSets[set]; !ok {
-		return nil, fmt.Errorf("core: unknown target set %q", set)
+	if err := s.checkSet(set, q); err != nil {
+		return nil, err
 	}
 	st, err := s.prepared(sqlOTMLD, s.setTable("otm_ld", set), s.meta.BucketSeconds, s.loutTable())
 	if err != nil {

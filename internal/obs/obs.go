@@ -290,6 +290,57 @@ func (m *VCacheMetrics) Snapshot() VCacheSnapshot {
 	}
 }
 
+// ServeMetrics are the network serving layer's counters (internal/serve).
+// Requests counts query requests that entered admission (parse failures are
+// rejected before admission and counted as BadRequests only); Executions
+// counts store executions actually launched; Coalesced counts requests that
+// attached to an identical execution already in flight instead of starting
+// their own — the query-level singleflight; Rejected counts 503s at the
+// admission cap; Timeouts counts requests whose deadline expired while the
+// shared execution was still running; BadRequests and Errors count 400 and
+// 500 responses. InFlight is the number of executions currently holding an
+// admission slot, and Latency is the whole-request wall time of admitted
+// query requests (coalesced joins included).
+type ServeMetrics struct {
+	Requests    Counter
+	Executions  Counter
+	Coalesced   Counter
+	Rejected    Counter
+	Timeouts    Counter
+	BadRequests Counter
+	Errors      Counter
+	InFlight    Gauge
+	Latency     Histogram
+}
+
+// ServeSnapshot is a point-in-time copy of ServeMetrics.
+type ServeSnapshot struct {
+	Requests    uint64            `json:"requests"`
+	Executions  uint64            `json:"executions"`
+	Coalesced   uint64            `json:"coalesced"`
+	Rejected    uint64            `json:"rejected"`
+	Timeouts    uint64            `json:"timeouts"`
+	BadRequests uint64            `json:"bad_requests"`
+	Errors      uint64            `json:"errors"`
+	InFlight    int64             `json:"in_flight"`
+	Latency     HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot copies the serving counters.
+func (m *ServeMetrics) Snapshot() ServeSnapshot {
+	return ServeSnapshot{
+		Requests:    m.Requests.Load(),
+		Executions:  m.Executions.Load(),
+		Coalesced:   m.Coalesced.Load(),
+		Rejected:    m.Rejected.Load(),
+		Timeouts:    m.Timeouts.Load(),
+		BadRequests: m.BadRequests.Load(),
+		Errors:      m.Errors.Load(),
+		InFlight:    m.InFlight.Load(),
+		Latency:     m.Latency.Snapshot(),
+	}
+}
+
 // QueryMetrics are one query Code's counters.
 type QueryMetrics struct {
 	Count   Counter
@@ -324,6 +375,9 @@ type Snapshot struct {
 	Exec    ExecSnapshot             `json:"exec"`
 	Segment SegmentSnapshot          `json:"segment"`
 	Query   map[string]QuerySnapshot `json:"query"`
+	// Serve is filled by ptldb-serve's /obs endpoint (the store itself has
+	// no serving counters); nil everywhere else.
+	Serve *ServeSnapshot `json:"serve,omitempty"`
 }
 
 // Snapshot copies the registry. Codes that never ran are omitted from the

@@ -1,0 +1,66 @@
+package serve
+
+// coalesce.go is the query-level singleflight: identical (endpoint, args)
+// requests in flight share one store execution. The protocol is the vector
+// cache's latch pattern lifted to the serving layer — a per-key flight whose
+// done channel is the latch, opened under the coalescer mutex and closed
+// under the re-taken mutex when the runner publishes the result (close is
+// non-blocking, so releasing the latch under the lock is safe). Waiters
+// select on the latch against their request context, so a slow execution
+// cannot pin a handler past its deadline.
+
+import "sync"
+
+// flight is one in-flight execution shared by every coalesced request for
+// its key. val and err are written exactly once, before done is closed;
+// the close is the happens-before edge that publishes them to waiters.
+type flight struct {
+	done chan struct{} // lockcheck:latch level=10 — closed when val/err are published
+	val  any
+	err  error
+}
+
+// coalescer deduplicates executions by request key.
+type coalescer struct {
+	mu      sync.Mutex // lockcheck:shard level=20 — guards flights; critical sections touch only the map
+	flights map[string]*flight
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: map[string]*flight{}}
+}
+
+// lookup returns the in-flight execution for key, or nil.
+func (c *coalescer) lookup(key string) *flight {
+	c.mu.Lock()
+	f := c.flights[key]
+	c.mu.Unlock()
+	return f
+}
+
+// begin registers a new flight under key, or joins the one another request
+// registered since the caller's lookup. created reports which happened; the
+// creator owns running the execution and must finish it.
+func (c *coalescer) begin(key string) (f *flight, created bool) {
+	c.mu.Lock()
+	if f = c.flights[key]; f != nil {
+		c.mu.Unlock()
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+	return f, true
+}
+
+// finish publishes the execution's result and releases every waiter. The
+// map entry is removed in the same critical section that closes the latch,
+// so a request arriving afterwards starts a fresh execution instead of
+// reading a stale one.
+func (c *coalescer) finish(key string, f *flight, val any, err error) {
+	f.val, f.err = val, err
+	c.mu.Lock()
+	delete(c.flights, key)
+	close(f.done)
+	c.mu.Unlock()
+}

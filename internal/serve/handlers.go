@@ -1,0 +1,353 @@
+package serve
+
+// handlers.go routes and renders the JSON API. One endpoint per query type,
+// named after the CLI commands:
+//
+//	GET /query/ea?from=S&to=G&t=T        earliest arrival
+//	GET /query/ld?from=S&to=G&t=T        latest departure
+//	GET /query/sd?from=S&to=G&start=T&end=T  shortest duration
+//	GET /query/eaknn?set=NAME&from=S&t=T&k=K
+//	GET /query/ldknn?set=NAME&from=S&t=T&k=K
+//	GET /query/eaotm?set=NAME&from=S&t=T
+//	GET /query/ldotm?set=NAME&from=S&t=T
+//	GET /plan[?name=NAME]                prepared plan(s)
+//	GET /obs                             observability snapshot
+//	GET /healthz                         liveness
+//
+// Time parameters accept seconds after midnight or HH:MM:SS; either spelling
+// canonicalizes to the same coalescing key. Malformed parameters are 400
+// before admission; store errors map through statusFor (400 caller mistakes,
+// 500 internal); 503 carries Retry-After; an expired deadline is 504.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"ptldb/internal/core"
+	"ptldb/internal/gtfs"
+	"ptldb/internal/timetable"
+)
+
+// PointResponse is the /query/{ea,ld,sd} payload. Value is seconds (a
+// timestamp for ea/ld, a duration for sd) and HMS its clock rendering; both
+// are zero when Found is false. Every field is always present so the shape
+// is golden-stable.
+type PointResponse struct {
+	Found bool   `json:"found"`
+	Value int64  `json:"value"`
+	HMS   string `json:"hms"`
+}
+
+// StopTime is one kNN / one-to-many answer row.
+type StopTime struct {
+	Stop int64  `json:"stop"`
+	When int64  `json:"when"`
+	HMS  string `json:"hms"`
+}
+
+// ResultsResponse is the /query/{eaknn,ldknn,eaotm,ldotm} payload.
+type ResultsResponse struct {
+	Results []StopTime `json:"results"`
+}
+
+// PlanResponse is the /plan?name=... payload.
+type PlanResponse struct {
+	Name string `json:"name"`
+	Plan string `json:"plan"`
+}
+
+// PlanListResponse is the bare /plan payload.
+type PlanListResponse struct {
+	Names []string `json:"names"`
+}
+
+// ErrorResponse is every non-200 body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// parseFunc validates one endpoint's parameters, returning the canonical
+// coalescing key and the execution closure.
+type parseFunc func(q url.Values) (key string, run func() (any, error), err error)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /query/ea", s.query(s.parseV2V("ea")))
+	s.mux.HandleFunc("GET /query/ld", s.query(s.parseV2V("ld")))
+	s.mux.HandleFunc("GET /query/sd", s.query(s.parseSD))
+	s.mux.HandleFunc("GET /query/eaknn", s.query(s.parseKNN("eaknn")))
+	s.mux.HandleFunc("GET /query/ldknn", s.query(s.parseKNN("ldknn")))
+	s.mux.HandleFunc("GET /query/eaotm", s.query(s.parseOTM("eaotm")))
+	s.mux.HandleFunc("GET /query/ldotm", s.query(s.parseOTM("ldotm")))
+	s.mux.HandleFunc("GET /plan", s.handlePlan)
+	s.mux.HandleFunc("GET /obs", s.handleObs)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// query wraps a parseFunc with the shared request pipeline: parse, admit,
+// coalesce, await, map errors, record latency.
+func (s *Server) query(parse parseFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key, run, err := parse(r.URL.Query())
+		if err != nil {
+			s.metrics.BadRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+		defer cancel()
+		v, status, err := s.do(ctx, key, run)
+		s.metrics.Latency.Observe(time.Since(start))
+		if err != nil {
+			switch status {
+			case http.StatusBadRequest:
+				s.metrics.BadRequests.Add(1)
+			case http.StatusInternalServerError:
+				s.metrics.Errors.Add(1)
+			case http.StatusServiceUnavailable:
+				w.Header().Set("Retry-After", retryAfterSeconds(s.opts.RetryAfter))
+			}
+			writeJSON(w, status, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	}
+}
+
+// retryAfterSeconds renders a duration as the whole-second Retry-After
+// header value, rounding up so the hint never undershoots.
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.FormatInt(int64((d+time.Second-1)/time.Second), 10)
+}
+
+func (s *Server) parseV2V(kind string) parseFunc {
+	return func(q url.Values) (string, func() (any, error), error) {
+		from, err := stopParam(q, "from")
+		if err != nil {
+			return "", nil, err
+		}
+		to, err := stopParam(q, "to")
+		if err != nil {
+			return "", nil, err
+		}
+		t, err := timeParam(q, "t")
+		if err != nil {
+			return "", nil, err
+		}
+		key := fmt.Sprintf("%s|%d|%d|%d", kind, from, to, t)
+		run := func() (any, error) {
+			var v timetable.Time
+			var ok bool
+			var err error
+			if kind == "ea" {
+				v, ok, err = s.store.EarliestArrival(from, to, t)
+			} else {
+				v, ok, err = s.store.LatestDeparture(from, to, t)
+			}
+			return pointResponse(v, ok), err
+		}
+		return key, run, nil
+	}
+}
+
+func (s *Server) parseSD(q url.Values) (string, func() (any, error), error) {
+	from, err := stopParam(q, "from")
+	if err != nil {
+		return "", nil, err
+	}
+	to, err := stopParam(q, "to")
+	if err != nil {
+		return "", nil, err
+	}
+	start, err := timeParam(q, "start")
+	if err != nil {
+		return "", nil, err
+	}
+	end, err := timeParam(q, "end")
+	if err != nil {
+		return "", nil, err
+	}
+	key := fmt.Sprintf("sd|%d|%d|%d|%d", from, to, start, end)
+	run := func() (any, error) {
+		v, ok, err := s.store.ShortestDuration(from, to, start, end)
+		return pointResponse(v, ok), err
+	}
+	return key, run, nil
+}
+
+func (s *Server) parseKNN(kind string) parseFunc {
+	return func(q url.Values) (string, func() (any, error), error) {
+		set, from, t, err := setParams(q)
+		if err != nil {
+			return "", nil, err
+		}
+		k, err := intParam(q, "k")
+		if err != nil {
+			return "", nil, err
+		}
+		key := fmt.Sprintf("%s|%s|%d|%d|%d", kind, set, from, t, k)
+		run := func() (any, error) {
+			var rs []core.Result
+			var err error
+			if kind == "eaknn" {
+				rs, err = s.store.EAKNN(set, from, t, int(k))
+			} else {
+				rs, err = s.store.LDKNN(set, from, t, int(k))
+			}
+			return resultsResponse(rs), err
+		}
+		return key, run, nil
+	}
+}
+
+func (s *Server) parseOTM(kind string) parseFunc {
+	return func(q url.Values) (string, func() (any, error), error) {
+		set, from, t, err := setParams(q)
+		if err != nil {
+			return "", nil, err
+		}
+		key := fmt.Sprintf("%s|%s|%d|%d", kind, set, from, t)
+		run := func() (any, error) {
+			var rs []core.Result
+			var err error
+			if kind == "eaotm" {
+				rs, err = s.store.EAOTM(set, from, t)
+			} else {
+				rs, err = s.store.LDOTM(set, from, t)
+			}
+			return resultsResponse(rs), err
+		}
+		return key, run, nil
+	}
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeJSONIndent(w, http.StatusOK, PlanListResponse{Names: s.store.ExplainNames()})
+		return
+	}
+	plan, err := s.store.ExplainPrepared(name)
+	if err != nil {
+		status := statusFor(err)
+		if status == http.StatusBadRequest {
+			s.metrics.BadRequests.Add(1)
+		} else {
+			s.metrics.Errors.Add(1)
+		}
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSONIndent(w, http.StatusOK, PlanResponse{Name: name, Plan: plan})
+}
+
+func (s *Server) handleObs(w http.ResponseWriter, _ *http.Request) {
+	snap := s.store.Snapshot()
+	sv := s.metrics.Snapshot()
+	snap.Serve = &sv
+	writeJSONIndent(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+func pointResponse(v timetable.Time, ok bool) PointResponse {
+	if !ok {
+		return PointResponse{}
+	}
+	return PointResponse{Found: true, Value: int64(v), HMS: gtfs.FormatTime(v)}
+}
+
+func resultsResponse(rs []core.Result) ResultsResponse {
+	out := ResultsResponse{Results: make([]StopTime, len(rs))}
+	for i, r := range rs {
+		out.Results[i] = StopTime{Stop: int64(r.Stop), When: int64(r.When), HMS: gtfs.FormatTime(r.When)}
+	}
+	return out
+}
+
+func stopParam(q url.Values, name string) (timetable.StopID, error) {
+	v, err := intParam(q, name)
+	return timetable.StopID(v), err
+}
+
+func intParam(q url.Values, name string) (int64, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("serve: missing parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: parameter %s=%q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+// timeParam accepts seconds after midnight or HH:MM:SS, like the query CLI.
+func timeParam(q url.Values, name string) (timetable.Time, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("serve: missing parameter %q", name)
+	}
+	if t, err := gtfs.ParseTime(raw); err == nil {
+		return t, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: parameter %s=%q is neither seconds nor HH:MM:SS", name, raw)
+	}
+	return timetable.Time(v), nil
+}
+
+// setParams pulls the shared set/from/t triple of the kNN and OTM endpoints.
+func setParams(q url.Values) (string, timetable.StopID, timetable.Time, error) {
+	set := q.Get("set")
+	if set == "" {
+		return "", 0, 0, fmt.Errorf("serve: missing parameter %q", "set")
+	}
+	from, err := stopParam(q, "from")
+	if err != nil {
+		return "", 0, 0, err
+	}
+	t, err := timeParam(q, "t")
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return set, from, t, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"serve: encoding response failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Best-effort write: the client may be gone already.
+	_, _ = w.Write(append(blob, '\n'))
+}
+
+// writeJSONIndent is writeJSON with indentation, for the endpoints meant to
+// be read by humans over curl (/plan, /obs).
+func writeJSONIndent(w http.ResponseWriter, status int, v any) {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"serve: encoding response failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(blob, '\n'))
+}

@@ -1,0 +1,418 @@
+package serve
+
+// serve_test.go exercises the serving layer's lifecycle contracts against a
+// controllable fake store: coalescing shares exactly one execution, the
+// admission cap answers 503 without deadlocking, an expired deadline answers
+// 504 while the execution survives for later joiners, graceful drain waits
+// for in-flight requests, and the whole pipeline is race-clean under
+// concurrent clients (scripts/check.sh runs this package with -race).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ptldb/internal/core"
+	"ptldb/internal/obs"
+	"ptldb/internal/timetable"
+)
+
+// fakeStore answers every query instantly with synthetic values unless block
+// is set, in which case query executions park until the channel is closed.
+// eaErr, when set, is returned by EarliestArrival to drive the error-mapping
+// tests.
+type fakeStore struct {
+	calls atomic.Int64
+	block chan struct{}
+	eaErr error
+}
+
+func (f *fakeStore) enter() {
+	f.calls.Add(1)
+	if f.block != nil {
+		<-f.block
+	}
+}
+
+func (f *fakeStore) EarliestArrival(s, g timetable.StopID, t timetable.Time) (timetable.Time, bool, error) {
+	f.enter()
+	if f.eaErr != nil {
+		return 0, false, f.eaErr
+	}
+	if s == g {
+		return 0, false, nil // unreachable pair: the no-journey shape
+	}
+	return t + 60, true, nil
+}
+
+func (f *fakeStore) LatestDeparture(s, g timetable.StopID, t timetable.Time) (timetable.Time, bool, error) {
+	f.enter()
+	return t - 60, true, nil
+}
+
+func (f *fakeStore) ShortestDuration(s, g timetable.StopID, t, tEnd timetable.Time) (timetable.Time, bool, error) {
+	f.enter()
+	return 300, true, nil
+}
+
+func (f *fakeStore) knn(q timetable.StopID, t timetable.Time, k int) []core.Result {
+	out := make([]core.Result, k)
+	for i := range out {
+		out[i] = core.Result{Stop: q + timetable.StopID(i+1), When: t + timetable.Time(60*(i+1))}
+	}
+	return out
+}
+
+func (f *fakeStore) EAKNN(set string, q timetable.StopID, t timetable.Time, k int) ([]core.Result, error) {
+	f.enter()
+	return f.knn(q, t, k), nil
+}
+
+func (f *fakeStore) LDKNN(set string, q timetable.StopID, t timetable.Time, k int) ([]core.Result, error) {
+	f.enter()
+	return f.knn(q, t, k), nil
+}
+
+func (f *fakeStore) EAOTM(set string, q timetable.StopID, t timetable.Time) ([]core.Result, error) {
+	f.enter()
+	return f.knn(q, t, 2), nil
+}
+
+func (f *fakeStore) LDOTM(set string, q timetable.StopID, t timetable.Time) ([]core.Result, error) {
+	f.enter()
+	return f.knn(q, t, 2), nil
+}
+
+func (f *fakeStore) ExplainPrepared(name string) (string, error) {
+	if name != "v2v-ea" {
+		return "", fmt.Errorf("fake: no prepared query %q: %w", name, core.ErrInvalidArgument)
+	}
+	return "FakePlan v2v-ea\n", nil
+}
+
+func (f *fakeStore) ExplainNames() []string { return []string{"v2v-ea"} }
+
+func (f *fakeStore) Snapshot() obs.Snapshot { return obs.Snapshot{} }
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestCoalescingSharesOneExecution(t *testing.T) {
+	fs := &fakeStore{block: make(chan struct{})}
+	srv := New(fs, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	bodies := make([]string, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], bodies[i] = get(t, ts.URL+"/query/ea?from=1&to=2&t=28800")
+		}(i)
+	}
+	// All n requests target one key: exactly one execution starts (and parks
+	// in the fake store), the other n-1 join its flight.
+	m := srv.Metrics()
+	waitFor(t, "n-1 joiners", func() bool {
+		return m.Executions.Load() == 1 && m.Coalesced.Load() == n-1
+	})
+	if got := fs.calls.Load(); got != 1 {
+		t.Fatalf("store saw %d calls with execution in flight, want 1", got)
+	}
+	close(fs.block)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Errorf("request %d: status %d, body %s", i, codes[i], bodies[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Errorf("request %d body %q differs from %q", i, bodies[i], bodies[0])
+		}
+	}
+	if got := fs.calls.Load(); got != 1 {
+		t.Errorf("store saw %d calls total, want 1", got)
+	}
+}
+
+func TestDisableCoalescingRunsEveryRequest(t *testing.T) {
+	fs := &fakeStore{}
+	srv := New(fs, Options{DisableCoalescing: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if code, body := get(t, ts.URL+"/query/ea?from=1&to=2&t=28800"); code != http.StatusOK {
+				t.Errorf("status %d, body %s", code, body)
+			}
+		}()
+	}
+	wg.Wait()
+	m := srv.Metrics()
+	if m.Executions.Load() != n || m.Coalesced.Load() != 0 {
+		t.Errorf("executions %d coalesced %d, want %d and 0",
+			m.Executions.Load(), m.Coalesced.Load(), n)
+	}
+}
+
+func TestSaturatedServerAnswers503(t *testing.T) {
+	fs := &fakeStore{block: make(chan struct{})}
+	// Coalescing off so every request needs its own admission slot.
+	srv := New(fs, Options{MaxInFlight: 2, DisableCoalescing: true, RetryAfter: 3 * time.Second})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			code, _ := get(t, ts.URL+"/query/ea?from=1&to=2&t=28800")
+			results <- code
+		}()
+	}
+	waitFor(t, "both slots occupied", func() bool { return fs.calls.Load() == 2 })
+
+	// The cap is reached: the next request must be rejected promptly with a
+	// Retry-After hint, not queued behind the parked executions.
+	resp, err := http.Get(ts.URL + "/query/ea?from=9&to=9&t=28800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d at cap, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After %q, want %q", got, "3")
+	}
+	if srv.Metrics().Rejected.Load() != 1 {
+		t.Errorf("rejected counter %d, want 1", srv.Metrics().Rejected.Load())
+	}
+
+	close(fs.block)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Errorf("parked request finished with %d, want 200", code)
+		}
+	}
+}
+
+func TestDeadlineExpiryAnswers504(t *testing.T) {
+	fs := &fakeStore{block: make(chan struct{})}
+	srv := New(fs, Options{Timeout: 30 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/query/ea?from=1&to=2&t=28800")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d after deadline, want 504 (body %s)", code, body)
+	}
+	m := srv.Metrics()
+	if m.Timeouts.Load() != 1 {
+		t.Errorf("timeouts counter %d, want 1", m.Timeouts.Load())
+	}
+	// The execution outlives the timed-out request; release it and verify a
+	// joiner arriving before completion still gets the answer.
+	if m.InFlight.Load() != 1 {
+		t.Errorf("in-flight gauge %d with abandoned execution running, want 1", m.InFlight.Load())
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if code, body := get(t, ts.URL+"/query/ea?from=1&to=2&t=28800"); code != http.StatusOK {
+			t.Errorf("joiner after timeout: status %d, body %s", code, body)
+		}
+	}()
+	waitFor(t, "joiner attached", func() bool { return m.Coalesced.Load() == 1 })
+	close(fs.block)
+	<-done
+	if got := fs.calls.Load(); got != 1 {
+		t.Errorf("store saw %d calls, want 1 (joiner must reuse the abandoned execution)", got)
+	}
+}
+
+func TestGracefulDrainWaitsForInFlight(t *testing.T) {
+	fs := &fakeStore{block: make(chan struct{})}
+	srv := New(fs, Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	reqDone := make(chan int, 1)
+	go func() {
+		code, _ := get(t, base+"/query/ea?from=1&to=2&t=28800")
+		reqDone <- code
+	}()
+	waitFor(t, "request in flight", func() bool { return fs.calls.Load() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(ctx) }()
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(fs.block)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+	if code := <-reqDone; code != http.StatusOK {
+		t.Errorf("drained request finished with %d, want 200", code)
+	}
+}
+
+func TestConcurrentClientsSmoke(t *testing.T) {
+	fs := &fakeStore{}
+	srv := New(fs, Options{MaxInFlight: 128})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	paths := []string{
+		"/query/ea?from=1&to=2&t=28800",
+		"/query/ld?from=2&to=1&t=36000",
+		"/query/sd?from=1&to=3&start=28800&end=36000",
+		"/query/eaknn?set=poi&from=1&t=28800&k=3",
+		"/query/ldknn?set=poi&from=1&t=36000&k=2",
+		"/query/eaotm?set=poi&from=4&t=28800",
+		"/query/ldotm?set=poi&from=4&t=36000",
+		"/plan?name=v2v-ea",
+		"/healthz",
+		"/query/ea?from=x&to=2&t=28800", // 400, parse
+	}
+	const clients, perClient = 8, 40
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				path := paths[(c+i)%len(paths)]
+				want := http.StatusOK
+				if strings.Contains(path, "from=x") {
+					want = http.StatusBadRequest
+				}
+				if code, body := get(t, ts.URL+path); code != want {
+					t.Errorf("GET %s: status %d, body %s, want %d", path, code, body, want)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	m := srv.Metrics()
+	if m.InFlight.Load() != 0 {
+		t.Errorf("in-flight gauge %d after quiesce, want 0", m.InFlight.Load())
+	}
+	if m.Rejected.Load() != 0 || m.Timeouts.Load() != 0 || m.Errors.Load() != 0 {
+		t.Errorf("unexpected failures: rejected %d timeouts %d errors %d",
+			m.Rejected.Load(), m.Timeouts.Load(), m.Errors.Load())
+	}
+}
+
+func TestErrorStatusMapping(t *testing.T) {
+	fs := &fakeStore{eaErr: fmt.Errorf("fake: stop id 99 outside [0, 7): %w", core.ErrInvalidArgument)}
+	srv := New(fs, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if code, body := get(t, ts.URL+"/query/ea?from=99&to=2&t=28800"); code != http.StatusBadRequest {
+		t.Errorf("invalid-argument store error: status %d, body %s, want 400", code, body)
+	}
+	if srv.Metrics().BadRequests.Load() != 1 {
+		t.Errorf("bad-requests counter %d, want 1", srv.Metrics().BadRequests.Load())
+	}
+
+	fs.eaErr = errors.New("fake: page checksum mismatch")
+	if code, body := get(t, ts.URL+"/query/ea?from=1&to=2&t=28801"); code != http.StatusInternalServerError {
+		t.Errorf("internal store error: status %d, body %s, want 500", code, body)
+	}
+	if srv.Metrics().Errors.Load() != 1 {
+		t.Errorf("errors counter %d, want 1", srv.Metrics().Errors.Load())
+	}
+
+	// Parse failures are 400 before any store call.
+	before := fs.calls.Load()
+	for _, path := range []string{
+		"/query/ea?from=1&to=2",            // missing t
+		"/query/ea?from=one&to=2&t=28800",  // non-integer stop
+		"/query/ea?from=1&to=2&t=morning",  // unparseable time
+		"/query/eaknn?set=poi&from=1&t=60", // missing k
+	} {
+		if code, body := get(t, ts.URL+path); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, body %s, want 400", path, code, body)
+		}
+	}
+	if fs.calls.Load() != before {
+		t.Errorf("malformed requests reached the store (%d calls)", fs.calls.Load()-before)
+	}
+
+	// Unknown prepared-plan names classify as caller mistakes too.
+	if code, _ := get(t, ts.URL+"/plan?name=nope"); code != http.StatusBadRequest {
+		t.Errorf("/plan?name=nope: status %d, want 400", code)
+	}
+}
+
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{core.ErrInvalidArgument, http.StatusBadRequest},
+		{fmt.Errorf("wrap: %w", core.ErrInvalidArgument), http.StatusBadRequest},
+		{errors.Join(errors.New("other"), core.ErrInvalidArgument), http.StatusBadRequest},
+		{errors.New("io failure"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("statusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

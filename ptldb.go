@@ -66,6 +66,17 @@ type (
 // Infinity is a timestamp greater than every reachable arrival.
 const Infinity = timetable.Infinity
 
+// ErrInvalidArgument marks query-surface errors caused by the caller's
+// arguments — an out-of-range stop id, an unknown target set, version or
+// explain name, a k outside the set's materialized range — as opposed to
+// internal failures. Test with errors.Is or IsInvalidArgument; ptldb-serve
+// maps the distinction to HTTP 400 vs 500.
+var ErrInvalidArgument = core.ErrInvalidArgument
+
+// IsInvalidArgument reports whether err is a caller mistake on the query
+// surface (see ErrInvalidArgument).
+func IsInvalidArgument(err error) bool { return core.IsInvalidArgument(err) }
+
 // Profiles lists the eleven synthetic city profiles of the paper's Table 7.
 func Profiles() []CityProfile { return synth.Profiles }
 

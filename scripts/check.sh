@@ -30,4 +30,7 @@ echo "== bench smoke (resident vector cache, 5 iterations)"
 go test -run '^$' -bench 'BenchmarkVCache' -benchtime 5x .
 echo "== bench smoke (parallel build, 1 iteration)"
 go test -run '^$' -bench 'BenchmarkBuildParallel/workers=4' -benchtime 1x ./internal/ttl
+echo "== serve smoke (open-loop harness: coalescing must share, server must drain)"
+go run ./cmd/ptldb-bench -exp serve -cities Austin -scale 0.02 -queries 64 \
+    -serve-clients 4 -serve-duration 300ms -q > /dev/null
 echo "== OK"
