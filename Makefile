@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint build test race bench-concurrency bench-quick bench-build bench-segments bench-vcache bench-serve
+.PHONY: check lint build test race bench-concurrency bench-quick bench-build bench-segments bench-vcache bench-serve bench-tenants
 
 # The pre-merge gate: vet + lint + build + full suite under the race detector.
 check:
@@ -49,6 +49,15 @@ bench-vcache:
 # or the server does not drain cleanly.
 bench-serve:
 	$(GO) run ./cmd/ptldb-bench -exp serve -cities Austin -scale 0.05 -queries 1000 -q
+
+# Cross-tenant isolation on the multi-city server (see BENCH_tenants.json):
+# a warm city's p99 measured alone vs beside a stone-cold churning
+# neighbour, median of three windows per cell; hard-fails if either tenant
+# answers differently from a direct handle or the rollup /obs totals drift
+# from the per-tenant sums.
+bench-tenants:
+	$(GO) run ./cmd/ptldb-bench -exp tenants -cities "Austin,Salt Lake City" \
+	    -scale 0.05 -queries 1000 -serve-duration 10s -q
 
 # Smoke run of the fused-vs-general executor benchmarks (see BENCH_exec.json):
 # a few iterations each, enough to catch fused-path fallbacks or crashes

@@ -19,6 +19,8 @@
 // With -url http://HOST:PORT instead of -db, the query commands (plus plan
 // and -obs) run against the server's HTTP API with identical output; the
 // sql, explain and sets commands need the open store and refuse -url.
+// Against a multi-tenant server (ptldb-serve -tenants), add -tenant CITY to
+// pick the city; paths gain the /t/{city} prefix.
 //
 // TIME accepts either seconds after midnight or HH:MM:SS.
 //
@@ -59,6 +61,7 @@ func main() {
 	var (
 		dbDir    = flag.String("db", "", "database directory (required unless -url)")
 		urlFlag  = flag.String("url", "", "ptldb-serve base URL (e.g. http://127.0.0.1:8080); replaces -db")
+		tenantF  = flag.String("tenant", "", "city key on a multi-tenant server (requires -url)")
 		device   = flag.String("device", "ssd", "simulated device: hdd, ssd, ram")
 		segments = flag.String("segments", "on", "columnar label segments on the read path: on or off")
 		vcache   = flag.String("vcache", "on", "resident vector cache over the segments: on or off")
@@ -76,10 +79,13 @@ func main() {
 	if *vcache != "on" && *vcache != "off" {
 		fatal(fmt.Errorf("-vcache must be on or off, got %q", *vcache))
 	}
+	if *tenantF != "" && *urlFlag == "" {
+		fatal(fmt.Errorf("-tenant selects a city on a server; it requires -url"))
+	}
 	args := flag.Args()
 
 	if *urlFlag != "" {
-		client := &serve.Client{BaseURL: *urlFlag}
+		client := &serve.Client{BaseURL: *urlFlag, Tenant: *tenantF}
 		if *obsDump {
 			defer func() {
 				snap, err := client.Obs()

@@ -1,4 +1,4 @@
-// Command ptldb-serve exposes a built PTLDB database over HTTP: the seven
+// Command ptldb-serve exposes built PTLDB databases over HTTP: the seven
 // query types of the paper plus the prepared-plan and observability
 // endpoints, with per-request timeouts, bounded in-flight admission control
 // and query-level request coalescing (see internal/serve and DESIGN.md §13).
@@ -7,9 +7,18 @@
 //
 //	ptldb-serve -db DIR [-addr 127.0.0.1:8080] [-device ssd]
 //	            [-max-inflight 64] [-timeout 5s] [-drain 10s]
-//	            [-coalesce on|off] [-slow DURATION]
+//	            [-coalesce on|off] [-slow DURATION] [-pool-pages N]
+//	ptldb-serve -tenants DIR [-max-open 4] [shared flags as above]
 //
-// Endpoints (all GET, all JSON):
+// With -db, one database is served at the root paths. With -tenants, DIR's
+// subdirectories (each a built database, the subdirectory name being the
+// city key) are served from one process behind /t/{city}/... paths:
+// databases open lazily on first request, at most -max-open stay open (LRU,
+// in-flight queries pin theirs), and the -vcache-bytes and -pool-pages
+// budgets are process-wide — each open tenant gets an equal share. See
+// DESIGN.md §14.
+//
+// Endpoints (all GET, all JSON; prefix /t/{city} in -tenants mode):
 //
 //	/query/ea?from=S&to=G&t=T            earliest arrival
 //	/query/ld?from=S&to=G&t=T            latest departure
@@ -20,11 +29,14 @@
 //	/query/ldotm?set=N&from=S&t=T        LD one-to-many
 //	/plan[?name=NAME]                    prepared plan(s)
 //	/obs                                 observability snapshot
-//	/healthz                             liveness
+//	/healthz                             liveness (never prefixed)
+//
+// -tenants mode adds two unprefixed endpoints: /tenants (the city list with
+// lifecycle counters) and /obs (the cross-tenant rollup).
 //
 // Time parameters accept seconds after midnight or HH:MM:SS. SIGINT/SIGTERM
 // trigger a graceful drain: the listener closes, in-flight requests finish
-// (up to -drain), then the database is closed.
+// (up to -drain), then the database(s) are closed.
 package main
 
 import (
@@ -35,58 +47,88 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ptldb"
 	"ptldb/internal/serve"
+	"ptldb/internal/tenant"
 )
 
 func main() {
 	var (
-		dbDir    = flag.String("db", "", "database directory (required)")
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		device   = flag.String("device", "ssd", "simulated device: hdd, ssd, ram")
-		segments = flag.String("segments", "on", "columnar label segments on the read path: on or off")
-		vcache   = flag.String("vcache", "on", "resident vector cache over the segments: on or off")
-		vcBytes  = flag.Int64("vcache-bytes", 0, "vector-cache budget in bytes (0 = default)")
-		inflight = flag.Int("max-inflight", 64, "max concurrent query executions before 503")
-		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
-		coalesce = flag.String("coalesce", "on", "query-level request coalescing: on or off")
-		slow     = flag.Duration("slow", 0, "log queries slower than this to stderr (0 = off)")
+		dbDir     = flag.String("db", "", "database directory (this or -tenants required)")
+		tenantDir = flag.String("tenants", "", "parent directory of per-city databases; serve them all")
+		maxOpen   = flag.Int("max-open", 4, "max concurrently open tenant databases (-tenants mode)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		device    = flag.String("device", "ssd", "simulated device: hdd, ssd, ram")
+		segments  = flag.String("segments", "on", "columnar label segments on the read path: on or off")
+		vcache    = flag.String("vcache", "on", "resident vector cache over the segments: on or off")
+		vcBytes   = flag.Int64("vcache-bytes", 0, "vector-cache budget in bytes, process-wide (0 = default)")
+		poolPages = flag.Int("pool-pages", 0, "buffer-pool budget in 8 KiB pages, process-wide (0 = default)")
+		inflight  = flag.Int("max-inflight", 64, "max concurrent query executions before 503")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request deadline")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
+		coalesce  = flag.String("coalesce", "on", "query-level request coalescing: on or off")
+		slow      = flag.Duration("slow", 0, "log queries slower than this to stderr (0 = off)")
 	)
 	flag.Parse()
-	if *dbDir == "" {
-		fatal(fmt.Errorf("usage: ptldb-serve -db DIR [flags] (see source header)"))
+	if (*dbDir == "") == (*tenantDir == "") {
+		fatal(fmt.Errorf("usage: ptldb-serve {-db DIR | -tenants DIR} [flags] (see source header)"))
 	}
 	for name, v := range map[string]string{"segments": *segments, "vcache": *vcache, "coalesce": *coalesce} {
 		if v != "on" && v != "off" {
 			fatal(fmt.Errorf("-%s must be on or off, got %q", name, v))
 		}
 	}
-
-	db, err := ptldb.Open(*dbDir, ptldb.Config{
+	cfg := ptldb.Config{
 		Device: *device, SlowQueryThreshold: *slow,
 		DisableSegments: *segments == "off", DisableVectorCache: *vcache == "off",
-		VectorCacheBytes: *vcBytes,
-	})
-	if err != nil {
-		fatal(err)
+		VectorCacheBytes: *vcBytes, PoolPages: *poolPages,
 	}
-
-	srv := serve.New(db, serve.Options{
+	opts := serve.Options{
 		MaxInFlight:       *inflight,
 		Timeout:           *timeout,
 		DisableCoalescing: *coalesce == "off",
-	})
+	}
+
+	var (
+		srv     *serve.Server
+		closeDB func() error
+		what    string
+	)
+	if *tenantDir != "" {
+		router, err := tenant.New(*tenantDir, tenant.Config{
+			MaxOpenTenants:   *maxOpen,
+			VectorCacheBytes: *vcBytes,
+			PoolPages:        *poolPages,
+			Base:             cfg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv = serve.NewMulti(router, opts)
+		closeDB = router.Close
+		what = fmt.Sprintf("tenants %s [%s], max-open %d", *tenantDir,
+			strings.Join(router.Names(), " "), *maxOpen)
+	} else {
+		db, err := ptldb.Open(*dbDir, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		srv = serve.New(db, opts)
+		closeDB = db.Close
+		what = "db " + *dbDir
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		_ = db.Close()
+		_ = closeDB()
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "ptldb-serve: listening on http://%s (db %s, device %s, max-inflight %d, coalesce %s)\n",
-		l.Addr(), *dbDir, *device, *inflight, *coalesce)
+	fmt.Fprintf(os.Stderr, "ptldb-serve: listening on http://%s (%s, device %s, max-inflight %d, coalesce %s)\n",
+		l.Addr(), what, *device, *inflight, *coalesce)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
@@ -106,7 +148,7 @@ func main() {
 		if serr := <-errc; serr != nil && serr != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "ptldb-serve: %v\n", serr)
 		}
-		if cerr := db.Close(); cerr != nil {
+		if cerr := closeDB(); cerr != nil {
 			fatal(cerr)
 		}
 		if err != nil {
@@ -117,7 +159,7 @@ func main() {
 			m.Requests.Load(), m.Executions.Load(), m.Coalesced.Load(), m.Rejected.Load())
 	case err := <-errc:
 		// The listener died without a signal (port stolen, fd pressure).
-		_ = db.Close()
+		_ = closeDB()
 		fatal(err)
 	}
 }

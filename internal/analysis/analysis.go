@@ -108,7 +108,7 @@ func Checkers() []Checker {
 		NewAtomicCheck(),
 		NewArenaCheck(),
 		NewAllocCheck(),
-		NewErrCheck("ptldb/internal/sqldb", "ptldb/internal/obs", "ptldb/internal/serve", "ptldb/cmd"),
+		NewErrCheck("ptldb/internal/sqldb", "ptldb/internal/obs", "ptldb/internal/serve", "ptldb/internal/tenant", "ptldb/cmd"),
 	}
 }
 

@@ -125,6 +125,65 @@ func share(c *coalescer, key string, build func() int64) int64 {
 	return f.val
 }
 
+// tenantSlot/router mirror the multi-tenant lifecycle protocol: the per-city
+// open latch (10) is installed and closed under the router mutex (20), the
+// database open and the evicted victim's close — device I/O — both run with
+// nothing held, and waiters block on the latch only after releasing mu.
+type tenantSlot struct {
+	opening chan struct{} // lockcheck:latch level=10
+	handle  int64
+	pinned  bool
+}
+
+type router struct {
+	mu    sync.Mutex // lockcheck:shard level=20
+	slots map[string]*tenantSlot
+}
+
+// acquire opens a cold tenant behind its singleflight latch, closing an
+// unpinned victim outside the lock to stay under the cap: all branches
+// release the mutex at one point, then waiters block on the latch and the
+// opener does its device I/O, both with nothing held.
+func acquire(r *router, name, victim string, open func() int64, close_ func(int64)) int64 {
+	for {
+		r.mu.Lock()
+		s := r.slots[name]
+		if s.handle != 0 {
+			h := s.handle
+			s.pinned = true
+			r.mu.Unlock()
+			return h
+		}
+		wait := s.opening
+		var latch chan struct{}
+		var evicted int64
+		if wait == nil {
+			latch = make(chan struct{})
+			s.opening = latch
+			if v := r.slots[victim]; v != nil && v.handle != 0 && !v.pinned {
+				evicted = v.handle
+				v.handle = 0
+			}
+		}
+		r.mu.Unlock()
+		if wait != nil {
+			<-wait
+			continue
+		}
+		if evicted != 0 {
+			close_(evicted)
+		}
+		h := open()
+		r.mu.Lock()
+		s.handle = h
+		s.opening = nil
+		s.pinned = true
+		close(latch)
+		r.mu.Unlock()
+		return h
+	}
+}
+
 // lookup is allocation-free through the whole scratch protocol: guarded
 // growth, self-append, scalar copy-out, and failure paths that may
 // allocate.

@@ -11,7 +11,7 @@ import (
 var ExperimentIDs = []string{
 	"table7", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 	"storage", "build", "ablation-bucket", "ablation-ordering",
-	"ablation-layout", "ablation-engine", "vcache", "serve",
+	"ablation-layout", "ablation-engine", "vcache", "serve", "tenants",
 }
 
 // Run executes one experiment by id.
@@ -49,6 +49,8 @@ func (w *Workspace) Run(id string) (*Table, error) {
 		return w.Vcache()
 	case "serve":
 		return w.Serve()
+	case "tenants":
+		return w.Tenants()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (want one of %v)", id, ExperimentIDs)
 	}

@@ -291,53 +291,98 @@ func (m *VCacheMetrics) Snapshot() VCacheSnapshot {
 }
 
 // ServeMetrics are the network serving layer's counters (internal/serve).
-// Requests counts query requests that entered admission (parse failures are
-// rejected before admission and counted as BadRequests only); Executions
+// Requests counts requests that entered the request pipeline (parse failures
+// are rejected before admission and counted as BadRequests only); Executions
 // counts store executions actually launched; Coalesced counts requests that
 // attached to an identical execution already in flight instead of starting
 // their own — the query-level singleflight; Rejected counts 503s at the
 // admission cap; Timeouts counts requests whose deadline expired while the
 // shared execution was still running; BadRequests and Errors count 400 and
 // 500 responses. InFlight is the number of executions currently holding an
-// admission slot, and Latency is the whole-request wall time of admitted
-// query requests (coalesced joins included).
+// admission slot. Latency is the whole-request wall time of served requests
+// (coalesced joins included) excluding admission rejections: a 503 returns
+// in microseconds by design, and folding those into the same histogram would
+// drag the percentiles down exactly when the server is overloaded. Rejected
+// requests record into RejectedLatency instead, so both populations stay
+// visible.
 type ServeMetrics struct {
-	Requests    Counter
-	Executions  Counter
-	Coalesced   Counter
-	Rejected    Counter
-	Timeouts    Counter
-	BadRequests Counter
-	Errors      Counter
-	InFlight    Gauge
-	Latency     Histogram
+	Requests        Counter
+	Executions      Counter
+	Coalesced       Counter
+	Rejected        Counter
+	Timeouts        Counter
+	BadRequests     Counter
+	Errors          Counter
+	InFlight        Gauge
+	Latency         Histogram
+	RejectedLatency Histogram
 }
 
 // ServeSnapshot is a point-in-time copy of ServeMetrics.
 type ServeSnapshot struct {
-	Requests    uint64            `json:"requests"`
-	Executions  uint64            `json:"executions"`
-	Coalesced   uint64            `json:"coalesced"`
-	Rejected    uint64            `json:"rejected"`
-	Timeouts    uint64            `json:"timeouts"`
-	BadRequests uint64            `json:"bad_requests"`
-	Errors      uint64            `json:"errors"`
-	InFlight    int64             `json:"in_flight"`
-	Latency     HistogramSnapshot `json:"latency"`
+	Requests        uint64            `json:"requests"`
+	Executions      uint64            `json:"executions"`
+	Coalesced       uint64            `json:"coalesced"`
+	Rejected        uint64            `json:"rejected"`
+	Timeouts        uint64            `json:"timeouts"`
+	BadRequests     uint64            `json:"bad_requests"`
+	Errors          uint64            `json:"errors"`
+	InFlight        int64             `json:"in_flight"`
+	Latency         HistogramSnapshot `json:"latency"`
+	RejectedLatency HistogramSnapshot `json:"rejected_latency"`
 }
 
 // Snapshot copies the serving counters.
 func (m *ServeMetrics) Snapshot() ServeSnapshot {
 	return ServeSnapshot{
-		Requests:    m.Requests.Load(),
-		Executions:  m.Executions.Load(),
-		Coalesced:   m.Coalesced.Load(),
-		Rejected:    m.Rejected.Load(),
-		Timeouts:    m.Timeouts.Load(),
-		BadRequests: m.BadRequests.Load(),
-		Errors:      m.Errors.Load(),
-		InFlight:    m.InFlight.Load(),
-		Latency:     m.Latency.Snapshot(),
+		Requests:        m.Requests.Load(),
+		Executions:      m.Executions.Load(),
+		Coalesced:       m.Coalesced.Load(),
+		Rejected:        m.Rejected.Load(),
+		Timeouts:        m.Timeouts.Load(),
+		BadRequests:     m.BadRequests.Load(),
+		Errors:          m.Errors.Load(),
+		InFlight:        m.InFlight.Load(),
+		Latency:         m.Latency.Snapshot(),
+		RejectedLatency: m.RejectedLatency.Snapshot(),
+	}
+}
+
+// TenantMetrics are one city's counters in a multi-tenant router
+// (internal/tenant): query requests routed to the tenant, their latency
+// (admission rejections excluded, like ServeMetrics.Latency), and the tenant
+// database's open/close events under lazy open and LRU close. One
+// TenantMetrics lives for the router's whole lifetime even while its tenant
+// database is closed, so the counters survive open/close cycles.
+type TenantMetrics struct {
+	Requests Counter
+	Opens    Counter
+	Closes   Counter
+	Latency  Histogram
+}
+
+// TenantSnapshot is a point-in-time copy of TenantMetrics plus the tenant's
+// lifecycle state: whether its database is currently open and, when open,
+// the resident bytes held by its vector-cache budget share.
+type TenantSnapshot struct {
+	Requests      uint64            `json:"requests"`
+	Opens         uint64            `json:"opens"`
+	Closes        uint64            `json:"closes"`
+	Open          bool              `json:"open"`
+	ResidentBytes int64             `json:"resident_bytes"`
+	Latency       HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot copies the tenant counters. open and residentBytes come from the
+// router, which knows the lifecycle state the metrics struct outlives.
+func (m *TenantMetrics) Snapshot(open bool, residentBytes int64) TenantSnapshot {
+	return TenantSnapshot{
+		Requests:      m.Requests.Load(),
+		Opens:         m.Opens.Load(),
+		Closes:        m.Closes.Load(),
+		Open:          open,
+		ResidentBytes: residentBytes,
+		Latency:       m.Latency.Snapshot(),
 	}
 }
 
@@ -378,6 +423,9 @@ type Snapshot struct {
 	// Serve is filled by ptldb-serve's /obs endpoint (the store itself has
 	// no serving counters); nil everywhere else.
 	Serve *ServeSnapshot `json:"serve,omitempty"`
+	// Tenant is filled by the multi-tenant /t/{city}/obs endpoint with the
+	// city's routing counters; nil everywhere else.
+	Tenant *TenantSnapshot `json:"tenant,omitempty"`
 }
 
 // Snapshot copies the registry. Codes that never ran are omitted from the

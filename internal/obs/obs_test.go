@@ -117,6 +117,32 @@ func TestCodeNames(t *testing.T) {
 	}
 }
 
+// TestTenantMetricsSnapshot checks that the lifecycle state passed by the
+// router lands in the snapshot next to the counters, and that the counters
+// survive the open/close transitions the metrics struct outlives.
+func TestTenantMetricsSnapshot(t *testing.T) {
+	var m TenantMetrics
+	m.Requests.Add(3)
+	m.Opens.Add(2)
+	m.Closes.Add(1)
+	m.Latency.Observe(time.Millisecond)
+	s := m.Snapshot(true, 4096)
+	if s.Requests != 3 || s.Opens != 2 || s.Closes != 1 {
+		t.Fatalf("snapshot counters = %+v", s)
+	}
+	if !s.Open || s.ResidentBytes != 4096 {
+		t.Errorf("lifecycle state = open %v resident %d, want true 4096", s.Open, s.ResidentBytes)
+	}
+	if s.Latency.Count != 1 {
+		t.Errorf("latency count = %d, want 1", s.Latency.Count)
+	}
+	// Closing the tenant changes only the lifecycle view, never the counters.
+	s = m.Snapshot(false, 0)
+	if s.Open || s.ResidentBytes != 0 || s.Requests != 3 {
+		t.Errorf("post-close snapshot = %+v", s)
+	}
+}
+
 func TestSlowQueryLogger(t *testing.T) {
 	var buf strings.Builder
 	l := NewSlowQueryLogger(&buf, 10*time.Millisecond)

@@ -23,8 +23,20 @@ import (
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Tenant, when non-empty, targets one city of a multi-tenant (-tenants)
+	// server: the query, plan and obs paths gain the /t/{city} prefix.
+	// Health stays unprefixed — liveness is per-process, not per-city.
+	Tenant string
 	// HTTP is the underlying client (http.DefaultClient when nil).
 	HTTP *http.Client
+}
+
+// prefix is the path prefix Tenant selects ("" in single-database mode).
+func (c *Client) prefix() string {
+	if c.Tenant == "" {
+		return ""
+	}
+	return "/t/" + url.PathEscape(c.Tenant)
 }
 
 // HTTPError is a non-200 response: the status code plus the server's error
@@ -68,7 +80,7 @@ func (c *Client) get(path string, out any) error {
 // point runs one ea/ld/sd request.
 func (c *Client) point(path string) (timetable.Time, bool, error) {
 	var pr PointResponse
-	if err := c.get(path, &pr); err != nil {
+	if err := c.get(c.prefix()+path, &pr); err != nil {
 		return 0, false, err
 	}
 	return timetable.Time(pr.Value), pr.Found, nil
@@ -77,7 +89,7 @@ func (c *Client) point(path string) (timetable.Time, bool, error) {
 // results runs one kNN/OTM request.
 func (c *Client) results(path string) ([]core.Result, error) {
 	var rr ResultsResponse
-	if err := c.get(path, &rr); err != nil {
+	if err := c.get(c.prefix()+path, &rr); err != nil {
 		return nil, err
 	}
 	out := make([]core.Result, len(rr.Results))
@@ -145,7 +157,7 @@ func (c *Client) LDOTM(set string, q timetable.StopID, t timetable.Time) ([]core
 // ExplainPrepared mirrors DB.ExplainPrepared.
 func (c *Client) ExplainPrepared(name string) (string, error) {
 	var pr PlanResponse
-	if err := c.get("/plan?name="+url.QueryEscape(name), &pr); err != nil {
+	if err := c.get(c.prefix()+"/plan?name="+url.QueryEscape(name), &pr); err != nil {
 		return "", err
 	}
 	return pr.Plan, nil
@@ -154,7 +166,7 @@ func (c *Client) ExplainPrepared(name string) (string, error) {
 // ExplainNames mirrors DB.ExplainNames.
 func (c *Client) ExplainNames() ([]string, error) {
 	var pl PlanListResponse
-	if err := c.get("/plan", &pl); err != nil {
+	if err := c.get(c.prefix()+"/plan", &pl); err != nil {
 		return nil, err
 	}
 	return pl.Names, nil
@@ -164,8 +176,15 @@ func (c *Client) ExplainNames() ([]string, error) {
 // serving counters in Snapshot.Serve).
 func (c *Client) Obs() (obs.Snapshot, error) {
 	var snap obs.Snapshot
-	err := c.get("/obs", &snap)
+	err := c.get(c.prefix()+"/obs", &snap)
 	return snap, err
+}
+
+// Get fetches an arbitrary server path (ignoring Tenant) and decodes the
+// JSON body into out — the escape hatch for endpoints without a typed
+// wrapper, like a multi-tenant server's /tenants listing and rollup /obs.
+func (c *Client) Get(path string, out any) error {
+	return c.get(path, out)
 }
 
 // Health probes /healthz; useful to wait for a just-started server.

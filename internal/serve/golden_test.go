@@ -47,6 +47,10 @@ const obsGolden = `{
     "latency": {
       "count": 0,
       "mean_us": 0
+    },
+    "rejected_latency": {
+      "count": 0,
+      "mean_us": 0
     }
   }
 }

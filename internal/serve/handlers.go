@@ -14,15 +14,24 @@ package serve
 //	GET /obs                             observability snapshot
 //	GET /healthz                         liveness
 //
+// A multi-tenant server (NewMulti) serves the same families per city —
+// /t/{city}/query/..., /t/{city}/plan, /t/{city}/obs — plus the /tenants
+// listing, while /obs becomes the cross-tenant rollup. Unknown cities are
+// 404 before admission.
+//
 // Time parameters accept seconds after midnight or HH:MM:SS; either spelling
 // canonicalizes to the same coalescing key. Malformed parameters are 400
 // before admission; store errors map through statusFor (400 caller mistakes,
-// 500 internal); 503 carries Retry-After; an expired deadline is 504.
+// 500 internal); 503 carries Retry-After; an expired deadline is 504. The
+// /plan and /obs families run through the same deadline and
+// Requests/Latency accounting as /query/* (without admission — see
+// Server.doSystem).
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -30,6 +39,7 @@ import (
 
 	"ptldb/internal/core"
 	"ptldb/internal/gtfs"
+	"ptldb/internal/obs"
 	"ptldb/internal/timetable"
 )
 
@@ -76,52 +86,158 @@ type HealthResponse struct {
 	Status string `json:"status"`
 }
 
-// parseFunc validates one endpoint's parameters, returning the canonical
-// coalescing key and the execution closure.
-type parseFunc func(q url.Values) (key string, run func() (any, error), err error)
-
-func (s *Server) routes() {
-	s.mux.HandleFunc("GET /query/ea", s.query(s.parseV2V("ea")))
-	s.mux.HandleFunc("GET /query/ld", s.query(s.parseV2V("ld")))
-	s.mux.HandleFunc("GET /query/sd", s.query(s.parseSD))
-	s.mux.HandleFunc("GET /query/eaknn", s.query(s.parseKNN("eaknn")))
-	s.mux.HandleFunc("GET /query/ldknn", s.query(s.parseKNN("ldknn")))
-	s.mux.HandleFunc("GET /query/eaotm", s.query(s.parseOTM("eaotm")))
-	s.mux.HandleFunc("GET /query/ldotm", s.query(s.parseOTM("ldotm")))
-	s.mux.HandleFunc("GET /plan", s.handlePlan)
-	s.mux.HandleFunc("GET /obs", s.handleObs)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+// TenantInfo is one city's row in the /tenants listing.
+type TenantInfo struct {
+	City          string `json:"city"`
+	Open          bool   `json:"open"`
+	Requests      uint64 `json:"requests"`
+	Opens         uint64 `json:"opens"`
+	Closes        uint64 `json:"closes"`
+	ResidentBytes int64  `json:"resident_bytes"`
 }
 
-// query wraps a parseFunc with the shared request pipeline: parse, admit,
-// coalesce, await, map errors, record latency.
+// TenantListResponse is the /tenants payload, sorted by city.
+type TenantListResponse struct {
+	Tenants []TenantInfo `json:"tenants"`
+}
+
+// TenantTotals sums the per-tenant counters in the rollup /obs — the
+// invariant scripts/check.sh asserts: totals equal the sum of the tenants
+// section.
+type TenantTotals struct {
+	Requests      uint64 `json:"requests"`
+	Opens         uint64 `json:"opens"`
+	Closes        uint64 `json:"closes"`
+	OpenTenants   int    `json:"open_tenants"`
+	ResidentBytes int64  `json:"resident_bytes"`
+}
+
+// MultiObsResponse is the multi-tenant rollup /obs payload: the process-wide
+// serving counters, every tenant's own counters, and their totals.
+type MultiObsResponse struct {
+	Serve   obs.ServeSnapshot             `json:"serve"`
+	Tenants map[string]obs.TenantSnapshot `json:"tenants"`
+	Totals  TenantTotals                  `json:"totals"`
+}
+
+// parseFunc validates one endpoint's parameters, returning the canonical
+// coalescing key and the execution closure. The closure receives the store
+// at execution time, so the same parsers serve the single-database mux and
+// the per-tenant mux (where the store is acquired inside the flight).
+type parseFunc func(q url.Values) (key string, run func(Store) (any, error), err error)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.tenants != nil {
+		s.mux.HandleFunc("GET /t/{city}/query/ea", s.tenantQuery(parseV2V("ea")))
+		s.mux.HandleFunc("GET /t/{city}/query/ld", s.tenantQuery(parseV2V("ld")))
+		s.mux.HandleFunc("GET /t/{city}/query/sd", s.tenantQuery(parseSD))
+		s.mux.HandleFunc("GET /t/{city}/query/eaknn", s.tenantQuery(parseKNN("eaknn")))
+		s.mux.HandleFunc("GET /t/{city}/query/ldknn", s.tenantQuery(parseKNN("ldknn")))
+		s.mux.HandleFunc("GET /t/{city}/query/eaotm", s.tenantQuery(parseOTM("eaotm")))
+		s.mux.HandleFunc("GET /t/{city}/query/ldotm", s.tenantQuery(parseOTM("ldotm")))
+		s.mux.HandleFunc("GET /t/{city}/plan", s.handleTenantPlan)
+		s.mux.HandleFunc("GET /t/{city}/obs", s.handleTenantObs)
+		s.mux.HandleFunc("GET /tenants", s.handleTenants)
+		s.mux.HandleFunc("GET /obs", s.handleRollupObs)
+		return
+	}
+	s.mux.HandleFunc("GET /query/ea", s.query(parseV2V("ea")))
+	s.mux.HandleFunc("GET /query/ld", s.query(parseV2V("ld")))
+	s.mux.HandleFunc("GET /query/sd", s.query(parseSD))
+	s.mux.HandleFunc("GET /query/eaknn", s.query(parseKNN("eaknn")))
+	s.mux.HandleFunc("GET /query/ldknn", s.query(parseKNN("ldknn")))
+	s.mux.HandleFunc("GET /query/eaotm", s.query(parseOTM("eaotm")))
+	s.mux.HandleFunc("GET /query/ldotm", s.query(parseOTM("ldotm")))
+	s.mux.HandleFunc("GET /plan", s.handlePlan)
+	s.mux.HandleFunc("GET /obs", s.handleObs)
+}
+
+// query wraps a parseFunc with the single-database request pipeline.
 func (s *Server) query(parse parseFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		key, run, err := parse(r.URL.Query())
-		if err != nil {
-			s.metrics.BadRequests.Add(1)
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
-			return
-		}
-		start := time.Now()
-		ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
-		defer cancel()
-		v, status, err := s.do(ctx, key, run)
-		s.metrics.Latency.Observe(time.Since(start))
-		if err != nil {
-			switch status {
-			case http.StatusBadRequest:
-				s.metrics.BadRequests.Add(1)
-			case http.StatusInternalServerError:
-				s.metrics.Errors.Add(1)
-			case http.StatusServiceUnavailable:
-				w.Header().Set("Retry-After", retryAfterSeconds(s.opts.RetryAfter))
-			}
-			writeJSON(w, status, ErrorResponse{Error: err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, v)
+		s.serveQuery(w, r, parse, "", nil)
 	}
+}
+
+// tenantQuery wraps a parseFunc with the per-city pipeline: unknown cities
+// are 404 before anything is admitted, known ones flow through serveQuery
+// with their metrics attached.
+func (s *Server) tenantQuery(parse parseFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		city := r.PathValue("city")
+		tm := s.tenants.Metrics(city)
+		if tm == nil {
+			s.unknownTenant(w, city)
+			return
+		}
+		s.serveQuery(w, r, parse, city, tm)
+	}
+}
+
+// unknownTenant rejects a request for a city the router does not know:
+// a caller mistake like a parse failure, so it counts as a BadRequest and
+// never enters admission.
+func (s *Server) unknownTenant(w http.ResponseWriter, city string) {
+	s.metrics.BadRequests.Add(1)
+	writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("serve: unknown tenant %q", city)})
+}
+
+// serveQuery is the shared request pipeline: parse, admit, coalesce, await,
+// map errors, record latency. In tenant mode (tm non-nil) the coalescing key
+// carries the city so identical queries to different cities never share a
+// flight, and the execution acquires the tenant inside the flight — pinning
+// the database against LRU close for exactly the execution, and folding a
+// cold open into the admission/deadline envelope.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, parse parseFunc, city string, tm *obs.TenantMetrics) {
+	key, run, err := parse(r.URL.Query())
+	if err != nil {
+		s.metrics.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	exec := func() (any, error) { return run(s.store) }
+	if tm != nil {
+		key = "t/" + city + "|" + key
+		exec = func() (any, error) {
+			t, err := s.tenants.Acquire(city)
+			if err != nil {
+				return nil, err
+			}
+			defer t.Release()
+			return run(t.DB())
+		}
+		tm.Requests.Add(1)
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	v, status, err := s.do(ctx, key, exec)
+	elapsed := time.Since(start)
+	if status == http.StatusServiceUnavailable {
+		// An admission reject answers in microseconds by design; keeping it
+		// out of Latency stops overload from dragging the percentiles down
+		// (see obs.ServeMetrics).
+		s.metrics.RejectedLatency.Observe(elapsed)
+	} else {
+		s.metrics.Latency.Observe(elapsed)
+		if tm != nil {
+			tm.Latency.Observe(elapsed)
+		}
+	}
+	if err != nil {
+		switch status {
+		case http.StatusBadRequest:
+			s.metrics.BadRequests.Add(1)
+		case http.StatusInternalServerError:
+			s.metrics.Errors.Add(1)
+		case http.StatusServiceUnavailable:
+			w.Header().Set("Retry-After", retryAfterSeconds(s.opts.RetryAfter))
+		}
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 // retryAfterSeconds renders a duration as the whole-second Retry-After
@@ -130,8 +246,8 @@ func retryAfterSeconds(d time.Duration) string {
 	return strconv.FormatInt(int64((d+time.Second-1)/time.Second), 10)
 }
 
-func (s *Server) parseV2V(kind string) parseFunc {
-	return func(q url.Values) (string, func() (any, error), error) {
+func parseV2V(kind string) parseFunc {
+	return func(q url.Values) (string, func(Store) (any, error), error) {
 		from, err := stopParam(q, "from")
 		if err != nil {
 			return "", nil, err
@@ -145,14 +261,14 @@ func (s *Server) parseV2V(kind string) parseFunc {
 			return "", nil, err
 		}
 		key := fmt.Sprintf("%s|%d|%d|%d", kind, from, to, t)
-		run := func() (any, error) {
+		run := func(st Store) (any, error) {
 			var v timetable.Time
 			var ok bool
 			var err error
 			if kind == "ea" {
-				v, ok, err = s.store.EarliestArrival(from, to, t)
+				v, ok, err = st.EarliestArrival(from, to, t)
 			} else {
-				v, ok, err = s.store.LatestDeparture(from, to, t)
+				v, ok, err = st.LatestDeparture(from, to, t)
 			}
 			return pointResponse(v, ok), err
 		}
@@ -160,7 +276,7 @@ func (s *Server) parseV2V(kind string) parseFunc {
 	}
 }
 
-func (s *Server) parseSD(q url.Values) (string, func() (any, error), error) {
+func parseSD(q url.Values) (string, func(Store) (any, error), error) {
 	from, err := stopParam(q, "from")
 	if err != nil {
 		return "", nil, err
@@ -178,15 +294,15 @@ func (s *Server) parseSD(q url.Values) (string, func() (any, error), error) {
 		return "", nil, err
 	}
 	key := fmt.Sprintf("sd|%d|%d|%d|%d", from, to, start, end)
-	run := func() (any, error) {
-		v, ok, err := s.store.ShortestDuration(from, to, start, end)
+	run := func(st Store) (any, error) {
+		v, ok, err := st.ShortestDuration(from, to, start, end)
 		return pointResponse(v, ok), err
 	}
 	return key, run, nil
 }
 
-func (s *Server) parseKNN(kind string) parseFunc {
-	return func(q url.Values) (string, func() (any, error), error) {
+func parseKNN(kind string) parseFunc {
+	return func(q url.Values) (string, func(Store) (any, error), error) {
 		set, from, t, err := setParams(q)
 		if err != nil {
 			return "", nil, err
@@ -196,13 +312,13 @@ func (s *Server) parseKNN(kind string) parseFunc {
 			return "", nil, err
 		}
 		key := fmt.Sprintf("%s|%s|%d|%d|%d", kind, set, from, t, k)
-		run := func() (any, error) {
+		run := func(st Store) (any, error) {
 			var rs []core.Result
 			var err error
 			if kind == "eaknn" {
-				rs, err = s.store.EAKNN(set, from, t, int(k))
+				rs, err = st.EAKNN(set, from, t, int(k))
 			} else {
-				rs, err = s.store.LDKNN(set, from, t, int(k))
+				rs, err = st.LDKNN(set, from, t, int(k))
 			}
 			return resultsResponse(rs), err
 		}
@@ -210,20 +326,20 @@ func (s *Server) parseKNN(kind string) parseFunc {
 	}
 }
 
-func (s *Server) parseOTM(kind string) parseFunc {
-	return func(q url.Values) (string, func() (any, error), error) {
+func parseOTM(kind string) parseFunc {
+	return func(q url.Values) (string, func(Store) (any, error), error) {
 		set, from, t, err := setParams(q)
 		if err != nil {
 			return "", nil, err
 		}
 		key := fmt.Sprintf("%s|%s|%d|%d", kind, set, from, t)
-		run := func() (any, error) {
+		run := func(st Store) (any, error) {
 			var rs []core.Result
 			var err error
 			if kind == "eaotm" {
-				rs, err = s.store.EAOTM(set, from, t)
+				rs, err = st.EAOTM(set, from, t)
 			} else {
-				rs, err = s.store.LDOTM(set, from, t)
+				rs, err = st.LDOTM(set, from, t)
 			}
 			return resultsResponse(rs), err
 		}
@@ -231,31 +347,144 @@ func (s *Server) parseOTM(kind string) parseFunc {
 	}
 }
 
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
-	if name == "" {
-		writeJSONIndent(w, http.StatusOK, PlanListResponse{Names: s.store.ExplainNames()})
-		return
-	}
-	plan, err := s.store.ExplainPrepared(name)
+// system wraps a run closure with the system-endpoint half of the pipeline:
+// the same deadline and Requests/Latency accounting as /query/*, without
+// admission or coalescing (doSystem). Metering lands after the run completes
+// so an /obs snapshot taken inside run never counts the request carrying it
+// — which keeps the zero-traffic /obs golden byte-stable.
+func (s *Server) system(w http.ResponseWriter, r *http.Request, run func() (any, error)) {
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	v, status, err := s.doSystem(ctx, run)
+	s.metrics.Requests.Add(1)
+	s.metrics.Latency.Observe(time.Since(start))
 	if err != nil {
-		status := statusFor(err)
-		if status == http.StatusBadRequest {
+		switch status {
+		case http.StatusBadRequest:
 			s.metrics.BadRequests.Add(1)
-		} else {
+		case http.StatusInternalServerError:
 			s.metrics.Errors.Add(1)
 		}
 		writeJSON(w, status, ErrorResponse{Error: err.Error()})
 		return
 	}
-	writeJSONIndent(w, http.StatusOK, PlanResponse{Name: name, Plan: plan})
+	writeJSONIndent(w, http.StatusOK, v)
 }
 
-func (s *Server) handleObs(w http.ResponseWriter, _ *http.Request) {
-	snap := s.store.Snapshot()
-	sv := s.metrics.Snapshot()
-	snap.Serve = &sv
-	writeJSONIndent(w, http.StatusOK, snap)
+// planRun builds the /plan execution over an acquired store: the name
+// listing when name is empty, one rendered plan otherwise.
+func planRun(name string, acquire func() (Store, func(), error)) func() (any, error) {
+	return func() (any, error) {
+		st, release, err := acquire()
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		if name == "" {
+			return PlanListResponse{Names: st.ExplainNames()}, nil
+		}
+		plan, err := st.ExplainPrepared(name)
+		if err != nil {
+			return nil, err
+		}
+		return PlanResponse{Name: name, Plan: plan}, nil
+	}
+}
+
+// acquireSingle hands out the single-database store with a no-op release.
+func (s *Server) acquireSingle() (Store, func(), error) {
+	return s.store, func() {}, nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.system(w, r, planRun(r.URL.Query().Get("name"), s.acquireSingle))
+}
+
+func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
+	s.system(w, r, func() (any, error) {
+		snap := s.store.Snapshot()
+		sv := s.metrics.Snapshot()
+		snap.Serve = &sv
+		return snap, nil
+	})
+}
+
+func (s *Server) handleTenantPlan(w http.ResponseWriter, r *http.Request) {
+	city := r.PathValue("city")
+	if s.tenants.Metrics(city) == nil {
+		s.unknownTenant(w, city)
+		return
+	}
+	s.system(w, r, planRun(r.URL.Query().Get("name"), func() (Store, func(), error) {
+		t, err := s.tenants.Acquire(city)
+		if err != nil {
+			return nil, nil, err
+		}
+		return t.DB(), t.Release, nil
+	}))
+}
+
+// handleTenantObs serves one city's registry snapshot with its routing
+// counters grafted in under "tenant". Asking for a cold tenant's registry
+// opens it — the registry lives on the database handle.
+func (s *Server) handleTenantObs(w http.ResponseWriter, r *http.Request) {
+	city := r.PathValue("city")
+	if s.tenants.Metrics(city) == nil {
+		s.unknownTenant(w, city)
+		return
+	}
+	s.system(w, r, func() (any, error) {
+		t, err := s.tenants.Acquire(city)
+		if err != nil {
+			return nil, err
+		}
+		defer t.Release()
+		snap := t.DB().Snapshot()
+		var resident int64
+		if snap.VCache != nil {
+			resident = snap.VCache.ResidentBytes
+		}
+		ts := t.Metrics().Snapshot(true, resident)
+		snap.Tenant = &ts
+		return snap, nil
+	})
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	s.system(w, r, func() (any, error) {
+		snaps := s.tenants.Snapshot()
+		names := s.tenants.Names()
+		out := TenantListResponse{Tenants: make([]TenantInfo, 0, len(names))}
+		for _, name := range names {
+			ts := snaps[name]
+			out.Tenants = append(out.Tenants, TenantInfo{
+				City:          name,
+				Open:          ts.Open,
+				Requests:      ts.Requests,
+				Opens:         ts.Opens,
+				Closes:        ts.Closes,
+				ResidentBytes: ts.ResidentBytes,
+			})
+		}
+		return out, nil
+	})
+}
+
+func (s *Server) handleRollupObs(w http.ResponseWriter, r *http.Request) {
+	s.system(w, r, func() (any, error) {
+		out := MultiObsResponse{Serve: s.metrics.Snapshot(), Tenants: s.tenants.Snapshot()}
+		for _, ts := range out.Tenants {
+			out.Totals.Requests += ts.Requests
+			out.Totals.Opens += ts.Opens
+			out.Totals.Closes += ts.Closes
+			out.Totals.ResidentBytes += ts.ResidentBytes
+			if ts.Open {
+				out.Totals.OpenTenants++
+			}
+		}
+		return out, nil
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -327,10 +556,25 @@ func setParams(q url.Values) (string, timetable.StopID, timetable.Time, error) {
 	return set, from, t, nil
 }
 
+// encodeFailBody is the fallback body when response encoding fails. It is
+// itself valid JSON and must be written with the application/json header —
+// http.Error would stamp text/plain over a JSON payload.
+const encodeFailBody = `{"error":"serve: encoding response failed"}` + "\n"
+
+// writeEncodeFailure answers an encoding failure with a JSON 500: same
+// Content-Type contract as every other body, so clients parsing errors never
+// see text/plain.
+func writeEncodeFailure(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = io.WriteString(w, encodeFailBody)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	blob, err := json.Marshal(v)
 	if err != nil {
-		http.Error(w, `{"error":"serve: encoding response failed"}`, http.StatusInternalServerError)
+		writeEncodeFailure(w)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -340,11 +584,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeJSONIndent is writeJSON with indentation, for the endpoints meant to
-// be read by humans over curl (/plan, /obs).
+// be read by humans over curl (/plan, /obs, /tenants).
 func writeJSONIndent(w http.ResponseWriter, status int, v any) {
 	blob, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		http.Error(w, `{"error":"serve: encoding response failed"}`, http.StatusInternalServerError)
+		writeEncodeFailure(w)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

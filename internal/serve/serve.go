@@ -20,6 +20,14 @@
 // in-flight handlers finish, and returns — the graceful-drain half of
 // cmd/ptldb-serve's SIGTERM handling. Counters live in obs.ServeMetrics and
 // are surfaced by the /obs endpoint next to the store's own registry.
+//
+// A server built with NewMulti fronts a tenant.Router instead of one store:
+// the query and system endpoints move under /t/{city}/..., /tenants lists
+// the cities, and /obs becomes the cross-tenant rollup. The pipeline is
+// identical — the tenant acquisition (pinning the database open, and opening
+// it cold if needed) simply happens inside the flight, so the admission cap
+// also bounds concurrent cold opens and a slow open answers 504 like any
+// slow execution.
 package serve
 
 import (
@@ -34,6 +42,7 @@ import (
 
 	"ptldb/internal/core"
 	"ptldb/internal/obs"
+	"ptldb/internal/tenant"
 	"ptldb/internal/timetable"
 )
 
@@ -81,11 +90,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server is the HTTP front end over one Store. Create with New; it is an
-// http.Handler and also owns an optional listener lifecycle (Serve /
-// Shutdown) so cmd/ptldb-serve and the tests share the drain logic.
+// Server is the HTTP front end over one Store (New) or a tenant router
+// (NewMulti). It is an http.Handler and also owns an optional listener
+// lifecycle (Serve / Shutdown) so cmd/ptldb-serve and the tests share the
+// drain logic.
 type Server struct {
-	store   Store
+	store   Store          // single-database mode; nil under NewMulti
+	tenants *tenant.Router // multi-tenant mode; nil under New
 	opts    Options
 	metrics *obs.ServeMetrics
 	admit   *semaphore
@@ -99,17 +110,29 @@ type Server struct {
 
 // New builds a server over store.
 func New(store Store, opts Options) *Server {
-	s := &Server{
-		store:   store,
-		opts:    opts.withDefaults(),
-		metrics: &obs.ServeMetrics{},
-		co:      newCoalescer(),
-	}
+	s := &Server{store: store}
+	s.init(opts)
+	return s
+}
+
+// NewMulti builds a multi-tenant server over router: the query and system
+// endpoints move under /t/{city}/..., /tenants lists the cities, and /obs
+// is the cross-tenant rollup. The router's lifecycle stays with the caller —
+// close it after Shutdown has drained the in-flight queries.
+func NewMulti(router *tenant.Router, opts Options) *Server {
+	s := &Server{tenants: router}
+	s.init(opts)
+	return s
+}
+
+func (s *Server) init(opts Options) {
+	s.opts = opts.withDefaults()
+	s.metrics = &obs.ServeMetrics{}
+	s.co = newCoalescer()
 	s.admit = newSemaphore(s.opts.MaxInFlight)
 	s.mux = http.NewServeMux()
 	s.routes()
 	s.httpSrv = &http.Server{Handler: s.mux}
-	return s
 }
 
 // Metrics exposes the serving counters (the /obs endpoint embeds a snapshot
@@ -190,6 +213,34 @@ func (s *Server) runFlight(key string, f *flight, run func() (any, error)) {
 	s.co.finish(key, f, v, err)
 	s.metrics.InFlight.Add(-1)
 	s.admit.release()
+}
+
+// doSystem runs a system endpoint (/plan, /obs, /tenants) through the
+// deadline half of the pipeline: the same Timeout → 504 mapping as /query/*,
+// but no admission or coalescing — these endpoints read catalogs and
+// counters, not store executions, so they must stay answerable on a
+// saturated server. Like a flight, the run keeps going detached after a
+// timeout; its result is dropped.
+func (s *Server) doSystem(ctx context.Context, run func() (any, error)) (any, int, error) {
+	type outcome struct {
+		v   any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := run()
+		ch <- outcome{v: v, err: err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return nil, statusFor(o.err), o.err
+		}
+		return o.v, http.StatusOK, nil
+	case <-ctx.Done():
+		s.metrics.Timeouts.Add(1)
+		return nil, http.StatusGatewayTimeout, fmt.Errorf("serve: deadline exceeded after %v", s.opts.Timeout)
+	}
 }
 
 // statusFor maps a store error to its HTTP status: caller mistakes

@@ -9,9 +9,11 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -29,11 +31,15 @@ import (
 // fakeStore answers every query instantly with synthetic values unless block
 // is set, in which case query executions park until the channel is closed.
 // eaErr, when set, is returned by EarliestArrival to drive the error-mapping
-// tests.
+// tests; snapBlock parks Snapshot the same way block parks queries (the
+// system-endpoint deadline tests). Close makes the fake double as a
+// tenant.DB for the multi-tenant tests.
 type fakeStore struct {
-	calls atomic.Int64
-	block chan struct{}
-	eaErr error
+	calls      atomic.Int64
+	closeCalls atomic.Int64
+	block      chan struct{}
+	snapBlock  chan struct{}
+	eaErr      error
 }
 
 func (f *fakeStore) enter() {
@@ -101,7 +107,17 @@ func (f *fakeStore) ExplainPrepared(name string) (string, error) {
 
 func (f *fakeStore) ExplainNames() []string { return []string{"v2v-ea"} }
 
-func (f *fakeStore) Snapshot() obs.Snapshot { return obs.Snapshot{} }
+func (f *fakeStore) Snapshot() obs.Snapshot {
+	if f.snapBlock != nil {
+		<-f.snapBlock
+	}
+	return obs.Snapshot{}
+}
+
+func (f *fakeStore) Close() error {
+	f.closeCalls.Add(1)
+	return nil
+}
 
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, what string, cond func() bool) {
@@ -397,6 +413,129 @@ func TestErrorStatusMapping(t *testing.T) {
 	// Unknown prepared-plan names classify as caller mistakes too.
 	if code, _ := get(t, ts.URL+"/plan?name=nope"); code != http.StatusBadRequest {
 		t.Errorf("/plan?name=nope: status %d, want 400", code)
+	}
+}
+
+// TestRejectedLatencySplit pins the satellite fix for saturation-skewed
+// percentiles: instant 503 admission rejections must land in
+// RejectedLatency, never in the Latency histogram real executions feed.
+func TestRejectedLatencySplit(t *testing.T) {
+	fs := &fakeStore{block: make(chan struct{})}
+	srv := New(fs, Options{MaxInFlight: 1, DisableCoalescing: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	parked := make(chan int, 1)
+	go func() {
+		code, _ := get(t, ts.URL+"/query/ea?from=1&to=2&t=28800")
+		parked <- code
+	}()
+	waitFor(t, "slot occupied", func() bool { return fs.calls.Load() == 1 })
+
+	if code, _ := get(t, ts.URL+"/query/ea?from=3&to=4&t=28800"); code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d at cap, want 503", code)
+	}
+	m := srv.Metrics()
+	if m.RejectedLatency.Snapshot().Count != 1 {
+		t.Errorf("rejected-latency count %d, want 1", m.RejectedLatency.Snapshot().Count)
+	}
+	if got := m.Latency.Snapshot().Count; got != 0 {
+		t.Errorf("latency histogram saw %d samples with only a reject completed, want 0", got)
+	}
+
+	close(fs.block)
+	if code := <-parked; code != http.StatusOK {
+		t.Fatalf("parked request finished with %d", code)
+	}
+	if got := m.Latency.Snapshot().Count; got != 1 {
+		t.Errorf("latency count %d after the real execution, want 1", got)
+	}
+	if got := m.RejectedLatency.Snapshot().Count; got != 1 {
+		t.Errorf("rejected-latency count %d after quiesce, want 1", got)
+	}
+}
+
+// TestSystemEndpointsMetered pins the satellite fix for /plan and /obs
+// bypassing the pipeline: they must count into Requests and Latency like
+// /query/*, while the /obs snapshot itself keeps excluding the request
+// carrying it (metered after completion — the zero-traffic golden relies on
+// that).
+func TestSystemEndpointsMetered(t *testing.T) {
+	fs := &fakeStore{}
+	srv := New(fs, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, path := range []string{"/plan", "/plan?name=v2v-ea"} {
+		if code, body := get(t, ts.URL+path); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d, body %s", path, code, body)
+		}
+	}
+	code, body := get(t, ts.URL+"/obs")
+	if code != http.StatusOK {
+		t.Fatalf("GET /obs: status %d", code)
+	}
+	// The snapshot inside the /obs response saw the two /plan requests but
+	// not itself.
+	if !strings.Contains(body, "\"requests\": 2") {
+		t.Errorf("/obs body should report the 2 prior requests, got: %s", body)
+	}
+	m := srv.Metrics()
+	if got := m.Requests.Load(); got != 3 {
+		t.Errorf("requests counter %d after plan+plan+obs, want 3", got)
+	}
+	if got := m.Latency.Snapshot().Count; got != 3 {
+		t.Errorf("latency count %d, want 3 (system endpoints must be metered)", got)
+	}
+	// Error outcomes stay classified: a bad plan name is a metered 400.
+	if code, _ := get(t, ts.URL+"/plan?name=nope"); code != http.StatusBadRequest {
+		t.Errorf("/plan?name=nope: status %d, want 400", code)
+	}
+	if m.BadRequests.Load() != 1 || m.Requests.Load() != 4 {
+		t.Errorf("bad plan name: bad_requests %d requests %d, want 1 and 4",
+			m.BadRequests.Load(), m.Requests.Load())
+	}
+}
+
+// TestSystemEndpointDeadline proves /obs runs under the per-request deadline
+// now: a store whose Snapshot hangs answers 504 instead of pinning the
+// handler forever.
+func TestSystemEndpointDeadline(t *testing.T) {
+	fs := &fakeStore{snapBlock: make(chan struct{})}
+	srv := New(fs, Options{Timeout: 30 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, _ := get(t, ts.URL+"/obs")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("/obs with hung snapshot: status %d, want 504", code)
+	}
+	if got := srv.Metrics().Timeouts.Load(); got != 1 {
+		t.Errorf("timeouts counter %d, want 1", got)
+	}
+	close(fs.snapBlock)
+}
+
+// TestWriteJSONEncodeFailure pins the satellite fix for the encode-failure
+// fallback: an unmarshalable value must produce a JSON 500 with the JSON
+// Content-Type, not http.Error's text/plain wrapping a JSON string.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	for name, write := range map[string]func(http.ResponseWriter, int, any){
+		"writeJSON":       writeJSON,
+		"writeJSONIndent": writeJSONIndent,
+	} {
+		rec := httptest.NewRecorder()
+		write(rec, http.StatusOK, math.NaN()) // JSON has no NaN: encoding must fail
+		if rec.Code != http.StatusInternalServerError {
+			t.Errorf("%s: status %d, want 500", name, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type %q, want application/json", name, ct)
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: fallback body %q is not an ErrorResponse (%v)", name, rec.Body.String(), err)
+		}
 	}
 }
 

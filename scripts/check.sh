@@ -33,4 +33,7 @@ go test -run '^$' -bench 'BenchmarkBuildParallel/workers=4' -benchtime 1x ./inte
 echo "== serve smoke (open-loop harness: coalescing must share, server must drain)"
 go run ./cmd/ptldb-bench -exp serve -cities Austin -scale 0.02 -queries 64 \
     -serve-clients 4 -serve-duration 300ms -q > /dev/null
+echo "== tenants smoke (two cities, one process: answers must match direct handles, rollup /obs must sum per-tenant counters)"
+go run ./cmd/ptldb-bench -exp tenants -cities "Austin,Salt Lake City" -scale 0.02 \
+    -queries 32 -serve-duration 300ms -q > /dev/null
 echo "== OK"
